@@ -1,0 +1,57 @@
+// Ablation bench for the two design decisions §5.2.3/§5.2.4 argue for in
+// prose (beyond the Table 2 variants):
+//   - min- vs sum-aggregation of per-observable site priorities, and
+//   - log-message-count vs instance-order temporal distance.
+//
+// Expected shape: "full" (min + message-count) dominates; "full-sum" reacts
+// more slowly to feedback; "full-order" over-penalizes busy fault sites
+// (Figure 5's f_2 pathology) and loses on occurrence-sensitive cases.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace anduril::bench {
+namespace {
+
+constexpr int kMaxRounds = 1500;
+
+int Main() {
+  std::printf("Design ablations: aggregation and temporal-distance choices (rounds)\n\n");
+  const char* strategies[] = {"full", "full-sum", "full-order", "multiply"};
+  std::vector<int> widths{16, 12, 12, 12, 12};
+  PrintRow({"Failure", "full", "full-sum", "full-order", "multiply"}, widths);
+
+  struct Totals {
+    int reproduced = 0;
+    int64_t rounds = 0;
+  };
+  std::vector<Totals> totals(std::size(strategies));
+  for (const auto& failure_case : systems::AllCases()) {
+    std::vector<std::string> row{failure_case.id};
+    for (size_t s = 0; s < std::size(strategies); ++s) {
+      CaseRun run = RunCase(failure_case, strategies[s], kMaxRounds);
+      row.push_back(RoundsCell(run));
+      if (run.reproduced) {
+        ++totals[s].reproduced;
+        totals[s].rounds += run.rounds;
+      }
+      std::fflush(stdout);
+    }
+    PrintRow(row, widths);
+  }
+  std::printf("\nSummary:\n");
+  for (size_t s = 0; s < std::size(strategies); ++s) {
+    std::printf("  %-12s %2d/22 reproduced, %.1f mean rounds\n", strategies[s],
+                totals[s].reproduced,
+                totals[s].reproduced
+                    ? static_cast<double>(totals[s].rounds) / totals[s].reproduced
+                    : 0.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

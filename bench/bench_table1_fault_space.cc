@@ -1,0 +1,54 @@
+// Paper Table 1: target system sizes and fault-site counts.
+//   Total:    all static fault sites in the system
+//   Inferred: fault sites the causal-graph analysis keeps for the failure
+//   Dynamic:  dynamic occurrences of the inferred sites under the workload
+//
+// Expected shape: Total >> Inferred (the causal graph prunes most sites);
+// Dynamic >> Inferred (sites execute many times); HBase/HDFS/Kafka larger
+// than ZooKeeper/Cassandra in Total.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/util/strings.h"
+
+namespace anduril::bench {
+namespace {
+
+int Main() {
+  std::printf("Table 1: IR statements and fault sites per system (means over its cases)\n\n");
+  struct Accum {
+    int cases = 0;
+    int64_t stmts = 0;
+    int64_t total_sites = 0;
+    int64_t inferred = 0;
+    int64_t dynamic = 0;
+  };
+  std::map<std::string, Accum> per_system;
+
+  for (const auto& failure_case : systems::AllCases()) {
+    CaseRun run = RunCase(failure_case, "full", /*max_rounds=*/1);
+    Accum& acc = per_system[failure_case.system];
+    ++acc.cases;
+    acc.stmts += static_cast<int64_t>(run.total_stmts);
+    acc.total_sites += static_cast<int64_t>(run.total_sites);
+    acc.inferred += run.graph_stats.inferred_fault_sites;
+    acc.dynamic += run.dynamic_instances;
+  }
+
+  PrintRow({"System", "IR stmts", "Total", "Inferred", "Dynamic"}, {12, 10, 8, 10, 10});
+  for (const auto& [system, acc] : per_system) {
+    PrintRow({system, WithThousandsSeparators(acc.stmts / acc.cases),
+              WithThousandsSeparators(acc.total_sites / acc.cases),
+              WithThousandsSeparators(acc.inferred / acc.cases),
+              WithThousandsSeparators(acc.dynamic / acc.cases)},
+             {12, 10, 8, 10, 10});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

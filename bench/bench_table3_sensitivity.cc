@@ -1,0 +1,54 @@
+// Paper Table 3: sensitivity of the two key feedback parameters —
+// the initial flexible-window size k (§5.2.5) and the observable priority
+// adjustment s (§5.2.1) — measured as rounds to reproduce for each of the
+// 22 failures. Expected shape: robust overall (most cases reproduce under
+// every setting) with modest per-case differences; very small k wastes
+// rounds when the top candidate does not occur, very large s overreacts to
+// noisy observables.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace anduril::bench {
+namespace {
+
+constexpr int kMaxRounds = 1500;
+
+int Main() {
+  std::printf("Table 3: sensitivity of initial window k and adjustment s (rounds)\n\n");
+  struct Setting {
+    const char* label;
+    int window;
+    int adjustment;
+  };
+  const Setting settings[] = {
+      {"k=1  s=+1", 1, 1},  {"k=3  s=+1", 3, 1},  {"k=10 s=+1", 10, 1},
+      {"k=10 s=+2", 10, 2}, {"k=10 s=+10", 10, 10},
+  };
+
+  std::vector<int> widths{12};
+  std::vector<std::string> header{"Setting"};
+  for (const auto& failure_case : systems::AllCases()) {
+    header.push_back(failure_case.paper_id);
+    widths.push_back(6);
+  }
+  PrintRow(header, widths);
+
+  for (const Setting& setting : settings) {
+    std::vector<std::string> row{setting.label};
+    for (const auto& failure_case : systems::AllCases()) {
+      CaseRun run =
+          RunCase(failure_case, "full", kMaxRounds, setting.window, setting.adjustment);
+      row.push_back(RoundsCell(run));
+      std::fflush(stdout);
+    }
+    PrintRow(row, widths);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

@@ -1,0 +1,44 @@
+// Paper §8.2 / appendix Table 6: new (deeper) root causes discovered during
+// reproduction. A given symptom can be caused by more than one fault; when
+// the explorer's reproduction satisfies the oracle with a *different* fault
+// site than the documented ground truth, that is exactly the phenomenon the
+// paper reports (e.g. a disk fault while creating the column family also
+// leaves C*-6415's repair hanging — and the original retry-based patch would
+// not cover it).
+//
+// Expected shape: a handful of the 22 cases admit an alternative root cause.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace anduril::bench {
+namespace {
+
+int Main() {
+  std::printf("Table 6: reproductions whose root cause differs from the documented one\n\n");
+  PrintRow({"Failure", "Documented root cause", "Discovered root cause"}, {14, 52, 52});
+  int discovered = 0;
+  for (const auto& failure_case : systems::AllCases()) {
+    CaseRun run = RunCase(failure_case, "full");
+    if (!run.reproduced || !run.script.has_value()) {
+      continue;
+    }
+    if (run.script->site != run.ground_truth_site) {
+      ++discovered;
+      PrintRow({failure_case.id, run.ground_truth_site_name, run.found_site_name},
+               {14, 52, 52});
+    }
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n%d of 22 reproductions identified an alternative root cause that also satisfies\n"
+      "the failure oracle (deeper or sibling faults in the causal chain).\n",
+      discovered);
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

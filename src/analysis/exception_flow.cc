@@ -1,0 +1,188 @@
+#include "src/analysis/exception_flow.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace anduril::analysis {
+
+ExceptionFlow::ExceptionFlow(const ir::Program& program) : program_(program) {
+  ANDURIL_CHECK(program.finalized());
+  escapes_.resize(program.method_count());
+  // Fixpoint: escape summaries grow monotonically until stable. Invoke
+  // potential-throws read the summaries of callees, so we iterate.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations_;
+    for (size_t m = 0; m < program.method_count(); ++m) {
+      const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+      std::vector<std::vector<ir::ExceptionTypeId>> active_catches;
+      std::vector<ThrowOrigin> origins;
+      CollectSubtree(method, 0, &active_catches, &origins);
+      std::sort(origins.begin(), origins.end(),
+                [](const ThrowOrigin& a, const ThrowOrigin& b) {
+                  return std::tie(a.type, a.stmt, a.kind) < std::tie(b.type, b.stmt, b.kind);
+                });
+      origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
+      if (origins != escapes_[m]) {
+        escapes_[m] = std::move(origins);
+        changed = true;
+      }
+    }
+    ANDURIL_CHECK_LT(iterations_, 1000) << "exception-flow fixpoint diverged";
+  }
+}
+
+bool ExceptionFlow::Absorbed(
+    ir::ExceptionTypeId type,
+    const std::vector<std::vector<ir::ExceptionTypeId>>& active_catches) const {
+  for (const auto& clauses : active_catches) {
+    for (ir::ExceptionTypeId caught : clauses) {
+      if (program_.ExceptionIsA(type, caught)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ExceptionFlow::PotentialThrows(const ir::Method& method, ir::StmtId stmt_id,
+                                    std::vector<ThrowOrigin>* out) const {
+  const ir::Stmt& stmt = method.stmt(stmt_id);
+  switch (stmt.kind) {
+    case ir::StmtKind::kThrow:
+      if (stmt.exception_type == ir::kInvalidId) {
+        // Rethrow: conservatively escapes with the enclosing clause's type.
+        ir::StmtId cur = stmt_id;
+        ir::StmtId parent_id = method.stmt(cur).parent;
+        while (parent_id != ir::kInvalidId) {
+          const ir::Stmt& parent = method.stmt(parent_id);
+          if (parent.kind == ir::StmtKind::kTryCatch) {
+            for (const ir::CatchClause& clause : parent.catches) {
+              if (clause.block == cur) {
+                out->push_back(ThrowOrigin{clause.type, stmt_id, OriginKind::kRethrow});
+                return;
+              }
+            }
+          }
+          cur = parent_id;
+          parent_id = method.stmt(cur).parent;
+        }
+        ANDURIL_UNREACHABLE() << "rethrow outside catch in " << method.name;
+      }
+      out->push_back(ThrowOrigin{stmt.exception_type, stmt_id, OriginKind::kNew});
+      return;
+    case ir::StmtKind::kExternalCall:
+      for (ir::ExceptionTypeId type : stmt.throwable_types) {
+        out->push_back(ThrowOrigin{type, stmt_id, OriginKind::kExternal});
+      }
+      return;
+    case ir::StmtKind::kAwait:
+      if (stmt.exception_type != ir::kInvalidId) {
+        out->push_back(ThrowOrigin{stmt.exception_type, stmt_id, OriginKind::kAwaitTimeout});
+      }
+      return;
+    case ir::StmtKind::kFutureGet: {
+      ir::ExceptionTypeId exec = program_.FindException("ExecutionException");
+      if (exec != ir::kInvalidId) {
+        out->push_back(ThrowOrigin{exec, stmt_id, OriginKind::kViaFuture});
+      }
+      if (stmt.exception_type != ir::kInvalidId) {
+        out->push_back(ThrowOrigin{stmt.exception_type, stmt_id, OriginKind::kFutureTimeout});
+      }
+      return;
+    }
+    case ir::StmtKind::kInvoke: {
+      for (const ThrowOrigin& escape : escapes_[static_cast<size_t>(stmt.callee)]) {
+        out->push_back(ThrowOrigin{escape.type, stmt_id, OriginKind::kViaInvoke});
+      }
+      return;
+    }
+    default:
+      return;  // kSend / kSubmit are asynchronous: nothing propagates here
+  }
+}
+
+void ExceptionFlow::CollectSubtree(
+    const ir::Method& method, ir::StmtId root,
+    std::vector<std::vector<ir::ExceptionTypeId>>* active_catches,
+    std::vector<ThrowOrigin>* out) const {
+  const ir::Stmt& stmt = method.stmt(root);
+  switch (stmt.kind) {
+    case ir::StmtKind::kBlock:
+      for (ir::StmtId child : stmt.children) {
+        CollectSubtree(method, child, active_catches, out);
+      }
+      return;
+    case ir::StmtKind::kIf:
+      CollectSubtree(method, stmt.then_block, active_catches, out);
+      if (stmt.else_block != ir::kInvalidId) {
+        CollectSubtree(method, stmt.else_block, active_catches, out);
+      }
+      return;
+    case ir::StmtKind::kWhile:
+      CollectSubtree(method, stmt.then_block, active_catches, out);
+      return;
+    case ir::StmtKind::kTryCatch: {
+      std::vector<ir::ExceptionTypeId> clauses;
+      for (const ir::CatchClause& clause : stmt.catches) {
+        clauses.push_back(clause.type);
+      }
+      active_catches->push_back(std::move(clauses));
+      CollectSubtree(method, stmt.try_block, active_catches, out);
+      active_catches->pop_back();
+      // Catch blocks execute outside the protection of their own clause.
+      for (const ir::CatchClause& clause : stmt.catches) {
+        CollectSubtree(method, clause.block, active_catches, out);
+      }
+      return;
+    }
+    default: {
+      std::vector<ThrowOrigin> potentials;
+      PotentialThrows(method, root, &potentials);
+      for (const ThrowOrigin& origin : potentials) {
+        if (!Absorbed(origin.type, *active_catches)) {
+          out->push_back(origin);
+        }
+      }
+      return;
+    }
+  }
+}
+
+std::vector<ThrowOrigin> ExceptionFlow::HandlerOrigins(ir::MethodId method_id,
+                                                       ir::StmtId trycatch,
+                                                       size_t clause_index) const {
+  const ir::Method& method = program_.method(method_id);
+  const ir::Stmt& stmt = method.stmt(trycatch);
+  ANDURIL_CHECK_EQ(stmt.kind, ir::StmtKind::kTryCatch);
+  ANDURIL_CHECK_LT(clause_index, stmt.catches.size());
+
+  // Origins escaping the try-block subtree (nested trys absorb their own).
+  std::vector<std::vector<ir::ExceptionTypeId>> active;
+  std::vector<ThrowOrigin> raw;
+  CollectSubtree(method, stmt.try_block, &active, &raw);
+
+  std::vector<ThrowOrigin> result;
+  for (const ThrowOrigin& origin : raw) {
+    // Clause precedence: the first matching clause wins.
+    bool taken_earlier = false;
+    for (size_t i = 0; i < clause_index; ++i) {
+      if (program_.ExceptionIsA(origin.type, stmt.catches[i].type)) {
+        taken_earlier = true;
+        break;
+      }
+    }
+    if (!taken_earlier && program_.ExceptionIsA(origin.type, stmt.catches[clause_index].type)) {
+      result.push_back(origin);
+    }
+  }
+  std::sort(result.begin(), result.end(), [](const ThrowOrigin& a, const ThrowOrigin& b) {
+    return std::tie(a.type, a.stmt, a.kind) < std::tie(b.type, b.stmt, b.kind);
+  });
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace anduril::analysis

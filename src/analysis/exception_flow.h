@@ -1,0 +1,86 @@
+// Interprocedural exception-flow analysis (§4.1 "Exception Analysis").
+//
+// For every method we compute which exception types can escape it and from
+// which statements, with the *kind* of the immediate origin:
+//   - kNew:          a `throw new E` in this method
+//   - kExternal:     an external library call in this method
+//   - kAwaitTimeout: an Await whose timeout throws
+//   - kFutureTimeout:a FutureGet whose timeout throws
+//   - kViaInvoke:    propagated out of a synchronous callee
+//   - kViaFuture:    surfaced by FutureGet as ExecutionException (the paper's
+//                    cross-thread future-semantics extension)
+//   - kRethrow:      `throw e` from a catch block
+//
+// The summaries respect try/catch absorption inside each method (an
+// IOException thrown inside a try with catch(IOException) does not escape)
+// and are computed to a fixpoint over the call graph, so recursion and
+// mutual calls converge.
+
+#ifndef ANDURIL_SRC_ANALYSIS_EXCEPTION_FLOW_H_
+#define ANDURIL_SRC_ANALYSIS_EXCEPTION_FLOW_H_
+
+#include <vector>
+
+#include "src/ir/program.h"
+
+namespace anduril::analysis {
+
+enum class OriginKind : uint8_t {
+  kNew,
+  kExternal,
+  kAwaitTimeout,
+  kFutureTimeout,
+  kViaInvoke,
+  kViaFuture,
+  kRethrow,
+};
+
+struct ThrowOrigin {
+  ir::ExceptionTypeId type = ir::kInvalidId;
+  ir::StmtId stmt = ir::kInvalidId;  // statement within the analyzed method
+  OriginKind kind = OriginKind::kNew;
+
+  friend bool operator==(const ThrowOrigin&, const ThrowOrigin&) = default;
+};
+
+class ExceptionFlow {
+ public:
+  // Runs the fixpoint. The program must be finalized.
+  explicit ExceptionFlow(const ir::Program& program);
+
+  // Exceptions that can escape `method` (deduplicated).
+  const std::vector<ThrowOrigin>& Escapes(ir::MethodId method) const {
+    return escapes_[static_cast<size_t>(method)];
+  }
+
+  // Exceptions raised inside the try block of `trycatch` (in `method`) that
+  // the catch clause `clause_index` handles: they match the clause type and
+  // no earlier clause, and are not absorbed by a nested try inside the try
+  // block.
+  std::vector<ThrowOrigin> HandlerOrigins(ir::MethodId method, ir::StmtId trycatch,
+                                          size_t clause_index) const;
+
+  // Number of fixpoint iterations (reported by the static-analysis bench).
+  int iterations() const { return iterations_; }
+
+ private:
+  // Collects origins escaping the subtree rooted at `root` of `method`,
+  // where `active_catches` are the catch-clause type lists of trys enclosing
+  // the *current* position within the subtree.
+  void CollectSubtree(const ir::Method& method, ir::StmtId root,
+                      std::vector<std::vector<ir::ExceptionTypeId>>* active_catches,
+                      std::vector<ThrowOrigin>* out) const;
+  // Potential throws of a single (non-structured) statement.
+  void PotentialThrows(const ir::Method& method, ir::StmtId stmt_id,
+                       std::vector<ThrowOrigin>* out) const;
+  bool Absorbed(ir::ExceptionTypeId type,
+                const std::vector<std::vector<ir::ExceptionTypeId>>& active_catches) const;
+
+  const ir::Program& program_;
+  std::vector<std::vector<ThrowOrigin>> escapes_;
+  int iterations_ = 0;
+};
+
+}  // namespace anduril::analysis
+
+#endif  // ANDURIL_SRC_ANALYSIS_EXCEPTION_FLOW_H_

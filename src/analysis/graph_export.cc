@@ -1,0 +1,91 @@
+#include "src/analysis/graph_export.h"
+
+#include "src/util/strings.h"
+
+namespace anduril::analysis {
+
+namespace {
+
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DescribeNode(const ir::Program& program, const CausalNode& node) {
+  const ir::Method& method = program.method(node.loc.method);
+  switch (node.kind) {
+    case CausalNodeKind::kLocation: {
+      const ir::Stmt& stmt = method.stmt(node.loc.stmt);
+      if (stmt.kind == ir::StmtKind::kLog) {
+        return StrFormat("log \"%s\" @%s",
+                         program.log_template(stmt.log_template).text.substr(0, 40).c_str(),
+                         method.name.c_str());
+      }
+      return StrFormat("%s @%s#%d", ir::StmtKindName(stmt.kind), method.name.c_str(),
+                       node.loc.stmt);
+    }
+    case CausalNodeKind::kCondition:
+      return StrFormat("cond @%s#%d", method.name.c_str(), node.loc.stmt);
+    case CausalNodeKind::kInvocation:
+      return StrFormat("entry %s", method.name.c_str());
+    case CausalNodeKind::kHandler:
+      return StrFormat("catch[%d] @%s#%d", node.aux, method.name.c_str(), node.loc.stmt);
+    case CausalNodeKind::kInternalExc:
+      return StrFormat("internal %s via %s#%d",
+                       program.exception_type(node.aux).name.c_str(), method.name.c_str(),
+                       node.loc.stmt);
+    case CausalNodeKind::kNewExc:
+      return StrFormat("new %s @%s#%d", program.exception_type(node.aux).name.c_str(),
+                       method.name.c_str(), node.loc.stmt);
+    case CausalNodeKind::kExternalExc: {
+      ir::FaultSiteId site = program.FaultSiteAt(node.loc);
+      return StrFormat("external %s @%s", program.exception_type(node.aux).name.c_str(),
+                       site != ir::kInvalidId ? program.fault_site(site).name.c_str()
+                                              : method.name.c_str());
+    }
+  }
+  return "?";
+}
+
+std::string ExportDot(const ir::Program& program, const CausalGraph& graph,
+                      size_t max_nodes) {
+  size_t limit = max_nodes == 0 ? graph.node_count() : std::min(max_nodes, graph.node_count());
+  std::string out = "digraph causal {\n  rankdir=BT;\n  node [fontsize=9];\n";
+  for (size_t n = 0; n < limit; ++n) {
+    const CausalNode& node = graph.node(static_cast<CausalNodeId>(n));
+    const char* shape = "ellipse";
+    if (node.kind == CausalNodeKind::kExternalExc || node.kind == CausalNodeKind::kNewExc) {
+      shape = "box";
+    } else if (node.kind == CausalNodeKind::kLocation) {
+      const ir::Stmt& stmt = program.method(node.loc.method).stmt(node.loc.stmt);
+      if (stmt.kind == ir::StmtKind::kLog) {
+        shape = "doublecircle";
+      }
+    }
+    out += StrFormat("  n%zu [label=\"%s\" shape=%s];\n", n,
+                     EscapeLabel(DescribeNode(program, node)).c_str(), shape);
+  }
+  for (size_t n = 0; n < limit; ++n) {
+    for (CausalNodeId prior : graph.priors(static_cast<CausalNodeId>(n))) {
+      if (static_cast<size_t>(prior) < limit) {
+        out += StrFormat("  n%d -> n%zu;\n", prior, n);
+      }
+    }
+  }
+  if (limit < graph.node_count()) {
+    out += StrFormat("  // truncated: %zu of %zu nodes shown\n", limit, graph.node_count());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace anduril::analysis

@@ -1,0 +1,24 @@
+// Graphviz export of causal graphs, for debugging the static analysis and
+// for the DESIGN.md illustrations. Sources (injectable root causes) are
+// drawn as boxes, sinks (observable log points) as double circles.
+
+#ifndef ANDURIL_SRC_ANALYSIS_GRAPH_EXPORT_H_
+#define ANDURIL_SRC_ANALYSIS_GRAPH_EXPORT_H_
+
+#include <string>
+
+#include "src/analysis/causal_graph.h"
+
+namespace anduril::analysis {
+
+// Renders the whole graph in DOT syntax. `max_nodes` caps the output for
+// very large graphs (0 = no cap); truncation is annotated in the output.
+std::string ExportDot(const ir::Program& program, const CausalGraph& graph,
+                      size_t max_nodes = 0);
+
+// Human-readable one-line description of a node, also used as DOT labels.
+std::string DescribeNode(const ir::Program& program, const CausalNode& node);
+
+}  // namespace anduril::analysis
+
+#endif  // ANDURIL_SRC_ANALYSIS_GRAPH_EXPORT_H_

@@ -1,0 +1,49 @@
+#include "src/analysis/indexes.h"
+
+#include "src/util/check.h"
+
+namespace anduril::analysis {
+
+ProgramIndexes::ProgramIndexes(const ir::Program& program) {
+  ANDURIL_CHECK(program.finalized());
+  callers_.resize(program.method_count());
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      const ir::Stmt& stmt = method.stmt(s);
+      ir::GlobalStmt loc{method.id, s};
+      switch (stmt.kind) {
+        case ir::StmtKind::kInvoke:
+        case ir::StmtKind::kSend:
+          callers_[static_cast<size_t>(stmt.callee)].push_back(CallSite{loc, stmt.kind});
+          break;
+        case ir::StmtKind::kSubmit:
+          callers_[static_cast<size_t>(stmt.callee)].push_back(CallSite{loc, stmt.kind});
+          submits_[stmt.future_var].push_back(loc);
+          break;
+        case ir::StmtKind::kAssign:
+        case ir::StmtKind::kSignal:
+          writers_[stmt.assign_var].push_back(loc);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+const std::vector<CallSite>& ProgramIndexes::CallersOf(ir::MethodId method) const {
+  return callers_[static_cast<size_t>(method)];
+}
+
+const std::vector<ir::GlobalStmt>& ProgramIndexes::WritersOf(ir::VarId var) const {
+  auto it = writers_.find(var);
+  return it == writers_.end() ? empty_ : it->second;
+}
+
+const std::vector<ir::GlobalStmt>& ProgramIndexes::SubmitsFor(ir::VarId var) const {
+  auto it = submits_.find(var);
+  return it == submits_.end() ? empty_ : it->second;
+}
+
+}  // namespace anduril::analysis

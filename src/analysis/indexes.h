@@ -1,0 +1,47 @@
+// Whole-program indexes used by the causal analysis:
+//   - CallGraph: reverse call edges (method -> call sites), covering Invoke,
+//     Send (message handler registration) and Submit (task scheduling).
+//   - WriteIndex: variable -> statements that write it (Assign) or signal it
+//     (Signal). This powers the Pensieve-style "jumping" slicing: given a
+//     condition on x, every writer of x anywhere in the program is treated
+//     as possibly causal, without path-feasibility checks (§4.1).
+//   - Future binding: future variable -> Submit statements that create it,
+//     used to resolve FutureGet cross-thread propagation.
+
+#ifndef ANDURIL_SRC_ANALYSIS_INDEXES_H_
+#define ANDURIL_SRC_ANALYSIS_INDEXES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/program.h"
+
+namespace anduril::analysis {
+
+struct CallSite {
+  ir::GlobalStmt location;
+  ir::StmtKind kind = ir::StmtKind::kInvoke;  // kInvoke / kSend / kSubmit
+};
+
+class ProgramIndexes {
+ public:
+  explicit ProgramIndexes(const ir::Program& program);
+
+  // Call sites that can transfer control to `method`.
+  const std::vector<CallSite>& CallersOf(ir::MethodId method) const;
+  // Statements writing or signalling `var`.
+  const std::vector<ir::GlobalStmt>& WritersOf(ir::VarId var) const;
+  // Submit statements whose future is stored in `var`.
+  const std::vector<ir::GlobalStmt>& SubmitsFor(ir::VarId var) const;
+
+ private:
+  std::vector<std::vector<CallSite>> callers_;             // by MethodId
+  std::unordered_map<ir::VarId, std::vector<ir::GlobalStmt>> writers_;
+  std::unordered_map<ir::VarId, std::vector<ir::GlobalStmt>> submits_;
+  std::vector<ir::GlobalStmt> empty_;
+  std::vector<CallSite> empty_callers_;
+};
+
+}  // namespace anduril::analysis
+
+#endif  // ANDURIL_SRC_ANALYSIS_INDEXES_H_

@@ -1,0 +1,46 @@
+// Maps relevant observables (sanitized log keys from the per-thread diff)
+// back to program points — the step that connects the log-diff world (§5.1)
+// to the static causal graph (§4.1).
+//
+// Three resolution forms:
+//   1. A key matching a log template maps to every Log statement using that
+//      template (several code locations can print the same message).
+//   2. A key carrying a printed exception (" [exc=Type at site]" — the
+//      stack-trace analog emitted by LogExc) matches its template with the
+//      suffix stripped.
+//   3. An uncaught-exception key ("Uncaught exception terminating thread:")
+//      names the origin fault site directly, like a stack trace in a real
+//      log; it maps to that fault-site node itself.
+
+#ifndef ANDURIL_SRC_ANALYSIS_OBSERVABLE_MAP_H_
+#define ANDURIL_SRC_ANALYSIS_OBSERVABLE_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/causal_graph.h"
+#include "src/ir/program.h"
+
+namespace anduril::analysis {
+
+class ObservableMapper {
+ public:
+  explicit ObservableMapper(const ir::Program& program);
+
+  // Resolves each observable key (index = observable id) to zero or more
+  // causal sinks. Keys that resolve to nothing (pure noise) produce no sinks.
+  std::vector<CausalSink> Resolve(const std::vector<std::string>& keys) const;
+
+  // The sanitized identity key a log template produces (exposed for tests).
+  static std::string TemplateKey(const ir::Program& program, ir::LogTemplateId tmpl);
+
+ private:
+  const ir::Program& program_;
+  std::unordered_map<std::string, std::vector<ir::GlobalStmt>> template_index_;
+  std::unordered_map<std::string, std::vector<ir::FaultSiteId>> site_index_;
+};
+
+}  // namespace anduril::analysis
+
+#endif  // ANDURIL_SRC_ANALYSIS_OBSERVABLE_MAP_H_

@@ -1,0 +1,100 @@
+#include "src/explorer/context.h"
+
+#include "src/analysis/observable_map.h"
+#include "src/interp/simulator.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace anduril::explorer {
+
+ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptions& options)
+    : spec_(&spec), options_(options) {
+  Stopwatch init_timer;
+  const ir::Program& program = *spec.program;
+
+  failure_log_ = logdiff::ParseLogFile(spec.failure_log_text);
+
+  // Step 1: run the workload fault-free to obtain the normal log and the
+  // fault-instance distribution.
+  Stopwatch workload_timer;
+  interp::FaultRuntime runtime(&program);
+  runtime.SetPinned(spec.pinned_faults);  // multi-fault mode: part of the workload
+  interp::Simulator simulator(&program, spec.cluster, spec.base_seed, &runtime);
+  interp::RunResult normal = simulator.Run();
+  normal_workload_seconds_ = workload_timer.ElapsedSeconds();
+  normal_trace_ = normal.trace;
+  normal_log_ = logdiff::ParseLogFile(interp::FormatLogFile(normal.log));
+
+  // Step 2: per-thread diff -> relevant observables (§5.1).
+  logdiff::LogComparison comparison = logdiff::CompareLogs(normal_log_, failure_log_);
+  std::vector<std::string> keys = comparison.target_only_keys;
+  observables_.reserve(keys.size());
+  for (const std::string& key : keys) {
+    ObservableInfo info;
+    info.key = key;
+    observables_.push_back(std::move(info));
+  }
+  for (const logdiff::ParsedLine& line : failure_log_.lines) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (line.key == keys[k]) {
+        observables_[k].failure_positions.push_back(line.index);
+        break;
+      }
+    }
+  }
+
+  // Step 3: causal graph from the observables' sinks.
+  analysis::ObservableMapper mapper(program);
+  std::vector<analysis::CausalSink> sinks = mapper.Resolve(keys);
+  graph_ = std::make_unique<analysis::CausalGraph>(program, sinks);
+
+  // Step 4: injectable candidates = external-exception sources.
+  for (const analysis::CausalGraph::SourceSite& source : graph_->sources()) {
+    if (program.fault_site(source.site).kind != ir::FaultSiteKind::kExternal) {
+      continue;
+    }
+    candidates_.push_back(FaultCandidate{source.site, source.type, source.node});
+  }
+
+  // Step 5: precompute L_{i,k} (the §7 optimization: distances are queried
+  // every round but computed once).
+  std::vector<std::vector<int32_t>> node_dists;
+  node_dists.reserve(static_cast<size_t>(graph_->num_observables()));
+  for (int32_t k = 0; k < graph_->num_observables(); ++k) {
+    node_dists.push_back(graph_->DistancesToObservable(k));
+  }
+  distances_.resize(candidates_.size());
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    distances_[c].resize(observables_.size(), analysis::CausalGraph::kUnreachable);
+    for (size_t k = 0; k < observables_.size(); ++k) {
+      if (k < node_dists.size()) {
+        distances_[c][k] = node_dists[k][static_cast<size_t>(candidates_[c].node)];
+      }
+    }
+  }
+
+  // Step 6: scale the fault-instance distribution onto the failure-log
+  // timeline via the LCS alignment (§5.2.3).
+  logdiff::TimelineAlignment alignment(comparison.matches,
+                                       static_cast<int64_t>(normal_log_.lines.size()),
+                                       static_cast<int64_t>(failure_log_.lines.size()));
+  for (const interp::FaultInstanceEvent& event : normal_trace_) {
+    instances_[event.site].push_back(
+        InstanceEstimate{event.occurrence, alignment.MapPosition(event.log_clock)});
+  }
+
+  for (const ir::FaultSite& site : program.fault_sites()) {
+    if (site.kind == ir::FaultSiteKind::kExternal) {
+      all_injectable_sites_.push_back(site.id);
+    }
+  }
+
+  init_seconds_ = init_timer.ElapsedSeconds();
+}
+
+const std::vector<InstanceEstimate>& ExplorerContext::InstancesOf(ir::FaultSiteId site) const {
+  auto it = instances_.find(site);
+  return it == instances_.end() ? empty_ : it->second;
+}
+
+}  // namespace anduril::explorer

@@ -1,0 +1,102 @@
+// Precomputed exploration context shared by all injection strategies.
+//
+// Built once before the injection rounds (the paper's step 1-2 and the §7
+// precomputation optimization): the fault-free run, the relevant
+// observables, the static causal graph, the per-(candidate, observable)
+// spatial distances L_{i,k}, and the fault-instance distribution mapped onto
+// the failure-log timeline for temporal distances T_{i,j,k}.
+
+#ifndef ANDURIL_SRC_EXPLORER_CONTEXT_H_
+#define ANDURIL_SRC_EXPLORER_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/causal_graph.h"
+#include "src/explorer/experiment.h"
+#include "src/interp/fault_runtime.h"
+#include "src/logdiff/compare.h"
+#include "src/logdiff/parser.h"
+
+namespace anduril::explorer {
+
+// A static fault candidate: an injectable fault site plus the exception type
+// that links it into the causal graph (§5.2.2's f_i is "the exception type
+// and its location in the code").
+struct FaultCandidate {
+  ir::FaultSiteId site = ir::kInvalidId;
+  ir::ExceptionTypeId type = ir::kInvalidId;
+  analysis::CausalNodeId node = -1;  // its external-exception node
+};
+
+// A dynamic instance of a fault site observed in the fault-free run, with
+// its position scaled onto the failure-log timeline (§5.2.3).
+struct InstanceEstimate {
+  int64_t occurrence = 0;
+  int64_t failure_pos = 0;  // estimated log clock in the failure log
+};
+
+struct ObservableInfo {
+  std::string key;
+  std::vector<int64_t> failure_positions;  // log clocks in the failure log
+};
+
+class ExplorerContext {
+ public:
+  // Runs the fault-free workload, diffs logs, builds the causal graph, and
+  // precomputes distances. `init_seconds` captures the setup cost.
+  ExplorerContext(const ExperimentSpec& spec, const ExplorerOptions& options);
+
+  const ExperimentSpec& spec() const { return *spec_; }
+  const ExplorerOptions& options() const { return options_; }
+  const ir::Program& program() const { return *spec_->program; }
+
+  const logdiff::ParsedLog& failure_log() const { return failure_log_; }
+  const logdiff::ParsedLog& normal_log() const { return normal_log_; }
+  const std::vector<ObservableInfo>& observables() const { return observables_; }
+  const analysis::CausalGraph& graph() const { return *graph_; }
+
+  const std::vector<FaultCandidate>& candidates() const { return candidates_; }
+  // L_{i,k}: distance from candidate i's node to observable k
+  // (CausalGraph::kUnreachable when no path exists).
+  int32_t Distance(size_t candidate, size_t observable) const {
+    return distances_[candidate][observable];
+  }
+
+  // Instances of `site` from the fault-free run (empty if never executed).
+  const std::vector<InstanceEstimate>& InstancesOf(ir::FaultSiteId site) const;
+
+  // All injectable fault sites of the whole program (for coverage baselines
+  // that skip the causal-graph pruning) with their dynamic occurrence counts.
+  const std::vector<ir::FaultSiteId>& all_injectable_sites() const {
+    return all_injectable_sites_;
+  }
+
+  // The fault-free run's instance trace in execution order.
+  const std::vector<interp::FaultInstanceEvent>& normal_trace() const { return normal_trace_; }
+
+  double init_seconds() const { return init_seconds_; }
+  double normal_workload_seconds() const { return normal_workload_seconds_; }
+
+ private:
+  const ExperimentSpec* spec_;
+  ExplorerOptions options_;
+  logdiff::ParsedLog failure_log_;
+  logdiff::ParsedLog normal_log_;
+  std::vector<ObservableInfo> observables_;
+  std::unique_ptr<analysis::CausalGraph> graph_;
+  std::vector<FaultCandidate> candidates_;
+  std::vector<std::vector<int32_t>> distances_;
+  std::unordered_map<ir::FaultSiteId, std::vector<InstanceEstimate>> instances_;
+  std::vector<ir::FaultSiteId> all_injectable_sites_;
+  std::vector<interp::FaultInstanceEvent> normal_trace_;
+  std::vector<InstanceEstimate> empty_;
+  double init_seconds_ = 0;
+  double normal_workload_seconds_ = 0;
+};
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_CONTEXT_H_

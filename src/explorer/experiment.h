@@ -1,0 +1,59 @@
+// Experiment definition: what the user hands to ANDURIL (§2 "Problem
+// Statement") — the system (program + cluster/workload), the production
+// failure log, and a failure oracle. Plus the tool's tuning options.
+
+#ifndef ANDURIL_SRC_EXPLORER_EXPERIMENT_H_
+#define ANDURIL_SRC_EXPLORER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/interp/fault_runtime.h"
+
+#include "src/interp/cluster.h"
+#include "src/interp/run_result.h"
+#include "src/ir/program.h"
+
+namespace anduril::explorer {
+
+// The user-defined failure oracle: encapsulates the failure symptoms (a log
+// message, a stuck thread, a corrupted state...). True = failure reproduced.
+using Oracle = std::function<bool(const ir::Program&, const interp::RunResult&)>;
+
+struct ExperimentSpec {
+  const ir::Program* program = nullptr;
+  const interp::ClusterSpec* cluster = nullptr;  // includes the workload
+  std::string failure_log_text;                  // from the uninstrumented deployment
+  Oracle oracle;
+  // Seed of the first (fault-free) exploration run; each round r uses
+  // base_seed + r so runs exhibit the natural nondeterminism that motivates
+  // the flexible priority window (§5.2.5).
+  uint64_t base_seed = 1;
+  // Faults treated as part of the workload: injected in every run, including
+  // the baseline "fault-free" run. This is how the iterative multi-fault
+  // mode fixes one identified root cause before searching for the next (§3).
+  std::vector<interp::InjectionCandidate> pinned_faults;
+};
+
+struct ExplorerOptions {
+  int initial_window = 10;      // k of §5.2.5 (doubles when a round injects nothing)
+  int feedback_adjustment = 1;  // s of §8.5 (observable priority increment)
+  int max_rounds = 2000;        // exploration budget (paper's default limit)
+  // For ablation variants: consider only the first N occurrences per site
+  // (0 = unlimited).
+  int instance_limit = 0;
+  // Runs executed per round with different seeds; their observable feedback
+  // is combined and the round succeeds if any run satisfies the oracle. The
+  // paper suggests this to counter concurrency making crucial log messages
+  // probabilistic (§6).
+  int runs_per_round = 1;
+  // Ground-truth fault site to track for rank-trajectory reporting (Fig. 6).
+  // Only used for bench reporting; never influences the search.
+  ir::FaultSiteId track_site = ir::kInvalidId;
+};
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_EXPERIMENT_H_

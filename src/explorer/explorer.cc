@@ -1,0 +1,182 @@
+#include "src/explorer/explorer.h"
+
+#include <algorithm>
+
+#include <unordered_set>
+
+#include "src/interp/simulator.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace anduril::explorer {
+
+namespace {
+
+template <typename T>
+T Median(std::vector<T> values) {
+  if (values.empty()) {
+    return T{};
+  }
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+std::string ReproductionScript::ToText(const ir::Program& program) const {
+  return StrFormat("inject %s of type %s at occurrence %lld with seed %llu",
+                   program.fault_site(site).name.c_str(),
+                   program.exception_type(type).name.c_str(),
+                   static_cast<long long>(occurrence), static_cast<unsigned long long>(seed));
+}
+
+Explorer::Explorer(const ExperimentSpec& spec, const ExplorerOptions& options)
+    : spec_(&spec), options_(options) {
+  context_ = std::make_unique<ExplorerContext>(spec, options);
+}
+
+ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
+  Stopwatch total_timer;
+  ExploreResult result;
+  result.init_seconds = context_->init_seconds();
+
+  strategy->Initialize(*context_);
+
+  std::vector<int64_t> injection_requests;
+  std::vector<double> decision_latencies;
+  std::vector<double> round_inits;
+  std::vector<double> workload_times;
+
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    Stopwatch decide_timer;
+    std::vector<interp::InjectionCandidate> window = strategy->NextWindow();
+    double decide_seconds = decide_timer.ElapsedSeconds();
+    if (window.empty() && strategy->Exhausted()) {
+      break;
+    }
+
+    RoundRecord record;
+    record.round = round;
+    record.window_size = static_cast<int>(window.size());
+    record.tracked_rank = options_.track_site != ir::kInvalidId
+                              ? strategy->RankOfSite(options_.track_site)
+                              : -1;
+
+    // Execute the round: one run by default; with runs_per_round > 1 the
+    // seeds differ per repetition and the observable feedback is combined
+    // (the paper's §6 remedy for probabilistically-missing log messages).
+    int repetitions = std::max(1, options_.runs_per_round);
+    Stopwatch run_timer;
+    interp::RunResult run;
+    uint64_t seed = 0;
+    std::vector<interp::RunResult> repeats;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      uint64_t rep_seed = spec_->base_seed +
+                          static_cast<uint64_t>(round) * static_cast<uint64_t>(repetitions) +
+                          static_cast<uint64_t>(rep);
+      interp::FaultRuntime runtime(context_->spec().program);
+      runtime.SetWindow(window);
+      runtime.SetPinned(spec_->pinned_faults);
+      interp::Simulator simulator(context_->spec().program, context_->spec().cluster,
+                                  rep_seed, &runtime);
+      interp::RunResult rep_run = simulator.Run();
+      bool rep_success = spec_->oracle(*spec_->program, rep_run) &&
+                         rep_run.injected.has_value();
+      if (rep == 0 || rep_success) {
+        run = std::move(rep_run);
+        seed = rep_seed;
+        if (rep_success) {
+          break;
+        }
+      } else {
+        repeats.push_back(std::move(rep_run));
+      }
+    }
+    record.run_seconds = run_timer.ElapsedSeconds();
+    record.injected = run.injected.has_value();
+    if (run.injected.has_value()) {
+      record.candidate = *run.injected;
+    }
+    record.injection_requests = run.injection_requests;
+    record.decision_nanos = run.decision_nanos;
+    injection_requests.push_back(run.injection_requests);
+    if (run.injection_requests > 0) {
+      decision_latencies.push_back(static_cast<double>(run.decision_nanos) /
+                                   static_cast<double>(run.injection_requests));
+    }
+    workload_times.push_back(record.run_seconds);
+
+    bool success = spec_->oracle(*spec_->program, run);
+    record.success = success;
+
+    if (success && run.injected.has_value()) {
+      record.decide_seconds = decide_seconds;
+      result.records.push_back(record);
+      result.reproduced = true;
+      result.rounds = round;
+      ReproductionScript script;
+      script.site = run.injected->site;
+      script.occurrence = run.injected->occurrence;
+      script.type = run.injected->type;
+      script.seed = seed;
+      result.script = script;
+      break;
+    }
+
+    // Feedback digestion.
+    Stopwatch feedback_timer;
+    RoundOutcome outcome;
+    outcome.round = round;
+    outcome.injected = run.injected;
+    if (strategy->WantsLogFeedback()) {
+      std::unordered_set<std::string> run_keys;
+      auto collect = [&](const interp::RunResult& result_run) {
+        logdiff::ParsedLog run_log =
+            logdiff::ParseLogFile(interp::FormatLogFile(result_run.log));
+        for (const logdiff::ParsedLine& line : run_log.lines) {
+          run_keys.insert(line.key);
+        }
+      };
+      collect(run);
+      for (const interp::RunResult& extra : repeats) {
+        collect(extra);  // combined logs across repetitions (§6)
+      }
+      for (const ObservableInfo& observable : context_->observables()) {
+        if (run_keys.contains(observable.key)) {
+          outcome.present_keys.push_back(observable.key);
+        }
+      }
+      record.present_observables = static_cast<int>(outcome.present_keys.size());
+    }
+    strategy->OnRound(outcome);
+    record.decide_seconds = decide_seconds + feedback_timer.ElapsedSeconds();
+    round_inits.push_back(record.decide_seconds);
+    result.records.push_back(record);
+    result.rounds = round;
+  }
+
+  result.total_seconds = total_timer.ElapsedSeconds() + context_->init_seconds();
+  result.median_injection_requests = Median(injection_requests);
+  if (!decision_latencies.empty()) {
+    double sum = 0;
+    for (double latency : decision_latencies) {
+      sum += latency;
+    }
+    result.mean_decision_nanos = sum / static_cast<double>(decision_latencies.size());
+  }
+  result.median_round_init_seconds = Median(round_inits);
+  result.median_workload_seconds = Median(workload_times);
+  return result;
+}
+
+bool Explorer::Replay(const ExperimentSpec& spec, const ReproductionScript& script) {
+  interp::FaultRuntime runtime(spec.program);
+  runtime.SetPinned(spec.pinned_faults);
+  runtime.SetWindow({interp::InjectionCandidate{script.site, script.occurrence, script.type}});
+  interp::Simulator simulator(spec.program, spec.cluster, script.seed, &runtime);
+  interp::RunResult run = simulator.Run();
+  return spec.oracle(*spec.program, run) && run.injected.has_value();
+}
+
+}  // namespace anduril::explorer

@@ -1,0 +1,87 @@
+// The Explorer: ANDURIL's feedback-driven search driver (§3, §5).
+//
+// Round loop: ask the strategy for a candidate window, execute the workload
+// with the window armed, evaluate the oracle, and feed the outcome (injected
+// instance + missing observables) back to the strategy. A successful round
+// yields a reproduction script that deterministically re-triggers the
+// failure.
+
+#ifndef ANDURIL_SRC_EXPLORER_EXPLORER_H_
+#define ANDURIL_SRC_EXPLORER_EXPLORER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/explorer/context.h"
+#include "src/explorer/experiment.h"
+#include "src/explorer/strategy.h"
+
+namespace anduril::explorer {
+
+struct RoundRecord {
+  int round = 0;
+  int window_size = 0;
+  bool injected = false;
+  interp::InjectionCandidate candidate;  // valid if injected
+  bool success = false;
+  double run_seconds = 0;
+  double decide_seconds = 0;  // window computation + feedback digestion
+  int tracked_rank = -1;      // rank of options.track_site (Fig. 6)
+  // How many relevant observables this round's log(s) contained — a proxy
+  // for "how close was this run to the production failure" used by the
+  // iterative multi-fault mode.
+  int present_observables = -1;
+  int64_t injection_requests = 0;
+  int64_t decision_nanos = 0;  // runtime hook latency, cumulative
+};
+
+// A deterministic recipe for re-triggering the failure (§3 step 4.a).
+struct ReproductionScript {
+  ir::FaultSiteId site = ir::kInvalidId;
+  int64_t occurrence = 0;
+  ir::ExceptionTypeId type = ir::kInvalidId;
+  uint64_t seed = 0;
+
+  std::string ToText(const ir::Program& program) const;
+};
+
+struct ExploreResult {
+  bool reproduced = false;
+  int rounds = 0;  // rounds executed (== index of the successful round)
+  double total_seconds = 0;
+  double init_seconds = 0;
+  std::optional<ReproductionScript> script;
+  std::vector<RoundRecord> records;
+
+  // Aggregates for the performance tables.
+  int64_t median_injection_requests = 0;
+  double mean_decision_nanos = 0;
+  double median_round_init_seconds = 0;
+  double median_workload_seconds = 0;
+};
+
+class Explorer {
+ public:
+  Explorer(const ExperimentSpec& spec, const ExplorerOptions& options);
+
+  // Runs the search with the given strategy.
+  ExploreResult Explore(InjectionStrategy* strategy);
+
+  const ExplorerContext& context() const { return *context_; }
+
+  // Replays a reproduction script; returns true if the oracle holds (used by
+  // tests to verify determinism of the emitted script). Honors the spec's
+  // pinned faults.
+  static bool Replay(const ExperimentSpec& spec, const ReproductionScript& script);
+
+ private:
+  const ExperimentSpec* spec_;
+  ExplorerOptions options_;
+  std::unique_ptr<ExplorerContext> context_;
+};
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_EXPLORER_H_

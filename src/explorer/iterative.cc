@@ -1,0 +1,68 @@
+#include "src/explorer/iterative.h"
+
+#include "src/util/check.h"
+
+namespace anduril::explorer {
+
+IterativeResult IterativeExplorer::Explore(int max_faults) {
+  ANDURIL_CHECK_GE(max_faults, 1);
+  IterativeResult result;
+
+  for (int phase = 0; phase < max_faults; ++phase) {
+    ++result.phases;
+    Explorer explorer(spec_, options_);
+    auto strategy = MakeFullFeedbackStrategy();
+    ExploreResult search = explorer.Explore(strategy.get());
+    result.total_rounds += search.rounds;
+
+    if (search.reproduced) {
+      // Record the pinned prefix followed by the final fault.
+      result.reproduced = true;
+      result.faults.push_back(*search.script);
+      return result;
+    }
+    if (phase + 1 == max_faults) {
+      break;
+    }
+
+    // Pick the injected round whose (combined) log contained the most
+    // relevant observables: its fault moved the system closest to the
+    // production failure.
+    const RoundRecord* best = nullptr;
+    for (const RoundRecord& record : search.records) {
+      if (!record.injected) {
+        continue;
+      }
+      if (best == nullptr || record.present_observables > best->present_observables) {
+        best = &record;
+      }
+    }
+    if (best == nullptr) {
+      break;  // nothing was ever injected; pinning cannot help
+    }
+    spec_.pinned_faults.push_back(best->candidate);
+    ReproductionScript pinned;
+    pinned.site = best->candidate.site;
+    pinned.occurrence = best->candidate.occurrence;
+    pinned.type = best->candidate.type;
+    pinned.seed = spec_.base_seed;
+    result.faults.push_back(pinned);
+  }
+  return result;
+}
+
+bool IterativeExplorer::Replay(ExperimentSpec spec, const IterativeResult& result) {
+  if (!result.reproduced || result.faults.empty()) {
+    return false;
+  }
+  // All but the last fault are pinned; the last is the window injection.
+  spec.pinned_faults.clear();
+  for (size_t i = 0; i + 1 < result.faults.size(); ++i) {
+    const ReproductionScript& fault = result.faults[i];
+    spec.pinned_faults.push_back(
+        interp::InjectionCandidate{fault.site, fault.occurrence, fault.type});
+  }
+  return Explorer::Replay(spec, result.faults.back());
+}
+
+}  // namespace anduril::explorer

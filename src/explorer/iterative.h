@@ -1,0 +1,51 @@
+// Iterative multi-fault reproduction (paper §3 "Assumptions" / §6).
+//
+// ANDURIL injects a single fault per run, so a failure that needs several
+// causally-independent root-cause faults cannot be reproduced in one search.
+// The paper's prescribed workflow: run ANDURIL; if the symptom is not
+// reproduced, take the round whose logs came *closest* to the production
+// failure log, fix that round's fault into the workload, and run ANDURIL
+// again — one fault at a time.
+//
+// IterativeExplorer automates that loop: after every unsuccessful search it
+// pins the most-promising injected instance (the one whose combined run log
+// contained the most relevant observables) into the experiment's
+// pinned_faults and restarts the search, up to `max_faults` pinned faults.
+
+#ifndef ANDURIL_SRC_EXPLORER_ITERATIVE_H_
+#define ANDURIL_SRC_EXPLORER_ITERATIVE_H_
+
+#include <vector>
+
+#include "src/explorer/explorer.h"
+
+namespace anduril::explorer {
+
+struct IterativeResult {
+  bool reproduced = false;
+  // Every fault needed, in discovery order; the last entry is the one whose
+  // injection finally satisfied the oracle.
+  std::vector<ReproductionScript> faults;
+  int total_rounds = 0;
+  int phases = 0;  // searches executed (1 = single-fault success)
+};
+
+class IterativeExplorer {
+ public:
+  IterativeExplorer(const ExperimentSpec& spec, const ExplorerOptions& options)
+      : spec_(spec), options_(options) {}
+
+  // Searches with up to `max_faults` pinned faults (max_faults >= 1).
+  IterativeResult Explore(int max_faults);
+
+  // Replays a full multi-fault reproduction.
+  static bool Replay(ExperimentSpec spec, const IterativeResult& result);
+
+ private:
+  ExperimentSpec spec_;  // by value: pinned_faults grows per phase
+  ExplorerOptions options_;
+};
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_ITERATIVE_H_

@@ -1,0 +1,367 @@
+// The complete ANDURIL feedback algorithm (§5.2):
+//   F_i      = min_k ( L_{i,k} + I_k )         — two-level stage 1 (site)
+//   F_{i,j}  = T_{i,j,k*}                      — stage 2 (instance), where k*
+//              is the observable chosen in stage 1
+//   window   = best untried instance of each of the top-k sites (§5.2.5)
+//   feedback = Algorithm 2 on the observables of each unsuccessful round
+//
+// Also home of the "multiply feedback" ablation (§8.3), which replaces the
+// two-level selection with a flat (F_i+1)×(T_{i,j}+1) product over all
+// dynamic instances.
+
+#include <algorithm>
+#include <limits>
+
+#include "src/explorer/strategies/strategy_util.h"
+#include "src/util/check.h"
+
+namespace anduril::explorer {
+
+int64_t TemporalDistance(const InstanceEstimate& instance,
+                         const std::vector<int64_t>& observable_positions) {
+  if (observable_positions.empty()) {
+    return 0;
+  }
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int64_t pos : observable_positions) {
+    int64_t distance = instance.failure_pos >= pos ? instance.failure_pos - pos
+                                                   : pos - instance.failure_pos;
+    best = std::min(best, distance);
+  }
+  return best;
+}
+
+namespace {
+
+constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
+
+class FeedbackStrategyBase : public InjectionStrategy {
+ public:
+  void Initialize(const ExplorerContext& context) override {
+    context_ = &context;
+    feedback_.Initialize(context);
+    window_size_ = context.options().initial_window;
+  }
+
+  void OnRound(const RoundOutcome& outcome) override {
+    if (outcome.injected.has_value()) {
+      MarkTried(&tried_, *outcome.injected);
+    } else {
+      window_size_ *= 2;
+    }
+    feedback_.Digest(outcome.present_keys, context_->options().feedback_adjustment);
+  }
+
+  bool WantsLogFeedback() const override { return true; }
+
+  bool Exhausted() const override { return exhausted_; }
+
+  int RankOfSite(ir::FaultSiteId site) const override {
+    for (size_t rank = 0; rank < last_site_order_.size(); ++rank) {
+      if (context_->candidates()[last_site_order_[rank]].site == site) {
+        return static_cast<int>(rank) + 1;
+      }
+    }
+    return -1;
+  }
+
+ protected:
+  // Candidate indices sorted by F_i; fills per-candidate F and k*.
+  std::vector<size_t> RankSites(std::vector<int64_t>* f_values,
+                                std::vector<size_t>* best_observable) const {
+    const auto& candidates = context_->candidates();
+    f_values->assign(candidates.size(), kInfinity);
+    best_observable->assign(candidates.size(), 0);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      for (size_t k = 0; k < context_->observables().size(); ++k) {
+        int32_t distance = context_->Distance(i, k);
+        if (distance == analysis::CausalGraph::kUnreachable) {
+          continue;
+        }
+        int64_t value = static_cast<int64_t>(distance) + feedback_.priority(k);
+        if (value < (*f_values)[i]) {
+          (*f_values)[i] = value;
+          (*best_observable)[i] = k;
+        }
+      }
+    }
+    std::vector<size_t> order;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if ((*f_values)[i] < kInfinity) {
+        order.push_back(i);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*f_values)[a] < (*f_values)[b];
+    });
+    return order;
+  }
+
+  const ExplorerContext* context_ = nullptr;
+  FeedbackState feedback_;
+  TriedSet tried_;
+  int window_size_ = 10;
+  bool exhausted_ = false;
+  mutable std::vector<size_t> last_site_order_;
+};
+
+class FullFeedbackStrategy : public FeedbackStrategyBase {
+ public:
+  // Design-alternative knobs discussed (and rejected) in §5.2.3/§5.2.4:
+  //   sum_aggregation: F_i = sum_k(L+I) instead of min_k — less sensitive to
+  //     the feedback because the magnitudes of different k mix.
+  //   order_temporal: T by the instance's *order* among its site's instances
+  //     instead of by log-message distance — over-penalizes sites with many
+  //     instances (the f_2 pathology of Figure 5).
+  FullFeedbackStrategy(bool sum_aggregation, bool order_temporal)
+      : sum_aggregation_(sum_aggregation), order_temporal_(order_temporal) {}
+
+  std::string name() const override {
+    if (sum_aggregation_) {
+      return "full-sum";
+    }
+    if (order_temporal_) {
+      return "full-order";
+    }
+    return "full";
+  }
+
+  std::vector<interp::InjectionCandidate> NextWindow() override {
+    std::vector<int64_t> f_values;
+    std::vector<size_t> best_observable;
+    std::vector<size_t> order =
+        sum_aggregation_ ? RankSitesSum(&f_values, &best_observable)
+                         : RankSites(&f_values, &best_observable);
+    last_site_order_ = order;
+
+    std::vector<interp::InjectionCandidate> window;
+    bool any_untried = false;
+    for (size_t index : order) {
+      if (static_cast<int>(window.size()) >= window_size_) {
+        break;
+      }
+      const FaultCandidate& candidate = context_->candidates()[index];
+      const auto& positions =
+          context_->observables()[best_observable[index]].failure_positions;
+      // Stage 2: the best untried instance of this site by temporal distance.
+      const auto& instances = context_->InstancesOf(candidate.site);
+      const InstanceEstimate* best = nullptr;
+      int64_t best_distance = 0;
+      for (size_t j = 0; j < instances.size(); ++j) {
+        const InstanceEstimate& instance = instances[j];
+        interp::InjectionCandidate armed{candidate.site, instance.occurrence, candidate.type};
+        if (WasTried(tried_, armed)) {
+          continue;
+        }
+        any_untried = true;
+        int64_t distance = order_temporal_
+                               ? OrderTemporalDistance(instances, j, positions)
+                               : TemporalDistance(instance, positions);
+        if (best == nullptr || distance < best_distance) {
+          best = &instance;
+          best_distance = distance;
+        }
+      }
+      if (best != nullptr) {
+        window.push_back(
+            interp::InjectionCandidate{candidate.site, best->occurrence, candidate.type});
+      }
+    }
+    if (!any_untried && window.empty()) {
+      // Check globally: all instances of all ranked candidates tried?
+      exhausted_ = true;
+      for (size_t index : order) {
+        const FaultCandidate& candidate = context_->candidates()[index];
+        for (const InstanceEstimate& instance : context_->InstancesOf(candidate.site)) {
+          interp::InjectionCandidate armed{candidate.site, instance.occurrence,
+                                           candidate.type};
+          if (!WasTried(tried_, armed)) {
+            exhausted_ = false;
+            break;
+          }
+        }
+        if (!exhausted_) {
+          break;
+        }
+      }
+    }
+    return window;
+  }
+
+ private:
+  // §5.2.4 alternative: sum over observables instead of min.
+  std::vector<size_t> RankSitesSum(std::vector<int64_t>* f_values,
+                                   std::vector<size_t>* best_observable) const {
+    const auto& candidates = context_->candidates();
+    f_values->assign(candidates.size(), kInfinity);
+    best_observable->assign(candidates.size(), 0);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      int64_t sum = 0;
+      bool any = false;
+      int64_t best = kInfinity;
+      for (size_t k = 0; k < context_->observables().size(); ++k) {
+        int32_t distance = context_->Distance(i, k);
+        if (distance == analysis::CausalGraph::kUnreachable) {
+          continue;
+        }
+        int64_t value = static_cast<int64_t>(distance) + feedback_.priority(k);
+        sum += value;
+        any = true;
+        if (value < best) {
+          best = value;
+          (*best_observable)[i] = k;
+        }
+      }
+      if (any) {
+        (*f_values)[i] = sum;
+      }
+    }
+    std::vector<size_t> order;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if ((*f_values)[i] < kInfinity) {
+        order.push_back(i);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return (*f_values)[a] < (*f_values)[b];
+    });
+    return order;
+  }
+
+  // §5.2.3 alternative: distance measured in instance *order* — how many of
+  // this site's own instances sit between instance j and the instance
+  // nearest the observable.
+  static int64_t OrderTemporalDistance(const std::vector<InstanceEstimate>& instances,
+                                       size_t j,
+                                       const std::vector<int64_t>& observable_positions) {
+    if (observable_positions.empty() || instances.empty()) {
+      return 0;
+    }
+    size_t nearest = 0;
+    int64_t nearest_distance = std::numeric_limits<int64_t>::max();
+    for (size_t i = 0; i < instances.size(); ++i) {
+      int64_t distance = TemporalDistance(instances[i], observable_positions);
+      if (distance < nearest_distance) {
+        nearest_distance = distance;
+        nearest = i;
+      }
+    }
+    return j >= nearest ? static_cast<int64_t>(j - nearest)
+                        : static_cast<int64_t>(nearest - j);
+  }
+
+  bool sum_aggregation_;
+  bool order_temporal_;
+};
+
+class MultiplyFeedbackStrategy : public FeedbackStrategyBase {
+ public:
+  std::string name() const override { return "multiply"; }
+
+  std::vector<interp::InjectionCandidate> NextWindow() override {
+    std::vector<int64_t> f_values;
+    std::vector<size_t> best_observable;
+    std::vector<size_t> order = RankSites(&f_values, &best_observable);
+    last_site_order_ = order;
+
+    struct Scored {
+      int64_t priority;
+      interp::InjectionCandidate candidate;
+    };
+    std::vector<Scored> scored;
+    for (size_t index : order) {
+      const FaultCandidate& candidate = context_->candidates()[index];
+      const auto& positions =
+          context_->observables()[best_observable[index]].failure_positions;
+      for (const InstanceEstimate& instance : context_->InstancesOf(candidate.site)) {
+        interp::InjectionCandidate armed{candidate.site, instance.occurrence, candidate.type};
+        if (WasTried(tried_, armed)) {
+          continue;
+        }
+        int64_t t = TemporalDistance(instance, positions);
+        // +1 on both factors avoids the degenerate zero product; the flat
+        // combination is still what Table 2 shows to be inferior to the
+        // two-level selection.
+        scored.push_back(Scored{(f_values[index] + 1) * (t + 1), armed});
+      }
+    }
+    if (scored.empty()) {
+      exhausted_ = true;
+      return {};
+    }
+    std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+      return a.priority < b.priority;
+    });
+    std::vector<interp::InjectionCandidate> window;
+    for (const Scored& entry : scored) {
+      if (static_cast<int>(window.size()) >= window_size_) {
+        break;
+      }
+      window.push_back(entry.candidate);
+    }
+    return window;
+  }
+};
+
+// "Fault-site feedback" ablation: observable feedback on sites, but no
+// temporal instance priorities — instances tried in natural order, at most 3
+// per site (§8.3).
+class SiteFeedbackStrategy : public FeedbackStrategyBase {
+ public:
+  std::string name() const override { return "site-feedback"; }
+
+  std::vector<interp::InjectionCandidate> NextWindow() override {
+    std::vector<int64_t> f_values;
+    std::vector<size_t> best_observable;
+    std::vector<size_t> order = RankSites(&f_values, &best_observable);
+    last_site_order_ = order;
+
+    std::vector<interp::InjectionCandidate> window;
+    bool any_untried = false;
+    for (size_t index : order) {
+      if (static_cast<int>(window.size()) >= window_size_) {
+        break;
+      }
+      const FaultCandidate& candidate = context_->candidates()[index];
+      const auto& instances = context_->InstancesOf(candidate.site);
+      size_t limit = std::min<size_t>(instances.size(), 3);
+      for (size_t j = 0; j < limit; ++j) {
+        interp::InjectionCandidate armed{candidate.site, instances[j].occurrence,
+                                         candidate.type};
+        if (!WasTried(tried_, armed)) {
+          any_untried = true;
+          window.push_back(armed);
+          break;  // one instance per site per round
+        }
+      }
+    }
+    if (window.empty() && !any_untried) {
+      exhausted_ = true;
+    }
+    return window;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<InjectionStrategy> MakeFullFeedbackStrategy() {
+  return std::make_unique<FullFeedbackStrategy>(false, false);
+}
+
+std::unique_ptr<InjectionStrategy> MakeSumAggregationStrategy() {
+  return std::make_unique<FullFeedbackStrategy>(true, false);
+}
+
+std::unique_ptr<InjectionStrategy> MakeOrderTemporalStrategy() {
+  return std::make_unique<FullFeedbackStrategy>(false, true);
+}
+
+std::unique_ptr<InjectionStrategy> MakeMultiplyFeedbackStrategy() {
+  return std::make_unique<MultiplyFeedbackStrategy>();
+}
+
+std::unique_ptr<InjectionStrategy> MakeSiteFeedbackStrategy() {
+  return std::make_unique<SiteFeedbackStrategy>();
+}
+
+}  // namespace anduril::explorer

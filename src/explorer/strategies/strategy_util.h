@@ -1,0 +1,165 @@
+// Shared machinery for injection strategies: observable feedback bookkeeping
+// (Algorithm 2) and a generic precomputed-list strategy used by the simpler
+// ablations and baselines.
+
+#ifndef ANDURIL_SRC_EXPLORER_STRATEGIES_STRATEGY_UTIL_H_
+#define ANDURIL_SRC_EXPLORER_STRATEGIES_STRATEGY_UTIL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/explorer/strategy.h"
+
+namespace anduril::explorer {
+
+// Observable priority values I_k, updated per Algorithm 2: every relevant
+// observable *present* in an unsuccessful run gets its value incremented
+// (higher value = lower priority), so observables still missing become the
+// ones to chase.
+class FeedbackState {
+ public:
+  void Initialize(const ExplorerContext& context) {
+    context_ = &context;
+    priorities_.assign(context.observables().size(), 0);
+    for (size_t k = 0; k < context.observables().size(); ++k) {
+      key_index_[context.observables()[k].key] = k;
+    }
+  }
+
+  void Digest(const std::vector<std::string>& present_keys, int adjustment) {
+    for (const std::string& key : present_keys) {
+      auto it = key_index_.find(key);
+      if (it != key_index_.end()) {
+        priorities_[it->second] += adjustment;
+      }
+    }
+  }
+
+  int64_t priority(size_t observable) const { return priorities_[observable]; }
+
+ private:
+  const ExplorerContext* context_ = nullptr;
+  std::vector<int64_t> priorities_;
+  std::unordered_map<std::string, size_t> key_index_;
+};
+
+// Identity of a tried dynamic instance.
+struct TriedKey {
+  ir::FaultSiteId site;
+  int64_t occurrence;
+  ir::ExceptionTypeId type;
+
+  friend bool operator==(const TriedKey&, const TriedKey&) = default;
+};
+
+struct TriedKeyHash {
+  size_t operator()(const TriedKey& key) const {
+    size_t h = static_cast<size_t>(key.site);
+    h = h * 1000003u + static_cast<size_t>(key.occurrence);
+    h = h * 1000003u + static_cast<size_t>(key.type + 1);
+    return h;
+  }
+};
+
+using TriedSet = std::unordered_set<TriedKey, TriedKeyHash>;
+
+inline bool WasTried(const TriedSet& tried, const interp::InjectionCandidate& candidate) {
+  return tried.contains(TriedKey{candidate.site, candidate.occurrence, candidate.type});
+}
+
+inline void MarkTried(TriedSet* tried, const interp::InjectionCandidate& candidate) {
+  tried->insert(TriedKey{candidate.site, candidate.occurrence, candidate.type});
+}
+
+// A strategy driven by a fixed, precomputed candidate list.
+//
+// Two window modes:
+//   - Sequential (window 1, advance on miss): the next untried candidate is
+//     armed; if the run never reaches it, it is abandoned. Used by the
+//     exhaustive / stacktrace / FATE / CrashTuner baselines.
+//   - Windowed (top-k of the list, doubling on miss): §5.2.5 semantics.
+//     Used by the distance-only ablations.
+class ListStrategy : public InjectionStrategy {
+ public:
+  void Initialize(const ExplorerContext& context) override {
+    context_ = &context;
+    window_size_ = sequential_ ? 1 : context.options().initial_window;
+    BuildList(context);
+  }
+
+  std::vector<interp::InjectionCandidate> NextWindow() override {
+    std::vector<interp::InjectionCandidate> window;
+    last_window_.clear();
+    for (const interp::InjectionCandidate& candidate : list_) {
+      if (static_cast<int>(window.size()) >= window_size_) {
+        break;
+      }
+      if (!WasTried(tried_, candidate)) {
+        window.push_back(candidate);
+      }
+    }
+    last_window_ = window;
+    return window;
+  }
+
+  void OnRound(const RoundOutcome& outcome) override {
+    if (outcome.injected.has_value()) {
+      MarkTried(&tried_, *outcome.injected);
+      return;
+    }
+    if (sequential_) {
+      // The armed candidate never occurred; abandon it.
+      if (!last_window_.empty()) {
+        MarkTried(&tried_, last_window_.front());
+      }
+      return;
+    }
+    if (static_cast<size_t>(window_size_) >= Remaining()) {
+      // Every remaining candidate was armed and none occurred: exhausted.
+      for (const interp::InjectionCandidate& candidate : list_) {
+        MarkTried(&tried_, candidate);
+      }
+      return;
+    }
+    window_size_ *= 2;
+  }
+
+  bool Exhausted() const override { return Remaining() == 0; }
+
+ protected:
+  explicit ListStrategy(bool sequential) : sequential_(sequential) {}
+
+  // Fills list_ (ordered candidate list).
+  virtual void BuildList(const ExplorerContext& context) = 0;
+
+  const ExplorerContext* context_ = nullptr;
+  std::vector<interp::InjectionCandidate> list_;
+
+ private:
+  size_t Remaining() const {
+    size_t remaining = 0;
+    for (const interp::InjectionCandidate& candidate : list_) {
+      if (!WasTried(tried_, candidate)) {
+        ++remaining;
+      }
+    }
+    return remaining;
+  }
+
+  bool sequential_;
+  int window_size_ = 1;
+  TriedSet tried_;
+  std::vector<interp::InjectionCandidate> last_window_;
+};
+
+// Temporal distance T_{i,j,k}: log messages between the instance's estimated
+// failure-timeline position and the nearest occurrence of observable k
+// (§5.2.3).
+int64_t TemporalDistance(const InstanceEstimate& instance,
+                         const std::vector<int64_t>& observable_positions);
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_STRATEGIES_STRATEGY_UTIL_H_

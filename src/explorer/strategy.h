@@ -1,0 +1,83 @@
+// Injection strategy interface.
+//
+// A strategy decides, each round, which dynamic fault instances to arm (the
+// flexible priority window of §5.2.5), and digests the outcome of the round.
+// The full feedback algorithm (§5.2) and every ablation/baseline of §8.3-8.4
+// implement this interface, so the explorer driver and the bench harnesses
+// treat them uniformly.
+
+#ifndef ANDURIL_SRC_EXPLORER_STRATEGY_H_
+#define ANDURIL_SRC_EXPLORER_STRATEGY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/explorer/context.h"
+#include "src/interp/fault_runtime.h"
+#include "src/logdiff/compare.h"
+
+namespace anduril::explorer {
+
+struct RoundOutcome {
+  int round = 0;
+  // What (if anything) the runtime injected this round.
+  std::optional<interp::InjectionCandidate> injected;
+  // Observable keys that appeared in this round's log (only filled when the
+  // strategy asks for log feedback). Algorithm 2: observables *present* in an
+  // unsuccessful run get deprioritized; the still-missing ones are the clues
+  // worth chasing.
+  std::vector<std::string> present_keys;
+};
+
+class InjectionStrategy {
+ public:
+  virtual ~InjectionStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Binds precomputed context. Called once before the first round.
+  virtual void Initialize(const ExplorerContext& context) = 0;
+
+  // The candidate window for the next round. An empty window with
+  // Exhausted() == true ends the search.
+  virtual std::vector<interp::InjectionCandidate> NextWindow() = 0;
+
+  // Digests a finished (unsuccessful) round.
+  virtual void OnRound(const RoundOutcome& outcome) = 0;
+
+  virtual bool Exhausted() const = 0;
+
+  // Whether OnRound needs missing_keys (log parse + per-thread diff per
+  // round). Coverage baselines skip that cost.
+  virtual bool WantsLogFeedback() const { return false; }
+
+  // Rank (1-based) of `site` in the strategy's current candidate ordering,
+  // or -1 if unranked. Used only for Fig. 6 reporting.
+  virtual int RankOfSite(ir::FaultSiteId /*site*/) const { return -1; }
+};
+
+// Factory helpers (definitions in strategies/*.cc).
+std::unique_ptr<InjectionStrategy> MakeFullFeedbackStrategy();
+std::unique_ptr<InjectionStrategy> MakeExhaustiveStrategy();
+std::unique_ptr<InjectionStrategy> MakeSiteDistanceStrategy(int instance_limit);  // 0 = all
+std::unique_ptr<InjectionStrategy> MakeSiteFeedbackStrategy();   // feedback, no T
+std::unique_ptr<InjectionStrategy> MakeMultiplyFeedbackStrategy();
+std::unique_ptr<InjectionStrategy> MakeStacktraceStrategy();
+// Design-alternative ablations (§5.2.3 / §5.2.4 discussion): sum-aggregated
+// site priority and instance-order temporal distance.
+std::unique_ptr<InjectionStrategy> MakeSumAggregationStrategy();
+std::unique_ptr<InjectionStrategy> MakeOrderTemporalStrategy();
+std::unique_ptr<InjectionStrategy> MakeFateStrategy();
+std::unique_ptr<InjectionStrategy> MakeCrashTunerStrategy();
+
+// Instantiates a strategy by the name used in bench tables:
+// "full" | "full-sum" | "full-order" | "exhaustive" | "site-distance" |
+// "site-distance-limit" | "site-feedback" | "multiply" | "stacktrace" |
+// "fate" | "crashtuner".
+std::unique_ptr<InjectionStrategy> MakeStrategy(const std::string& name);
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_STRATEGY_H_

@@ -1,0 +1,62 @@
+#include "src/interp/fault_runtime.h"
+
+#include <chrono>
+
+#include "src/util/check.h"
+
+namespace anduril::interp {
+
+void FaultRuntime::BeginRun() {
+  occurrences_.clear();
+  trace_.clear();
+  injected_.reset();
+  injection_requests_ = 0;
+  decision_nanos_ = 0;
+}
+
+ir::ExceptionTypeId FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
+                                                 int64_t log_clock, int64_t time_ms,
+                                                 int32_t thread_id, bool* injected) {
+  auto start = std::chrono::steady_clock::now();
+  *injected = false;
+  ++injection_requests_;
+  int64_t occurrence = ++occurrences_[site];
+  if (tracing_) {
+    trace_.push_back(FaultInstanceEvent{site, occurrence, log_clock, time_ms, thread_id});
+  }
+
+  ir::ExceptionTypeId result = ir::kInvalidId;
+  // Pinned faults (iterative multi-fault mode) fire unconditionally and do
+  // not consume the window's single injection.
+  for (const InjectionCandidate& pinned : pinned_) {
+    if (pinned.site == site && pinned.occurrence == occurrence) {
+      result = pinned.type;
+      break;
+    }
+  }
+  // Window injection: first candidate instance reached fires (§5.2.5). At
+  // most one injection per run.
+  if (result == ir::kInvalidId && !injected_.has_value()) {
+    for (const InjectionCandidate& candidate : window_) {
+      if (candidate.site == site && candidate.occurrence == occurrence) {
+        injected_ = candidate;
+        *injected = true;
+        result = candidate.type;
+        break;
+      }
+    }
+  }
+  // Natural transient failure (deterministic, present in fault-free runs
+  // too): models handled errors that make production logs noisy.
+  if (result == ir::kInvalidId && stmt.transient_every_n > 0 &&
+      occurrence % stmt.transient_every_n == 0) {
+    result = stmt.throwable_types.front();
+  }
+  decision_nanos_ +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count();
+  return result;
+}
+
+}  // namespace anduril::interp

@@ -1,0 +1,106 @@
+// Fault-injection runtime: the C++ analog of the paper's instrumented
+// FIR.traceSite / FIR.throwIfEnabled hooks (Figure 3).
+//
+// Every ExternalCall statement consults this runtime when executed. The
+// runtime (1) traces the dynamic fault *instance* (site + occurrence, with
+// its position on the log-message timeline — the "logical clock" used for
+// temporal distance in §5.2.3), and (2) decides whether to inject.
+//
+// The explorer hands the runtime a *window* of candidate instances
+// (§5.2.5 flexible priority window): the first candidate whose (site,
+// occurrence) is reached gets injected, even if it is not the top-priority
+// one. A run injects at most one fault (single-root-cause scope, §2).
+
+#ifndef ANDURIL_SRC_INTERP_FAULT_RUNTIME_H_
+#define ANDURIL_SRC_INTERP_FAULT_RUNTIME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ir/program.h"
+#include "src/ir/types.h"
+
+namespace anduril::interp {
+
+// One candidate dynamic fault instance: inject `type` at the `occurrence`-th
+// (1-based) execution of `site`.
+struct InjectionCandidate {
+  ir::FaultSiteId site = ir::kInvalidId;
+  int64_t occurrence = 0;
+  ir::ExceptionTypeId type = ir::kInvalidId;
+
+  friend bool operator==(const InjectionCandidate&, const InjectionCandidate&) = default;
+};
+
+// A traced execution of a fault site.
+struct FaultInstanceEvent {
+  ir::FaultSiteId site = ir::kInvalidId;
+  int64_t occurrence = 0;  // 1-based per-site counter
+  int64_t log_clock = 0;   // number of log messages emitted before this point
+  int64_t time_ms = 0;
+  int32_t thread_id = 0;
+};
+
+class FaultRuntime {
+ public:
+  explicit FaultRuntime(const ir::Program* program) : program_(program) {}
+
+  // Installs the candidate window for the next run. Empty window = fault-free.
+  void SetWindow(std::vector<InjectionCandidate> window) { window_ = std::move(window); }
+
+  // Faults injected unconditionally (each at its own site+occurrence), in
+  // addition to the single window injection. Used by the iterative
+  // multi-fault mode (§3): a previously-identified root cause is "fixed into
+  // the workload" while the search continues for the next one.
+  void SetPinned(std::vector<InjectionCandidate> pinned) { pinned_ = std::move(pinned); }
+
+  // Enables/disables instance tracing (tracing is cheap but the trace can be
+  // large; baselines that do not need it can turn it off).
+  void set_tracing(bool enabled) { tracing_ = enabled; }
+
+  // Called by the interpreter right before an external call executes.
+  // Returns the exception type to throw (injected or natural transient), or
+  // kInvalidId to proceed normally. `*injected` is set to true only for a
+  // window injection (not for natural transients).
+  ir::ExceptionTypeId OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
+                                     int64_t log_clock, int64_t time_ms, int32_t thread_id,
+                                     bool* injected);
+
+  // Resets per-run state (occurrence counters, trace, request count) while
+  // keeping the window configuration.
+  void BeginRun();
+
+  // --- Post-run accessors ----------------------------------------------------
+  const std::vector<FaultInstanceEvent>& trace() const { return trace_; }
+  std::vector<FaultInstanceEvent> TakeTrace() { return std::move(trace_); }
+  // The candidate that actually fired this run, if any.
+  const std::optional<InjectionCandidate>& injected() const { return injected_; }
+  // Number of times the hooks consulted the runtime (paper Table 4/8
+  // "Inject. Req.").
+  int64_t injection_requests() const { return injection_requests_; }
+  // Per-site dynamic occurrence counts observed this run.
+  const std::unordered_map<ir::FaultSiteId, int64_t>& occurrence_counts() const {
+    return occurrences_;
+  }
+  // Cumulative time spent inside injection decisions, for Table 4 latency.
+  int64_t decision_nanos() const { return decision_nanos_; }
+
+ private:
+  const ir::Program* program_;
+  std::vector<InjectionCandidate> window_;
+  std::vector<InjectionCandidate> pinned_;
+  bool tracing_ = true;
+
+  std::unordered_map<ir::FaultSiteId, int64_t> occurrences_;
+  std::vector<FaultInstanceEvent> trace_;
+  std::optional<InjectionCandidate> injected_;
+  int64_t injection_requests_ = 0;
+  int64_t decision_nanos_ = 0;
+};
+
+}  // namespace anduril::interp
+
+#endif  // ANDURIL_SRC_INTERP_FAULT_RUNTIME_H_

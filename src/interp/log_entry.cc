@@ -1,0 +1,31 @@
+#include "src/interp/log_entry.h"
+
+#include "src/util/strings.h"
+
+namespace anduril::interp {
+
+std::string FormatLogLine(const LogEntry& entry) {
+  // Simulated wall clock starts at 10:00:00.000.
+  int64_t total_ms = entry.time_ms;
+  int64_t ms = total_ms % 1000;
+  int64_t secs = total_ms / 1000;
+  int64_t hours = 10 + secs / 3600;
+  int64_t mins = (secs / 60) % 60;
+  secs %= 60;
+  return StrFormat("%02lld:%02lld:%02lld,%03lld [%s] %s %s - %s",
+                   static_cast<long long>(hours), static_cast<long long>(mins),
+                   static_cast<long long>(secs), static_cast<long long>(ms),
+                   entry.FullThreadName().c_str(), ir::LogLevelName(entry.level),
+                   entry.logger.c_str(), entry.message.c_str());
+}
+
+std::string FormatLogFile(const std::vector<LogEntry>& entries) {
+  std::string out;
+  for (const LogEntry& entry : entries) {
+    out += FormatLogLine(entry);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace anduril::interp

@@ -1,0 +1,45 @@
+// Log entries produced by simulated systems.
+//
+// These are the paper's "observables": the only runtime information the
+// explorer may use as feedback is what a production log file would contain.
+// Entries render to text lines (and are parsed back by src/logdiff) so the
+// toolchain never takes shortcuts through in-memory structures that a real
+// deployment would not have.
+
+#ifndef ANDURIL_SRC_INTERP_LOG_ENTRY_H_
+#define ANDURIL_SRC_INTERP_LOG_ENTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/program.h"
+#include "src/ir/types.h"
+
+namespace anduril::interp {
+
+struct LogEntry {
+  int64_t time_ms = 0;     // simulated time
+  int64_t log_clock = 0;   // index in the run's combined log stream
+  std::string node;
+  std::string thread;      // thread name without node prefix
+  ir::LogLevel level = ir::LogLevel::kInfo;
+  std::string logger;
+  std::string message;     // fully rendered
+  ir::LogTemplateId tmpl = ir::kInvalidId;   // kInvalidId for builtin messages
+  ir::GlobalStmt source;                     // log stmt; invalid for builtins
+  ir::MethodId uncaught_method = ir::kInvalidId;  // set for uncaught-exception entries
+
+  // "node/thread" — globally unique thread label used for per-thread diffing.
+  std::string FullThreadName() const { return node + "/" + thread; }
+};
+
+// Renders an entry as one production-style log line:
+//   "10:00:01,234 [node/thread] LEVEL logger - message"
+std::string FormatLogLine(const LogEntry& entry);
+
+// Renders a whole run log as a log file body.
+std::string FormatLogFile(const std::vector<LogEntry>& entries);
+
+}  // namespace anduril::interp
+
+#endif  // ANDURIL_SRC_INTERP_LOG_ENTRY_H_

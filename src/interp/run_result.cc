@@ -1,0 +1,83 @@
+#include "src/interp/run_result.h"
+
+#include "src/util/strings.h"
+
+namespace anduril::interp {
+
+bool RunResult::HasLogContaining(const std::string& needle) const {
+  for (const LogEntry& entry : log) {
+    if (Contains(entry.message, needle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RunResult::HasLogContaining(ir::LogLevel level, const std::string& needle) const {
+  for (const LogEntry& entry : log) {
+    if (entry.level == level && Contains(entry.message, needle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int RunResult::CountLogContaining(const std::string& needle) const {
+  int count = 0;
+  for (const LogEntry& entry : log) {
+    if (Contains(entry.message, needle)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool RunResult::IsThreadStuck(const std::string& name_substr) const {
+  for (const ThreadSummary& thread : threads) {
+    if (thread.state == ThreadEndState::kBlocked &&
+        Contains(thread.node + "/" + thread.name, name_substr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RunResult::IsThreadStuckIn(const ir::Program& program, const std::string& name_substr,
+                                const std::string& method) const {
+  ir::MethodId target = program.FindMethod(method);
+  for (const ThreadSummary& thread : threads) {
+    if (thread.state == ThreadEndState::kBlocked &&
+        Contains(thread.node + "/" + thread.name, name_substr) &&
+        thread.current_method == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RunResult::DidThreadDie(const std::string& name_substr) const {
+  for (const ThreadSummary& thread : threads) {
+    if (thread.state == ThreadEndState::kDied &&
+        Contains(thread.node + "/" + thread.name, name_substr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t RunResult::NodeVar(const ir::Program& program, const std::string& node,
+                           const std::string& var) const {
+  auto node_it = node_vars.find(node);
+  if (node_it == node_vars.end()) {
+    return 0;
+  }
+  // InternVar is non-const; search by name instead.
+  for (const auto& [var_id, value] : node_it->second) {
+    if (program.var_name(var_id) == var) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+}  // namespace anduril::interp

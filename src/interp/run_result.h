@@ -1,0 +1,69 @@
+// Result of one simulated run: the production-log analog plus the
+// explorer-side runtime information (fault instance trace, thread end
+// states, final node state) that oracles and the feedback algorithm consume.
+
+#ifndef ANDURIL_SRC_INTERP_RUN_RESULT_H_
+#define ANDURIL_SRC_INTERP_RUN_RESULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/interp/fault_runtime.h"
+#include "src/interp/log_entry.h"
+#include "src/ir/program.h"
+
+namespace anduril::interp {
+
+enum class ThreadEndState : uint8_t {
+  kFinished,  // idle, no queued tasks
+  kBlocked,   // still waiting on a condition / future / sleep
+  kDied,      // killed by an uncaught exception
+};
+
+struct ThreadSummary {
+  std::string node;
+  std::string name;
+  ThreadEndState state = ThreadEndState::kFinished;
+  // For kBlocked: where the thread is parked.
+  ir::GlobalStmt blocked_at;
+  // Method on top of the stack when the run ended (kInvalidId if none).
+  ir::MethodId current_method = ir::kInvalidId;
+  // For kDied: the uncaught exception type.
+  ir::ExceptionTypeId death_exception = ir::kInvalidId;
+};
+
+struct RunResult {
+  std::vector<LogEntry> log;
+  std::vector<FaultInstanceEvent> trace;
+  std::vector<ThreadSummary> threads;
+  // node name -> (VarId -> final value)
+  std::unordered_map<std::string, std::unordered_map<ir::VarId, int64_t>> node_vars;
+  int64_t end_time_ms = 0;
+  bool hit_time_limit = false;
+  bool hit_step_limit = false;
+  int64_t injection_requests = 0;
+  int64_t decision_nanos = 0;
+  std::optional<InjectionCandidate> injected;
+
+  // --- Oracle helpers --------------------------------------------------------
+  bool HasLogContaining(const std::string& needle) const;
+  bool HasLogContaining(ir::LogLevel level, const std::string& needle) const;
+  int CountLogContaining(const std::string& needle) const;
+  // True if a thread whose "node/thread" name contains `name_substr` ended
+  // blocked; if `method` is non-empty, its innermost frame must be in that
+  // method (requires `program`).
+  bool IsThreadStuck(const std::string& name_substr) const;
+  bool IsThreadStuckIn(const ir::Program& program, const std::string& name_substr,
+                       const std::string& method) const;
+  bool DidThreadDie(const std::string& name_substr) const;
+  // Final value of a node variable (0 if unset).
+  int64_t NodeVar(const ir::Program& program, const std::string& node,
+                  const std::string& var) const;
+};
+
+}  // namespace anduril::interp
+
+#endif  // ANDURIL_SRC_INTERP_RUN_RESULT_H_

@@ -1,0 +1,788 @@
+#include "src/interp/simulator.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace anduril::interp {
+
+namespace {
+
+int64_t WaiterKey(int32_t node, ir::VarId var) {
+  return (static_cast<int64_t>(node) << 32) | static_cast<uint32_t>(var);
+}
+
+// Short thread name for a handler method: "wal.consume" -> "consume".
+std::string DefaultHandlerThread(const std::string& method_name) {
+  size_t pos = method_name.rfind('.');
+  return pos == std::string::npos ? method_name : method_name.substr(pos + 1);
+}
+
+constexpr int64_t kWhileIterationCap = 1'000'000;
+
+}  // namespace
+
+Simulator::Simulator(const ir::Program* program, const ClusterSpec* spec, uint64_t seed,
+                     FaultRuntime* fault_runtime)
+    : program_(program), spec_(spec), fault_runtime_(fault_runtime), rng_(seed) {
+  ANDURIL_CHECK(program_->finalized()) << "program must be finalized before execution";
+  execution_exception_ = program_->FindException("ExecutionException");
+  futures_.emplace_back();  // index 0 unused
+
+  for (const std::string& node : spec_->nodes) {
+    ANDURIL_CHECK(node_index_.find(node) == node_index_.end()) << "duplicate node " << node;
+    node_index_[node] = static_cast<int32_t>(node_names_.size());
+    node_names_.push_back(node);
+    env_.emplace_back(program_->var_count(), 0);
+  }
+  for (const InitialValue& init : spec_->initial_values) {
+    EnvRef(NodeIndex(init.node), init.var) = init.value;
+  }
+}
+
+int32_t Simulator::NodeIndex(const std::string& name) const {
+  auto it = node_index_.find(name);
+  ANDURIL_CHECK(it != node_index_.end()) << "unknown node " << name;
+  return it->second;
+}
+
+Simulator::Thread* Simulator::GetThread(int32_t node, const std::string& name) {
+  std::string key = StrFormat("%d/%s", node, name.c_str());
+  auto it = thread_index_.find(key);
+  if (it != thread_index_.end()) {
+    return threads_[static_cast<size_t>(it->second)].get();
+  }
+  auto thread = std::make_unique<Thread>();
+  thread->id = static_cast<int32_t>(threads_.size());
+  thread->node = node;
+  thread->name = name;
+  thread_index_[key] = thread->id;
+  threads_.push_back(std::move(thread));
+  return threads_.back().get();
+}
+
+int64_t& Simulator::EnvRef(int32_t node, ir::VarId var) {
+  ANDURIL_CHECK_GE(var, 0);
+  ANDURIL_CHECK_LT(static_cast<size_t>(var), env_[static_cast<size_t>(node)].size());
+  return env_[static_cast<size_t>(node)][static_cast<size_t>(var)];
+}
+
+int64_t Simulator::EvalExpr(const Thread& thread, const Frame& frame, const ir::Expr& expr) {
+  switch (expr.kind) {
+    case ir::ExprKind::kConst:
+      return expr.constant;
+    case ir::ExprKind::kVar:
+      return env_[static_cast<size_t>(thread.node)][static_cast<size_t>(expr.var)];
+    case ir::ExprKind::kPayload:
+      return frame.payload;
+    case ir::ExprKind::kAdd:
+      return env_[static_cast<size_t>(thread.node)][static_cast<size_t>(expr.var)] +
+             expr.constant;
+    case ir::ExprKind::kSub:
+      return env_[static_cast<size_t>(thread.node)][static_cast<size_t>(expr.var)] -
+             expr.constant;
+    case ir::ExprKind::kAddVar:
+      return env_[static_cast<size_t>(thread.node)][static_cast<size_t>(expr.var)] +
+             env_[static_cast<size_t>(thread.node)][static_cast<size_t>(expr.var2)];
+  }
+  ANDURIL_UNREACHABLE();
+}
+
+bool Simulator::EvalCond(const Thread& thread, const ir::Cond& cond) {
+  if (cond.IsTrue()) {
+    return true;
+  }
+  int64_t lhs = env_[static_cast<size_t>(thread.node)][static_cast<size_t>(cond.lhs)];
+  int64_t rhs = cond.rhs_is_var
+                    ? env_[static_cast<size_t>(thread.node)][static_cast<size_t>(cond.rhs_var)]
+                    : cond.rhs_const;
+  return cond.Evaluate(lhs, rhs);
+}
+
+void Simulator::PushEvent(Event event) {
+  event.seq = ++event_seq_;
+  events_.push(event);
+}
+
+const Simulator::ExcValue* Simulator::CurrentCaught(const Thread& thread) const {
+  if (thread.stack.empty()) {
+    return nullptr;
+  }
+  const Frame& frame = thread.stack.back();
+  for (auto it = frame.cursors.rbegin(); it != frame.cursors.rend(); ++it) {
+    if (it->ctx == Cursor::Ctx::kCatchBody && it->caught.valid()) {
+      return &it->caught;
+    }
+  }
+  return nullptr;
+}
+
+std::string Simulator::DescribeException(const ExcValue& exc) const {
+  const ExcValue& root = exc.Root();
+  std::string origin;
+  if (root.origin_site != ir::kInvalidId) {
+    origin = program_->fault_site(root.origin_site).name;
+  } else if (root.origin.method != ir::kInvalidId) {
+    origin = StrFormat("%s#%d", program_->method(root.origin.method).name.c_str(),
+                       root.origin.stmt);
+  } else {
+    origin = "unknown";
+  }
+  std::string text = StrFormat("%s at %s", program_->exception_type(exc.type).name.c_str(),
+                               origin.c_str());
+  if (exc.cause != nullptr) {
+    text += StrFormat("; caused by %s",
+                      program_->exception_type(exc.cause->type).name.c_str());
+  }
+  return text;
+}
+
+void Simulator::EmitLog(Thread* thread, const ir::Stmt& stmt, ir::MethodId method_id,
+                        ir::StmtId stmt_id) {
+  const ir::LogTemplate& tmpl = program_->log_template(stmt.log_template);
+  std::string message;
+  message.reserve(tmpl.text.size() + 16);
+  size_t arg_index = 0;
+  const Frame& frame = thread->stack.back();
+  for (size_t i = 0; i < tmpl.text.size();) {
+    if (i + 1 < tmpl.text.size() && tmpl.text[i] == '{' && tmpl.text[i + 1] == '}') {
+      int64_t value =
+          arg_index < stmt.log_args.size() ? EvalExpr(*thread, frame, stmt.log_args[arg_index])
+                                           : 0;
+      ++arg_index;
+      message += std::to_string(value);
+      i += 2;
+    } else {
+      message.push_back(tmpl.text[i]);
+      ++i;
+    }
+  }
+  if (stmt.log_attach_exception) {
+    const ExcValue* caught = CurrentCaught(*thread);
+    if (caught != nullptr) {
+      message += StrFormat(" [exc=%s]", DescribeException(*caught).c_str());
+    }
+  }
+  LogEntry entry;
+  entry.time_ms = now_;
+  entry.log_clock = static_cast<int64_t>(log_.size());
+  entry.node = node_names_[static_cast<size_t>(thread->node)];
+  entry.thread = thread->name;
+  entry.level = tmpl.level;
+  entry.logger = tmpl.logger;
+  entry.message = std::move(message);
+  entry.tmpl = stmt.log_template;
+  entry.source = ir::GlobalStmt{method_id, stmt_id};
+  log_.push_back(std::move(entry));
+}
+
+void Simulator::EmitBuiltinLog(Thread* thread, ir::LogLevel level, const std::string& logger,
+                               const std::string& message, ir::MethodId uncaught_method) {
+  LogEntry entry;
+  entry.time_ms = now_;
+  entry.log_clock = static_cast<int64_t>(log_.size());
+  entry.node = node_names_[static_cast<size_t>(thread->node)];
+  entry.thread = thread->name;
+  entry.level = level;
+  entry.logger = logger;
+  entry.message = message;
+  entry.uncaught_method = uncaught_method;
+  log_.push_back(std::move(entry));
+}
+
+void Simulator::BlockThread(Thread* thread, Thread::BlockKind kind, ir::GlobalStmt at) {
+  thread->state = Thread::State::kBlocked;
+  thread->block_kind = kind;
+  thread->blocked_at = at;
+  ++thread->epoch;
+}
+
+void Simulator::UnblockThread(Thread* thread) {
+  // Deregister condition waits.
+  for (ir::VarId var : thread->wait_vars) {
+    auto it = waiters_.find(WaiterKey(thread->node, var));
+    if (it != waiters_.end()) {
+      auto& list = it->second;
+      list.erase(std::remove(list.begin(), list.end(), thread->id), list.end());
+    }
+  }
+  thread->wait_vars.clear();
+  thread->wait_future = -1;
+  thread->block_kind = Thread::BlockKind::kNone;
+  thread->state = Thread::State::kIdle;  // transiently; RunThread resumes it
+  ++thread->epoch;                       // invalidate pending timers/wakes
+}
+
+void Simulator::WakeWaitersOf(int32_t node, ir::VarId var) {
+  auto it = waiters_.find(WaiterKey(node, var));
+  if (it == waiters_.end()) {
+    return;
+  }
+  for (int32_t thread_id : it->second) {
+    const Thread& thread = *threads_[static_cast<size_t>(thread_id)];
+    Event event;
+    event.time = now_;
+    event.kind = Event::Kind::kWake;
+    event.thread = thread_id;
+    event.epoch = thread.epoch;
+    PushEvent(event);
+  }
+}
+
+void Simulator::CompleteFuture(int64_t future_id, ExcValue exc) {
+  ANDURIL_CHECK_GT(future_id, 0);
+  ANDURIL_CHECK_LT(static_cast<size_t>(future_id), futures_.size());
+  FutureState& future = futures_[static_cast<size_t>(future_id)];
+  ANDURIL_CHECK(!future.done) << "future completed twice";
+  future.done = true;
+  future.exception = std::move(exc);
+  for (int32_t thread_id : future.waiters) {
+    const Thread& thread = *threads_[static_cast<size_t>(thread_id)];
+    Event event;
+    event.time = now_;
+    event.kind = Event::Kind::kWake;
+    event.thread = thread_id;
+    event.epoch = thread.epoch;
+    PushEvent(event);
+  }
+  future.waiters.clear();
+}
+
+Simulator::RaiseResult Simulator::Raise(Thread* thread, ExcValue exc) {
+  while (!thread->stack.empty()) {
+    Frame& frame = thread->stack.back();
+    const ir::Method& method = program_->method(frame.method);
+    while (!frame.cursors.empty()) {
+      Cursor& cursor = frame.cursors.back();
+      if (cursor.ctx == Cursor::Ctx::kTryBody) {
+        const ir::Stmt& try_stmt = method.stmt(cursor.ctx_stmt);
+        for (const ir::CatchClause& clause : try_stmt.catches) {
+          if (program_->ExceptionIsA(exc.type, clause.type)) {
+            cursor.block = clause.block;
+            cursor.next_child = 0;
+            cursor.ctx = Cursor::Ctx::kCatchBody;
+            cursor.caught = std::move(exc);
+            return RaiseResult::kHandled;
+          }
+        }
+      }
+      frame.cursors.pop_back();
+    }
+    thread->stack.pop_back();
+  }
+  // Escaped the task root.
+  if (thread->current_future > 0) {
+    CompleteFuture(thread->current_future, std::move(exc));
+    thread->current_future = -1;
+    return RaiseResult::kTaskFailed;
+  }
+  HandleUncaught(thread, exc);
+  return RaiseResult::kThreadDied;
+}
+
+void Simulator::HandleUncaught(Thread* thread, const ExcValue& exc) {
+  ir::MethodId method = exc.origin.method;
+  EmitBuiltinLog(thread, ir::LogLevel::kError, "thread",
+                 StrFormat("Uncaught exception terminating thread: %s [exc=%s]",
+                           program_->exception_type(exc.type).name.c_str(),
+                           DescribeException(exc).c_str()),
+                 method);
+  thread->state = Thread::State::kDead;
+  thread->death_exception = exc.type;
+  thread->queue.clear();
+  thread->stack.clear();
+}
+
+Simulator::StepResult Simulator::Step(Thread* thread) {
+  Frame& frame = thread->stack.back();
+  if (frame.cursors.empty()) {
+    thread->stack.pop_back();
+    return thread->stack.empty() ? StepResult::kTaskDone : StepResult::kContinue;
+  }
+  Cursor& cursor = frame.cursors.back();
+  const ir::Method& method = program_->method(frame.method);
+  const ir::Stmt& block = method.stmt(cursor.block);
+  if (static_cast<size_t>(cursor.next_child) >= block.children.size()) {
+    if (cursor.ctx == Cursor::Ctx::kWhileBody) {
+      const ir::Stmt& while_stmt = method.stmt(cursor.ctx_stmt);
+      if (EvalCond(*thread, while_stmt.cond)) {
+        ANDURIL_CHECK_LT(cursor.loop_iter, kWhileIterationCap)
+            << "runaway loop in " << method.name;
+        ++cursor.loop_iter;
+        cursor.next_child = 0;
+        return StepResult::kContinue;
+      }
+    }
+    frame.cursors.pop_back();
+    if (frame.cursors.empty()) {
+      thread->stack.pop_back();
+      return thread->stack.empty() ? StepResult::kTaskDone : StepResult::kContinue;
+    }
+    return StepResult::kContinue;
+  }
+  ir::StmtId stmt_id = block.children[static_cast<size_t>(cursor.next_child)];
+  ++cursor.next_child;
+  // NOTE: `cursor`, `frame` may be invalidated by ExecStmt (cursor/frame
+  // pushes); do not touch them after this call.
+  return ExecStmt(thread, frame.method, stmt_id);
+}
+
+Simulator::StepResult Simulator::ExecStmt(Thread* thread, ir::MethodId method_id,
+                                          ir::StmtId stmt_id) {
+  const ir::Method& method = program_->method(method_id);
+  const ir::Stmt& stmt = method.stmt(stmt_id);
+  Frame& frame = thread->stack.back();
+
+  switch (stmt.kind) {
+    case ir::StmtKind::kNop:
+      return StepResult::kContinue;
+
+    case ir::StmtKind::kBlock: {
+      Cursor cursor;
+      cursor.block = stmt_id;
+      thread->stack.back().cursors.push_back(cursor);
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kAssign:
+      EnvRef(thread->node, stmt.assign_var) = EvalExpr(*thread, frame, stmt.expr);
+      return StepResult::kContinue;
+
+    case ir::StmtKind::kLog:
+      EmitLog(thread, stmt, method_id, stmt_id);
+      return StepResult::kContinue;
+
+    case ir::StmtKind::kIf: {
+      ir::StmtId chosen =
+          EvalCond(*thread, stmt.cond) ? stmt.then_block : stmt.else_block;
+      if (chosen != ir::kInvalidId) {
+        Cursor cursor;
+        cursor.block = chosen;
+        thread->stack.back().cursors.push_back(cursor);
+      }
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kWhile: {
+      if (EvalCond(*thread, stmt.cond)) {
+        Cursor cursor;
+        cursor.block = stmt.then_block;
+        cursor.ctx = Cursor::Ctx::kWhileBody;
+        cursor.ctx_stmt = stmt_id;
+        cursor.loop_iter = 1;
+        thread->stack.back().cursors.push_back(cursor);
+      }
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kInvoke: {
+      Frame callee;
+      callee.method = stmt.callee;
+      callee.payload = frame.payload;
+      Cursor cursor;
+      cursor.block = 0;
+      callee.cursors.push_back(cursor);
+      thread->stack.push_back(std::move(callee));
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kTryCatch: {
+      Cursor cursor;
+      cursor.block = stmt.try_block;
+      cursor.ctx = Cursor::Ctx::kTryBody;
+      cursor.ctx_stmt = stmt_id;
+      thread->stack.back().cursors.push_back(cursor);
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kThrow: {
+      ExcValue exc;
+      if (stmt.exception_type == ir::kInvalidId) {
+        const ExcValue* caught = CurrentCaught(*thread);
+        ANDURIL_CHECK(caught != nullptr) << "rethrow with no in-flight exception";
+        exc = *caught;
+      } else {
+        exc.type = stmt.exception_type;
+        exc.origin = ir::GlobalStmt{method_id, stmt_id};
+        exc.origin_site = program_->FaultSiteAt(exc.origin);
+      }
+      switch (Raise(thread, std::move(exc))) {
+        case RaiseResult::kHandled:
+          return StepResult::kContinue;
+        case RaiseResult::kTaskFailed:
+          return StepResult::kTaskFailed;
+        case RaiseResult::kThreadDied:
+          return StepResult::kDied;
+      }
+      ANDURIL_UNREACHABLE();
+    }
+
+    case ir::StmtKind::kExternalCall: {
+      ir::FaultSiteId site = program_->FaultSiteAt(ir::GlobalStmt{method_id, stmt_id});
+      ANDURIL_CHECK_NE(site, ir::kInvalidId);
+      bool injected = false;
+      ir::ExceptionTypeId thrown = fault_runtime_->OnExternalCall(
+          site, stmt, static_cast<int64_t>(log_.size()), now_, thread->id, &injected);
+      if (thrown == ir::kInvalidId) {
+        return StepResult::kContinue;
+      }
+      ExcValue exc;
+      exc.type = thrown;
+      exc.origin = ir::GlobalStmt{method_id, stmt_id};
+      exc.origin_site = site;
+      exc.injected = injected;
+      switch (Raise(thread, std::move(exc))) {
+        case RaiseResult::kHandled:
+          return StepResult::kContinue;
+        case RaiseResult::kTaskFailed:
+          return StepResult::kTaskFailed;
+        case RaiseResult::kThreadDied:
+          return StepResult::kDied;
+      }
+      ANDURIL_UNREACHABLE();
+    }
+
+    case ir::StmtKind::kAwait: {
+      if (EvalCond(*thread, stmt.cond)) {
+        return StepResult::kContinue;
+      }
+      BlockThread(thread, Thread::BlockKind::kAwait, ir::GlobalStmt{method_id, stmt_id});
+      stmt.cond.CollectReads(&thread->wait_vars);
+      for (ir::VarId var : thread->wait_vars) {
+        waiters_[WaiterKey(thread->node, var)].push_back(thread->id);
+      }
+      if (stmt.timeout_ms >= 0) {
+        Event event;
+        event.time = now_ + stmt.timeout_ms;
+        event.kind = Event::Kind::kTimer;
+        event.thread = thread->id;
+        event.epoch = thread->epoch;
+        PushEvent(event);
+      }
+      return StepResult::kBlocked;
+    }
+
+    case ir::StmtKind::kSignal:
+      WakeWaitersOf(thread->node, stmt.assign_var);
+      return StepResult::kContinue;
+
+    case ir::StmtKind::kSend: {
+      std::string target = stmt.target_node;
+      if (stmt.target_index_var != ir::kInvalidId) {
+        target += std::to_string(EnvRef(thread->node, stmt.target_index_var));
+      }
+      int32_t target_node = NodeIndex(target);
+      std::string handler = stmt.handler_thread.empty()
+                                ? DefaultHandlerThread(program_->method(stmt.callee).name)
+                                : stmt.handler_thread;
+      Thread* target_thread = GetThread(target_node, handler);
+      Event event;
+      event.time = now_ + stmt.latency_ms + static_cast<int64_t>(rng_.NextBelow(2));
+      event.kind = Event::Kind::kDeliver;
+      event.thread = target_thread->id;
+      event.task = Task{stmt.callee, EvalExpr(*thread, frame, stmt.expr), -1};
+      PushEvent(event);
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kSubmit: {
+      futures_.emplace_back();
+      int64_t future_id = static_cast<int64_t>(futures_.size()) - 1;
+      EnvRef(thread->node, stmt.future_var) = future_id;
+      Thread* executor = GetThread(thread->node, stmt.executor_thread);
+      Event event;
+      event.time = now_;
+      event.kind = Event::Kind::kDeliver;
+      event.thread = executor->id;
+      event.task = Task{stmt.callee, EvalExpr(*thread, frame, stmt.expr), future_id};
+      PushEvent(event);
+      return StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kFutureGet: {
+      int64_t future_id = EnvRef(thread->node, stmt.future_var);
+      ANDURIL_CHECK_GT(future_id, 0) << "FutureGet before Submit in " << method.name;
+      ANDURIL_CHECK_LT(static_cast<size_t>(future_id), futures_.size());
+      FutureState& future = futures_[static_cast<size_t>(future_id)];
+      if (future.done) {
+        if (!future.exception.valid()) {
+          return StepResult::kContinue;
+        }
+        ANDURIL_CHECK_NE(execution_exception_, ir::kInvalidId)
+            << "program uses futures but does not define ExecutionException";
+        ExcValue exc;
+        exc.type = execution_exception_;
+        exc.origin = ir::GlobalStmt{method_id, stmt_id};
+        exc.cause = std::make_shared<ExcValue>(future.exception);
+        exc.injected = future.exception.injected;
+        switch (Raise(thread, std::move(exc))) {
+          case RaiseResult::kHandled:
+            return StepResult::kContinue;
+          case RaiseResult::kTaskFailed:
+            return StepResult::kTaskFailed;
+          case RaiseResult::kThreadDied:
+            return StepResult::kDied;
+        }
+        ANDURIL_UNREACHABLE();
+      }
+      BlockThread(thread, Thread::BlockKind::kFuture, ir::GlobalStmt{method_id, stmt_id});
+      thread->wait_future = future_id;
+      future.waiters.push_back(thread->id);
+      if (stmt.timeout_ms >= 0) {
+        Event event;
+        event.time = now_ + stmt.timeout_ms;
+        event.kind = Event::Kind::kTimer;
+        event.thread = thread->id;
+        event.epoch = thread->epoch;
+        PushEvent(event);
+      }
+      return StepResult::kBlocked;
+    }
+
+    case ir::StmtKind::kSleep: {
+      BlockThread(thread, Thread::BlockKind::kSleep, ir::GlobalStmt{method_id, stmt_id});
+      Event event;
+      event.time = now_ + stmt.sleep_ms;
+      event.kind = Event::Kind::kTimer;
+      event.thread = thread->id;
+      event.epoch = thread->epoch;
+      PushEvent(event);
+      return StepResult::kBlocked;
+    }
+
+    case ir::StmtKind::kReturn: {
+      thread->stack.pop_back();
+      return thread->stack.empty() ? StepResult::kTaskDone : StepResult::kContinue;
+    }
+
+    case ir::StmtKind::kBreak: {
+      Frame& top = thread->stack.back();
+      while (!top.cursors.empty()) {
+        bool was_loop = top.cursors.back().ctx == Cursor::Ctx::kWhileBody;
+        top.cursors.pop_back();
+        if (was_loop) {
+          return StepResult::kContinue;
+        }
+      }
+      ANDURIL_UNREACHABLE() << "break outside loop escaped the verifier";
+    }
+  }
+  ANDURIL_UNREACHABLE();
+}
+
+void Simulator::RunThread(Thread* thread) {
+  for (;;) {
+    if (thread->state == Thread::State::kDead) {
+      return;
+    }
+    if (thread->stack.empty()) {
+      if (thread->queue.empty()) {
+        thread->state = Thread::State::kIdle;
+        return;
+      }
+      Task task = thread->queue.front();
+      thread->queue.pop_front();
+      thread->current_future = task.future;
+      Frame frame;
+      frame.method = task.method;
+      frame.payload = task.payload;
+      Cursor cursor;
+      cursor.block = 0;
+      frame.cursors.push_back(cursor);
+      thread->stack.push_back(std::move(frame));
+    }
+    if (++steps_ > spec_->step_limit) {
+      hit_step_limit_ = true;
+      return;
+    }
+    switch (Step(thread)) {
+      case StepResult::kContinue:
+        break;
+      case StepResult::kBlocked:
+        return;
+      case StepResult::kDied:
+        return;
+      case StepResult::kTaskDone:
+        if (thread->current_future > 0) {
+          CompleteFuture(thread->current_future, ExcValue{});
+          thread->current_future = -1;
+        }
+        break;
+      case StepResult::kTaskFailed:
+        // Raise already completed the future exceptionally.
+        break;
+    }
+  }
+}
+
+void Simulator::ProcessWake(const Event& event) {
+  Thread* thread = threads_[static_cast<size_t>(event.thread)].get();
+  if (thread->state != Thread::State::kBlocked || event.epoch != thread->epoch) {
+    return;  // stale wake
+  }
+  const ir::Method& method = program_->method(thread->blocked_at.method);
+  const ir::Stmt& stmt = method.stmt(thread->blocked_at.stmt);
+  ir::GlobalStmt at = thread->blocked_at;
+
+  auto raise_here = [&](ExcValue exc) {
+    UnblockThread(thread);
+    Raise(thread, std::move(exc));
+    RunThread(thread);
+  };
+
+  switch (thread->block_kind) {
+    case Thread::BlockKind::kAwait: {
+      if (event.kind == Event::Kind::kTimer) {
+        // Timeout elapsed; condition still unsatisfied (a satisfied one
+        // would have unblocked us via a signal wake).
+        if (EvalCond(*thread, stmt.cond)) {
+          UnblockThread(thread);
+          RunThread(thread);
+          return;
+        }
+        if (stmt.exception_type != ir::kInvalidId) {
+          ExcValue exc;
+          exc.type = stmt.exception_type;
+          exc.origin = at;
+          exc.origin_site = program_->FaultSiteAt(at);
+          raise_here(std::move(exc));
+          return;
+        }
+        UnblockThread(thread);
+        RunThread(thread);
+        return;
+      }
+      // Signal wake: re-check the condition.
+      if (EvalCond(*thread, stmt.cond)) {
+        UnblockThread(thread);
+        RunThread(thread);
+      }
+      // else: spurious wake; stay blocked (epoch unchanged, timer intact).
+      return;
+    }
+
+    case Thread::BlockKind::kFuture: {
+      if (event.kind == Event::Kind::kTimer) {
+        if (stmt.exception_type != ir::kInvalidId) {
+          ExcValue exc;
+          exc.type = stmt.exception_type;
+          exc.origin = at;
+          exc.origin_site = program_->FaultSiteAt(at);
+          raise_here(std::move(exc));
+          return;
+        }
+        UnblockThread(thread);
+        RunThread(thread);
+        return;
+      }
+      FutureState& future = futures_[static_cast<size_t>(thread->wait_future)];
+      ANDURIL_CHECK(future.done);
+      if (future.exception.valid()) {
+        ANDURIL_CHECK_NE(execution_exception_, ir::kInvalidId);
+        ExcValue exc;
+        exc.type = execution_exception_;
+        exc.origin = at;
+        exc.cause = std::make_shared<ExcValue>(future.exception);
+        exc.injected = future.exception.injected;
+        raise_here(std::move(exc));
+        return;
+      }
+      UnblockThread(thread);
+      RunThread(thread);
+      return;
+    }
+
+    case Thread::BlockKind::kSleep:
+      UnblockThread(thread);
+      RunThread(thread);
+      return;
+
+    case Thread::BlockKind::kNone:
+      ANDURIL_UNREACHABLE();
+  }
+}
+
+RunResult Simulator::Run() {
+  ANDURIL_CHECK(!ran_) << "Simulator::Run may be called once";
+  ran_ = true;
+  fault_runtime_->BeginRun();
+
+  for (const InitialTask& task : spec_->tasks) {
+    Thread* thread = GetThread(NodeIndex(task.node), task.thread);
+    Event event;
+    event.time = task.start_ms;
+    event.kind = Event::Kind::kDeliver;
+    event.thread = thread->id;
+    event.task = Task{task.method, task.payload, -1};
+    PushEvent(event);
+  }
+
+  while (!events_.empty() && !hit_step_limit_) {
+    Event event = events_.top();
+    events_.pop();
+    if (event.time > spec_->time_limit_ms) {
+      hit_time_limit_ = true;
+      break;
+    }
+    now_ = event.time;
+    switch (event.kind) {
+      case Event::Kind::kDeliver: {
+        Thread* thread = threads_[static_cast<size_t>(event.thread)].get();
+        if (thread->state == Thread::State::kDead) {
+          break;  // message to a dead thread is dropped
+        }
+        thread->queue.push_back(event.task);
+        if (thread->state == Thread::State::kIdle && thread->stack.empty()) {
+          RunThread(thread);
+        }
+        break;
+      }
+      case Event::Kind::kWake:
+      case Event::Kind::kTimer:
+        ProcessWake(event);
+        break;
+    }
+  }
+
+  RunResult result;
+  result.log = std::move(log_);
+  result.trace = fault_runtime_->TakeTrace();
+  result.end_time_ms = now_;
+  result.hit_time_limit = hit_time_limit_;
+  result.hit_step_limit = hit_step_limit_;
+  result.injection_requests = fault_runtime_->injection_requests();
+  result.decision_nanos = fault_runtime_->decision_nanos();
+  result.injected = fault_runtime_->injected();
+
+  for (const auto& thread : threads_) {
+    ThreadSummary summary;
+    summary.node = node_names_[static_cast<size_t>(thread->node)];
+    summary.name = thread->name;
+    if (thread->state == Thread::State::kDead) {
+      summary.state = ThreadEndState::kDied;
+      summary.death_exception = thread->death_exception;
+    } else if (thread->state == Thread::State::kBlocked) {
+      summary.state = ThreadEndState::kBlocked;
+      summary.blocked_at = thread->blocked_at;
+      if (!thread->stack.empty()) {
+        summary.current_method = thread->stack.back().method;
+      }
+    } else {
+      summary.state = ThreadEndState::kFinished;
+    }
+    result.threads.push_back(std::move(summary));
+  }
+
+  for (size_t n = 0; n < node_names_.size(); ++n) {
+    auto& vars = result.node_vars[node_names_[n]];
+    for (size_t v = 0; v < env_[n].size(); ++v) {
+      if (env_[n][v] != 0) {
+        vars[static_cast<ir::VarId>(v)] = env_[n][v];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace anduril::interp

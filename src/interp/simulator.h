@@ -1,0 +1,181 @@
+// Deterministic discrete-event interpreter for the anduril IR.
+//
+// A Simulator executes one run of a simulated distributed system: nodes with
+// per-node variable state, named threads processing tasks serially, message
+// passing with latency, executor/future semantics with cross-thread
+// exception wrapping (Java's ExecutionException, §4.1 of the paper), condition
+// waits with timeouts, Log4j-style logging, and fault-injection hooks at
+// every external-call fault site.
+//
+// Determinism: a run is a pure function of (program, cluster spec, seed,
+// injection window). This is what lets a successful search end with a script
+// that deterministically reproduces the failure (§3 step 4.a).
+
+#ifndef ANDURIL_SRC_INTERP_SIMULATOR_H_
+#define ANDURIL_SRC_INTERP_SIMULATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/interp/cluster.h"
+#include "src/interp/fault_runtime.h"
+#include "src/interp/log_entry.h"
+#include "src/interp/run_result.h"
+#include "src/ir/program.h"
+#include "src/util/rng.h"
+
+namespace anduril::interp {
+
+class Simulator {
+ public:
+  Simulator(const ir::Program* program, const ClusterSpec* spec, uint64_t seed,
+            FaultRuntime* fault_runtime);
+
+  // Executes the run to completion and returns the result. Call once.
+  RunResult Run();
+
+ private:
+  // --- Runtime exception values ---------------------------------------------
+  struct ExcValue {
+    ir::ExceptionTypeId type = ir::kInvalidId;
+    ir::GlobalStmt origin;
+    ir::FaultSiteId origin_site = ir::kInvalidId;
+    bool injected = false;
+    std::shared_ptr<ExcValue> cause;
+
+    bool valid() const { return type != ir::kInvalidId; }
+    const ExcValue& Root() const { return cause ? cause->Root() : *this; }
+  };
+
+  // --- Interpreter frames -----------------------------------------------------
+  struct Cursor {
+    enum class Ctx : uint8_t { kPlain, kWhileBody, kTryBody, kCatchBody };
+    ir::StmtId block = ir::kInvalidId;
+    int32_t next_child = 0;
+    Ctx ctx = Ctx::kPlain;
+    ir::StmtId ctx_stmt = ir::kInvalidId;  // the While / TryCatch statement
+    int64_t loop_iter = 0;
+    ExcValue caught;  // valid in kCatchBody
+  };
+
+  struct Frame {
+    ir::MethodId method = ir::kInvalidId;
+    int64_t payload = 0;
+    std::vector<Cursor> cursors;
+  };
+
+  struct Task {
+    ir::MethodId method = ir::kInvalidId;
+    int64_t payload = 0;
+    int64_t future = -1;  // future completed when this task finishes
+  };
+
+  struct Thread {
+    int32_t id = -1;
+    int32_t node = -1;
+    std::string name;
+    std::deque<Task> queue;
+    std::vector<Frame> stack;
+    int64_t current_future = -1;
+
+    enum class State : uint8_t { kIdle, kBlocked, kDead };
+    State state = State::kIdle;
+
+    enum class BlockKind : uint8_t { kNone, kAwait, kFuture, kSleep };
+    BlockKind block_kind = BlockKind::kNone;
+    ir::GlobalStmt blocked_at;
+    uint64_t epoch = 0;  // stale-wakeup guard
+    std::vector<ir::VarId> wait_vars;
+    int64_t wait_future = -1;
+    ir::ExceptionTypeId death_exception = ir::kInvalidId;
+  };
+
+  struct FutureState {
+    bool done = false;
+    ExcValue exception;  // invalid type = success
+    std::vector<int32_t> waiters;
+  };
+
+  struct Event {
+    int64_t time = 0;
+    uint64_t seq = 0;
+    enum class Kind : uint8_t { kDeliver, kWake, kTimer } kind = Kind::kDeliver;
+    int32_t thread = -1;
+    uint64_t epoch = 0;
+    Task task;  // kDeliver
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  enum class StepResult : uint8_t { kContinue, kBlocked, kTaskDone, kTaskFailed, kDied };
+  enum class RaiseResult : uint8_t { kHandled, kTaskFailed, kThreadDied };
+
+  // --- Core loop --------------------------------------------------------------
+  void RunThread(Thread* thread);
+  StepResult Step(Thread* thread);
+  StepResult ExecStmt(Thread* thread, ir::MethodId method_id, ir::StmtId stmt_id);
+  RaiseResult Raise(Thread* thread, ExcValue exc);
+  void HandleUncaught(Thread* thread, const ExcValue& exc);
+  void ProcessWake(const Event& event);
+
+  // --- Helpers ----------------------------------------------------------------
+  int32_t NodeIndex(const std::string& name) const;
+  Thread* GetThread(int32_t node, const std::string& name);
+  int64_t& EnvRef(int32_t node, ir::VarId var);
+  int64_t EvalExpr(const Thread& thread, const Frame& frame, const ir::Expr& expr);
+  bool EvalCond(const Thread& thread, const ir::Cond& cond);
+  void EmitLog(Thread* thread, const ir::Stmt& stmt, ir::MethodId method_id,
+               ir::StmtId stmt_id);
+  void EmitBuiltinLog(Thread* thread, ir::LogLevel level, const std::string& logger,
+                      const std::string& message, ir::MethodId uncaught_method);
+  std::string DescribeException(const ExcValue& exc) const;
+  void PushEvent(Event event);
+  void BlockThread(Thread* thread, Thread::BlockKind kind, ir::GlobalStmt at);
+  void UnblockThread(Thread* thread);
+  void WakeWaitersOf(int32_t node, ir::VarId var);
+  void CompleteFuture(int64_t future_id, ExcValue exc);
+  const ExcValue* CurrentCaught(const Thread& thread) const;
+
+  const ir::Program* program_;
+  const ClusterSpec* spec_;
+  FaultRuntime* fault_runtime_;
+  Rng rng_;
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, int32_t> node_index_;
+  std::vector<std::vector<int64_t>> env_;  // [node][var]
+
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::unordered_map<std::string, int32_t> thread_index_;  // "node_idx/name"
+
+  // (node, var) -> blocked waiter thread ids
+  std::unordered_map<int64_t, std::vector<int32_t>> waiters_;
+
+  std::vector<FutureState> futures_;  // futures_[0] unused; ids start at 1
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  uint64_t event_seq_ = 0;
+  int64_t now_ = 0;
+  int64_t steps_ = 0;
+
+  std::vector<LogEntry> log_;
+  ir::ExceptionTypeId execution_exception_ = ir::kInvalidId;
+
+  bool hit_time_limit_ = false;
+  bool hit_step_limit_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace anduril::interp
+
+#endif  // ANDURIL_SRC_INTERP_SIMULATOR_H_

@@ -1,0 +1,301 @@
+#include "src/ir/builder.h"
+
+#include "src/util/check.h"
+
+namespace anduril::ir {
+
+MethodBuilder::MethodBuilder(Program* program, const std::string& name) : program_(program) {
+  method_id_ = program->FindMethod(name);
+  if (method_id_ == kInvalidId) {
+    method_id_ = program->DefineMethod(name);
+  } else {
+    const Method& method = program->method(method_id_);
+    ANDURIL_CHECK(method.stmts.size() == 1 && method.stmt(0).children.empty())
+        << "method " << name << " already has a body";
+  }
+  block_stack_.push_back(0);
+}
+
+MethodBuilder::~MethodBuilder() {
+  if (!built_) {
+    Build();
+  }
+}
+
+void MethodBuilder::Build() {
+  ANDURIL_CHECK(!built_);
+  ANDURIL_CHECK_EQ(block_stack_.size(), 1u) << "unbalanced block nesting";
+  built_ = true;
+}
+
+Stmt& MethodBuilder::NewStmt(StmtKind kind, StmtId* id_out) {
+  Method& method = program_->method(method_id_);
+  StmtId id = static_cast<StmtId>(method.stmts.size());
+  method.stmts.emplace_back();
+  method.stmts.back().kind = kind;
+  ANDURIL_CHECK(!block_stack_.empty());
+  method.stmt(block_stack_.back()).children.push_back(id);
+  if (id_out != nullptr) {
+    *id_out = id;
+  }
+  return method.stmts.back();
+}
+
+StmtId MethodBuilder::NewBlock() {
+  Method& method = program_->method(method_id_);
+  StmtId id = static_cast<StmtId>(method.stmts.size());
+  method.stmts.emplace_back();
+  method.stmts.back().kind = StmtKind::kBlock;
+  return id;
+}
+
+void MethodBuilder::PushBlock(StmtId block) { block_stack_.push_back(block); }
+
+void MethodBuilder::PopBlock() {
+  ANDURIL_CHECK_GT(block_stack_.size(), 1u);
+  block_stack_.pop_back();
+}
+
+void MethodBuilder::FillBlock(StmtId block, const BlockFn& fn) {
+  PushBlock(block);
+  if (fn) {
+    fn();
+  }
+  PopBlock();
+}
+
+MethodId MethodBuilder::DeclareCallee(const std::string& name) {
+  MethodId id = program_->FindMethod(name);
+  if (id == kInvalidId) {
+    id = program_->DefineMethod(name);
+  }
+  return id;
+}
+
+MethodBuilder& MethodBuilder::Nop(const std::string& label) {
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kNop, &id);
+  stmt.label = label;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Assign(const std::string& var, Expr value) {
+  StmtId id;
+  VarId var_id = Var(var);  // intern before NewStmt may reallocate
+  Stmt& stmt = NewStmt(StmtKind::kAssign, &id);
+  stmt.assign_var = var_id;
+  stmt.expr = value;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Log(LogLevel level, const std::string& logger,
+                                  const std::string& text, std::vector<Expr> args) {
+  LogTemplateId tmpl = program_->DefineLogTemplate(level, logger, text);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kLog, &id);
+  stmt.log_template = tmpl;
+  stmt.log_args = std::move(args);
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::LogExc(LogLevel level, const std::string& logger,
+                                     const std::string& text, std::vector<Expr> args) {
+  LogTemplateId tmpl = program_->DefineLogTemplate(level, logger, text);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kLog, &id);
+  stmt.log_template = tmpl;
+  stmt.log_args = std::move(args);
+  stmt.log_attach_exception = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Rethrow() {
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kThrow, &id);
+  stmt.exception_type = kInvalidId;  // marker: rethrow the caught exception
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::If(Cond cond, const BlockFn& then_fn, const BlockFn& else_fn) {
+  StmtId id;
+  NewStmt(StmtKind::kIf, &id);
+  StmtId then_block = NewBlock();
+  StmtId else_block = else_fn ? NewBlock() : kInvalidId;
+  {
+    Method& method = program_->method(method_id_);
+    Stmt& stmt = method.stmt(id);
+    stmt.cond = cond;
+    stmt.then_block = then_block;
+    stmt.else_block = else_block;
+  }
+  FillBlock(then_block, then_fn);
+  if (else_fn) {
+    FillBlock(else_block, else_fn);
+  }
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::While(Cond cond, const BlockFn& body_fn) {
+  StmtId id;
+  NewStmt(StmtKind::kWhile, &id);
+  StmtId body = NewBlock();
+  {
+    Stmt& stmt = program_->method(method_id_).stmt(id);
+    stmt.cond = cond;
+    stmt.then_block = body;
+  }
+  FillBlock(body, body_fn);
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Invoke(const std::string& method) {
+  MethodId callee = DeclareCallee(method);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kInvoke, &id);
+  stmt.callee = callee;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::TryCatch(const BlockFn& try_fn,
+                                       std::vector<std::pair<std::string, BlockFn>> catches) {
+  ANDURIL_CHECK(!catches.empty());
+  StmtId id;
+  NewStmt(StmtKind::kTryCatch, &id);
+  StmtId try_block = NewBlock();
+  std::vector<StmtId> catch_blocks;
+  std::vector<ExceptionTypeId> catch_types;
+  for (auto& [type_name, fn] : catches) {
+    ExceptionTypeId type = program_->FindException(type_name);
+    ANDURIL_CHECK_NE(type, kInvalidId) << "unknown exception type " << type_name;
+    catch_types.push_back(type);
+    catch_blocks.push_back(NewBlock());
+  }
+  {
+    Stmt& stmt = program_->method(method_id_).stmt(id);
+    stmt.try_block = try_block;
+    for (size_t i = 0; i < catches.size(); ++i) {
+      stmt.catches.push_back(CatchClause{catch_types[i], catch_blocks[i]});
+    }
+  }
+  FillBlock(try_block, try_fn);
+  for (size_t i = 0; i < catches.size(); ++i) {
+    FillBlock(catch_blocks[i], catches[i].second);
+  }
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Throw(const std::string& exception_type) {
+  ExceptionTypeId type = program_->FindException(exception_type);
+  ANDURIL_CHECK_NE(type, kInvalidId) << "unknown exception type " << exception_type;
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kThrow, &id);
+  stmt.exception_type = type;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::External(const std::string& site_name,
+                                       std::vector<std::string> throwable_types,
+                                       int32_t transient_every_n) {
+  std::vector<ExceptionTypeId> types;
+  for (const std::string& name : throwable_types) {
+    ExceptionTypeId type = program_->FindException(name);
+    ANDURIL_CHECK_NE(type, kInvalidId) << "unknown exception type " << name;
+    types.push_back(type);
+  }
+  ANDURIL_CHECK(!types.empty());
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kExternalCall, &id);
+  stmt.site_name = site_name;
+  stmt.throwable_types = std::move(types);
+  stmt.exception_type = stmt.throwable_types.front();
+  stmt.transient_every_n = transient_every_n;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Await(Cond cond, int64_t timeout_ms,
+                                    const std::string& timeout_exception) {
+  ExceptionTypeId type = kInvalidId;
+  if (!timeout_exception.empty()) {
+    type = program_->FindException(timeout_exception);
+    ANDURIL_CHECK_NE(type, kInvalidId) << "unknown exception type " << timeout_exception;
+    ANDURIL_CHECK_GE(timeout_ms, 0) << "timeout exception requires a timeout";
+  }
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kAwait, &id);
+  stmt.cond = cond;
+  stmt.timeout_ms = timeout_ms;
+  stmt.exception_type = type;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Signal(const std::string& var) {
+  VarId var_id = Var(var);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kSignal, &id);
+  stmt.assign_var = var_id;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Send(const std::string& handler_method,
+                                   const std::string& target_node, SendOpts opts) {
+  MethodId callee = DeclareCallee(handler_method);
+  VarId index_var = opts.index_var.empty() ? kInvalidId : Var(opts.index_var);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kSend, &id);
+  stmt.callee = callee;
+  stmt.target_node = target_node;
+  stmt.target_index_var = index_var;
+  stmt.expr = opts.payload;
+  stmt.handler_thread = opts.handler_thread;
+  stmt.latency_ms = opts.latency_ms;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Submit(const std::string& method, const std::string& future_var,
+                                     const std::string& executor_thread, Expr payload) {
+  MethodId callee = DeclareCallee(method);
+  VarId future = Var(future_var);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kSubmit, &id);
+  stmt.callee = callee;
+  stmt.future_var = future;
+  stmt.executor_thread = executor_thread;
+  stmt.expr = payload;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::FutureGet(const std::string& future_var, int64_t timeout_ms,
+                                        const std::string& timeout_exception) {
+  ExceptionTypeId type = kInvalidId;
+  if (!timeout_exception.empty()) {
+    type = program_->FindException(timeout_exception);
+    ANDURIL_CHECK_NE(type, kInvalidId);
+    ANDURIL_CHECK_GE(timeout_ms, 0);
+  }
+  VarId future = Var(future_var);
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kFutureGet, &id);
+  stmt.future_var = future;
+  stmt.timeout_ms = timeout_ms;
+  stmt.exception_type = type;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Sleep(int64_t ms) {
+  StmtId id;
+  Stmt& stmt = NewStmt(StmtKind::kSleep, &id);
+  stmt.sleep_ms = ms;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Return() {
+  NewStmt(StmtKind::kReturn, nullptr);
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::Break() {
+  NewStmt(StmtKind::kBreak, nullptr);
+  return *this;
+}
+
+}  // namespace anduril::ir

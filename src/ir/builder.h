@@ -1,0 +1,130 @@
+// Fluent construction API for IR methods.
+//
+// Systems are written like this:
+//
+//   MethodBuilder b(&program, "wal.consume");
+//   b.If(b.Gt("writerLen", 0), [&] {
+//        b.Invoke("wal.sync");
+//      },
+//      [&] {
+//        b.If(b.Eq("unackedAppends", 0), [&] {
+//          b.Assign("readyForRolling", Expr::Const(1));
+//          b.Signal("readyForRolling");
+//        });
+//      });
+//   b.Build();
+//
+// A builder keeps a stack of open blocks; structured statements take lambdas
+// that populate their child blocks. Callee methods may be referenced before
+// they are built (forward references) — the builder declares them on demand.
+
+#ifndef ANDURIL_SRC_IR_BUILDER_H_
+#define ANDURIL_SRC_IR_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ir/program.h"
+
+namespace anduril::ir {
+
+// Options for MethodBuilder::Send.
+struct SendOpts {
+  std::string index_var;       // "" = static target; else target = node + env[var]
+  Expr payload = Expr::Const(0);
+  std::string handler_thread;  // "" = handler method name
+  int64_t latency_ms = 1;
+};
+
+class MethodBuilder {
+ public:
+  // Creates (or opens the forward-declared) method `name` in `program`.
+  MethodBuilder(Program* program, const std::string& name);
+  ~MethodBuilder();
+
+  MethodBuilder(const MethodBuilder&) = delete;
+  MethodBuilder& operator=(const MethodBuilder&) = delete;
+
+  using BlockFn = std::function<void()>;
+
+  // --- Condition / expression helpers (by variable name) -------------------
+  VarId Var(const std::string& name) { return program_->InternVar(name); }
+  Cond Eq(const std::string& var, int64_t c) { return Cond::Eq(Var(var), c); }
+  Cond Ne(const std::string& var, int64_t c) { return Cond::Ne(Var(var), c); }
+  Cond Lt(const std::string& var, int64_t c) { return Cond::Lt(Var(var), c); }
+  Cond Le(const std::string& var, int64_t c) { return Cond::Le(Var(var), c); }
+  Cond Gt(const std::string& var, int64_t c) { return Cond::Gt(Var(var), c); }
+  Cond Ge(const std::string& var, int64_t c) { return Cond::Ge(Var(var), c); }
+  Cond EqVar(const std::string& a, const std::string& b) { return Cond::EqVar(Var(a), Var(b)); }
+  Cond NeVar(const std::string& a, const std::string& b) { return Cond::NeVar(Var(a), Var(b)); }
+  Cond GtVar(const std::string& a, const std::string& b) { return Cond::GtVar(Var(a), Var(b)); }
+  Cond GeVar(const std::string& a, const std::string& b) { return Cond::GeVar(Var(a), Var(b)); }
+  Cond LtVar(const std::string& a, const std::string& b) { return Cond::LtVar(Var(a), Var(b)); }
+  Expr V(const std::string& var) { return Expr::Var(Var(var)); }
+  Expr Plus(const std::string& var, int64_t c) { return Expr::Add(Var(var), c); }
+  Expr Minus(const std::string& var, int64_t c) { return Expr::Sub(Var(var), c); }
+
+  // --- Statements -----------------------------------------------------------
+  MethodBuilder& Nop(const std::string& label = "");
+  MethodBuilder& Assign(const std::string& var, Expr value);
+  MethodBuilder& Log(LogLevel level, const std::string& logger, const std::string& text,
+                     std::vector<Expr> args = {});
+  // Log that also prints the in-flight exception (stack-trace analog). Only
+  // valid inside a catch block.
+  MethodBuilder& LogExc(LogLevel level, const std::string& logger, const std::string& text,
+                        std::vector<Expr> args = {});
+  // Throws the exception currently being handled (Java `throw e;` in a
+  // catch). Only valid inside a catch block.
+  MethodBuilder& Rethrow();
+  MethodBuilder& If(Cond cond, const BlockFn& then_fn, const BlockFn& else_fn = nullptr);
+  MethodBuilder& While(Cond cond, const BlockFn& body_fn);
+  MethodBuilder& Invoke(const std::string& method);
+  MethodBuilder& TryCatch(const BlockFn& try_fn,
+                          std::vector<std::pair<std::string, BlockFn>> catches);
+  MethodBuilder& Throw(const std::string& exception_type);
+  // External (library) call: an injectable fault site.
+  MethodBuilder& External(const std::string& site_name,
+                          std::vector<std::string> throwable_types,
+                          int32_t transient_every_n = 0);
+  // Await until `cond` holds (woken by Signal on its variables). With a
+  // timeout and exception type, elapsing throws that type.
+  MethodBuilder& Await(Cond cond, int64_t timeout_ms = -1,
+                       const std::string& timeout_exception = "");
+  MethodBuilder& Signal(const std::string& var);
+
+  MethodBuilder& Send(const std::string& handler_method, const std::string& target_node,
+                      SendOpts opts = SendOpts());
+  MethodBuilder& Submit(const std::string& method, const std::string& future_var,
+                        const std::string& executor_thread, Expr payload = Expr::Const(0));
+  MethodBuilder& FutureGet(const std::string& future_var, int64_t timeout_ms = -1,
+                           const std::string& timeout_exception = "");
+  MethodBuilder& Sleep(int64_t ms);
+  MethodBuilder& Return();
+  MethodBuilder& Break();
+
+  // Finishes the method. Called automatically by the destructor, but calling
+  // it explicitly gives a clear point for CHECK failures.
+  void Build();
+
+  Program* program() { return program_; }
+  MethodId method_id() const { return method_id_; }
+
+ private:
+  Stmt& NewStmt(StmtKind kind, StmtId* id_out);
+  StmtId NewBlock();
+  void PushBlock(StmtId block);
+  void PopBlock();
+  void FillBlock(StmtId block, const BlockFn& fn);
+  MethodId DeclareCallee(const std::string& name);
+
+  Program* program_;
+  MethodId method_id_;
+  std::vector<StmtId> block_stack_;
+  bool built_ = false;
+};
+
+}  // namespace anduril::ir
+
+#endif  // ANDURIL_SRC_IR_BUILDER_H_

@@ -1,0 +1,89 @@
+#include "src/ir/stmt.h"
+
+#include "src/util/check.h"
+
+namespace anduril::ir {
+
+bool Cond::Evaluate(int64_t lhs_value, int64_t rhs_value) const {
+  switch (op) {
+    case CmpOp::kTrue:
+      return true;
+    case CmpOp::kEq:
+      return lhs_value == rhs_value;
+    case CmpOp::kNe:
+      return lhs_value != rhs_value;
+    case CmpOp::kLt:
+      return lhs_value < rhs_value;
+    case CmpOp::kLe:
+      return lhs_value <= rhs_value;
+    case CmpOp::kGt:
+      return lhs_value > rhs_value;
+    case CmpOp::kGe:
+      return lhs_value >= rhs_value;
+  }
+  ANDURIL_UNREACHABLE();
+}
+
+const char* StmtKindName(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kBlock:
+      return "block";
+    case StmtKind::kNop:
+      return "nop";
+    case StmtKind::kAssign:
+      return "assign";
+    case StmtKind::kLog:
+      return "log";
+    case StmtKind::kIf:
+      return "if";
+    case StmtKind::kWhile:
+      return "while";
+    case StmtKind::kInvoke:
+      return "invoke";
+    case StmtKind::kTryCatch:
+      return "trycatch";
+    case StmtKind::kThrow:
+      return "throw";
+    case StmtKind::kExternalCall:
+      return "external_call";
+    case StmtKind::kAwait:
+      return "await";
+    case StmtKind::kSignal:
+      return "signal";
+    case StmtKind::kSend:
+      return "send";
+    case StmtKind::kSubmit:
+      return "submit";
+    case StmtKind::kFutureGet:
+      return "future_get";
+    case StmtKind::kSleep:
+      return "sleep";
+    case StmtKind::kReturn:
+      return "return";
+    case StmtKind::kBreak:
+      return "break";
+  }
+  ANDURIL_UNREACHABLE();
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kTrue:
+      return "true";
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  ANDURIL_UNREACHABLE();
+}
+
+}  // namespace anduril::ir

@@ -1,0 +1,197 @@
+// Statement, expression, and condition model of the anduril IR.
+//
+// Statements form a tree per method: statement 0 is the root Block and
+// structured statements (Block / If / While / TryCatch) reference child
+// statements by StmtId. The tree shape is what makes the paper's causal
+// rules exact here: the "dominators" of a location are simply its structural
+// ancestors (enclosing conditions, enclosing catch handlers, and the method
+// entry).
+
+#ifndef ANDURIL_SRC_IR_STMT_H_
+#define ANDURIL_SRC_IR_STMT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/types.h"
+
+namespace anduril::ir {
+
+// ---------------------------------------------------------------------------
+// Expressions (right-hand sides of assignments, log arguments, payloads).
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : uint8_t {
+  kConst,    // literal int64
+  kVar,      // read a node variable
+  kPayload,  // read the current task's message payload (frame-local)
+  kAddVar,   // var + var
+  kAdd,      // var + const
+  kSub,      // var - const
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  VarId var = kInvalidId;        // kVar / kAdd / kSub / kAddVar (lhs)
+  VarId var2 = kInvalidId;       // kAddVar (rhs)
+  int64_t constant = 0;          // kConst / kAdd / kSub
+
+  static Expr Const(int64_t v) { return Expr{ExprKind::kConst, kInvalidId, kInvalidId, v}; }
+  static Expr Var(VarId v) { return Expr{ExprKind::kVar, v, kInvalidId, 0}; }
+  static Expr Payload() { return Expr{ExprKind::kPayload, kInvalidId, kInvalidId, 0}; }
+  static Expr Add(VarId v, int64_t c) { return Expr{ExprKind::kAdd, v, kInvalidId, c}; }
+  static Expr Sub(VarId v, int64_t c) { return Expr{ExprKind::kSub, v, kInvalidId, c}; }
+  static Expr AddVar(VarId a, VarId b) { return Expr{ExprKind::kAddVar, a, b, 0}; }
+
+  // Variables read by this expression (for slicing).
+  void CollectReads(std::vector<VarId>* out) const {
+    if (var != kInvalidId) {
+      out->push_back(var);
+    }
+    if (var2 != kInvalidId) {
+      out->push_back(var2);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Conditions (If / While / Await guards).
+// ---------------------------------------------------------------------------
+
+enum class CmpOp : uint8_t { kTrue, kEq, kNe, kLt, kLe, kGt, kGe };
+
+// A single comparison `lhs OP rhs` where rhs is a constant or a variable.
+// Compound boolean conditions are expressed with nested Ifs, matching how a
+// bytecode-level analysis sees them (one branch per comparison).
+struct Cond {
+  CmpOp op = CmpOp::kTrue;
+  VarId lhs = kInvalidId;
+  bool rhs_is_var = false;
+  VarId rhs_var = kInvalidId;
+  int64_t rhs_const = 0;
+
+  static Cond True() { return Cond{}; }
+  static Cond Eq(VarId v, int64_t c) { return Cond{CmpOp::kEq, v, false, kInvalidId, c}; }
+  static Cond Ne(VarId v, int64_t c) { return Cond{CmpOp::kNe, v, false, kInvalidId, c}; }
+  static Cond Lt(VarId v, int64_t c) { return Cond{CmpOp::kLt, v, false, kInvalidId, c}; }
+  static Cond Le(VarId v, int64_t c) { return Cond{CmpOp::kLe, v, false, kInvalidId, c}; }
+  static Cond Gt(VarId v, int64_t c) { return Cond{CmpOp::kGt, v, false, kInvalidId, c}; }
+  static Cond Ge(VarId v, int64_t c) { return Cond{CmpOp::kGe, v, false, kInvalidId, c}; }
+  static Cond EqVar(VarId a, VarId b) { return Cond{CmpOp::kEq, a, true, b, 0}; }
+  static Cond NeVar(VarId a, VarId b) { return Cond{CmpOp::kNe, a, true, b, 0}; }
+  static Cond GtVar(VarId a, VarId b) { return Cond{CmpOp::kGt, a, true, b, 0}; }
+  static Cond GeVar(VarId a, VarId b) { return Cond{CmpOp::kGe, a, true, b, 0}; }
+  static Cond LtVar(VarId a, VarId b) { return Cond{CmpOp::kLt, a, true, b, 0}; }
+
+  bool IsTrue() const { return op == CmpOp::kTrue; }
+
+  // Variables read by this condition (for slicing / wakeup registration).
+  void CollectReads(std::vector<VarId>* out) const {
+    if (lhs != kInvalidId) {
+      out->push_back(lhs);
+    }
+    if (rhs_is_var && rhs_var != kInvalidId) {
+      out->push_back(rhs_var);
+    }
+  }
+
+  bool Evaluate(int64_t lhs_value, int64_t rhs_value) const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements.
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : uint8_t {
+  kBlock,         // execute children in order
+  kNop,           // plain location (models uninteresting straight-line code)
+  kAssign,        // var = expr
+  kLog,           // emit a log template with argument expressions
+  kIf,            // cond ? then_block : else_block
+  kWhile,         // while (cond) body — with an iteration safety cap
+  kInvoke,        // synchronous same-thread call of another method
+  kTryCatch,      // try block + ordered catch clauses
+  kThrow,         // throw new <exception type>   ("new-exception" fault site)
+  kExternalCall,  // library/system call that may throw ("external" fault site)
+  kAwait,         // block until cond holds (signalled) or timeout -> throw
+  kSignal,        // set a condition variable to 1 and wake its waiters
+  kSend,          // asynchronous message to a handler method on another node
+  kSubmit,        // submit a method to an executor thread; stores a future
+  kFutureGet,     // wait for a future; failures surface as ExecutionException
+  kSleep,         // advance simulated time
+  kReturn,        // return from the current method
+  kBreak,         // break out of the nearest enclosing While
+};
+
+// One catch clause of a TryCatch.
+struct CatchClause {
+  ExceptionTypeId type = kInvalidId;  // catches this type and its subtypes
+  StmtId block = kInvalidId;          // handler block
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kNop;
+  StmtId parent = kInvalidId;  // filled in by Program::Finalize
+
+  // kBlock
+  std::vector<StmtId> children;
+
+  // kIf / kWhile / kAwait
+  Cond cond;
+  StmtId then_block = kInvalidId;  // kIf then / kWhile body
+  StmtId else_block = kInvalidId;  // kIf else (optional)
+
+  // kAssign
+  VarId assign_var = kInvalidId;
+  Expr expr;  // also: kSend / kSubmit payload
+
+  // kLog
+  LogTemplateId log_template = kInvalidId;
+  std::vector<Expr> log_args;
+  // If set, the rendered message gets a " [exc=Type at site]" suffix showing
+  // the exception being handled — the analog of log.warn("...", e) printing a
+  // stack trace. Only meaningful inside a catch block.
+  bool log_attach_exception = false;
+
+  // kInvoke / kSend / kSubmit: callee. For kSend this is the handler method.
+  MethodId callee = kInvalidId;
+
+  // kTryCatch
+  StmtId try_block = kInvalidId;
+  std::vector<CatchClause> catches;
+
+  // kThrow / kAwait timeout exception / kExternalCall primary exception
+  ExceptionTypeId exception_type = kInvalidId;
+
+  // kExternalCall
+  std::string site_name;                           // e.g. "hdfs.dn.write_block"
+  std::vector<ExceptionTypeId> throwable_types;    // injectable exception types
+  int32_t transient_every_n = 0;                   // natural transient failure period (0=never)
+
+  // kAwait
+  int64_t timeout_ms = -1;  // -1 = wait forever
+
+  // kSend
+  std::string target_node;          // target node name (or name prefix)
+  VarId target_index_var = kInvalidId;  // optional: append env[var] to target_node
+  std::string handler_thread;       // thread on the target node; "" = method name
+  int64_t latency_ms = 1;           // base network latency
+
+  // kSubmit
+  VarId future_var = kInvalidId;    // also read by kFutureGet
+  std::string executor_thread;      // executor thread name on the same node
+
+  // kSleep
+  int64_t sleep_ms = 0;
+
+  // Optional human-readable label for dumps and debugging.
+  std::string label;
+};
+
+const char* StmtKindName(StmtKind kind);
+const char* CmpOpName(CmpOp op);
+
+}  // namespace anduril::ir
+
+#endif  // ANDURIL_SRC_IR_STMT_H_

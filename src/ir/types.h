@@ -1,0 +1,51 @@
+// Fundamental identifier types for the anduril program IR.
+//
+// The IR plays the role that JVM bytecode (viewed through Soot) plays in the
+// paper: the five simulated target systems are *written* in this IR, the
+// static analyses (call graph, exception flow, slicing, causal graph) walk
+// it, and the deterministic interpreter executes it with fault-injection
+// hooks at every fault site.
+
+#ifndef ANDURIL_SRC_IR_TYPES_H_
+#define ANDURIL_SRC_IR_TYPES_H_
+
+#include <cstdint>
+
+namespace anduril::ir {
+
+// Index of a method within a Program.
+using MethodId = int32_t;
+// Index of a statement within its Method.
+using StmtId = int32_t;
+// Index of an interned variable name within a Program. Variables are named
+// globally but *stored* per simulation node, so the same VarId on two nodes
+// denotes two independent cells.
+using VarId = int32_t;
+// Index of an exception type within a Program's exception registry.
+using ExceptionTypeId = int32_t;
+// Index of a log message template within a Program.
+using LogTemplateId = int32_t;
+// Index of a static fault site (an ExternalCall, Throw, or Await-with-timeout
+// statement) within a Program's fault-site registry.
+using FaultSiteId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+// A statement identified globally across the whole program.
+struct GlobalStmt {
+  MethodId method = kInvalidId;
+  StmtId stmt = kInvalidId;
+
+  friend bool operator==(const GlobalStmt&, const GlobalStmt&) = default;
+  friend auto operator<=>(const GlobalStmt&, const GlobalStmt&) = default;
+};
+
+struct GlobalStmtHash {
+  size_t operator()(const GlobalStmt& g) const {
+    return static_cast<size_t>(g.method) * 1000003u + static_cast<size_t>(g.stmt);
+  }
+};
+
+}  // namespace anduril::ir
+
+#endif  // ANDURIL_SRC_IR_TYPES_H_

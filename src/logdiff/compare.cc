@@ -1,0 +1,148 @@
+#include "src/logdiff/compare.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/logdiff/myers.h"
+#include "src/util/check.h"
+
+namespace anduril::logdiff {
+
+namespace {
+
+// Reduces match pairs (sorted by base index) to a monotone subsequence by
+// taking the longest strictly-increasing subsequence of target indices.
+// Per-thread diffs are monotone individually, but interleaved threads can
+// cross globally; the LIS keeps the dominant consistent ordering.
+std::vector<std::pair<int64_t, int64_t>> MonotoneMatches(
+    std::vector<std::pair<int64_t, int64_t>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<int64_t> tails;                 // tails[len-1] = smallest tail target idx
+  std::vector<int32_t> tail_index;            // index into pairs for tails
+  std::vector<int32_t> prev(pairs.size(), -1);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    int64_t value = pairs[i].second;
+    auto it = std::lower_bound(tails.begin(), tails.end(), value);
+    size_t len = static_cast<size_t>(it - tails.begin());
+    if (len > 0) {
+      prev[i] = tail_index[len - 1];
+    }
+    if (it == tails.end()) {
+      tails.push_back(value);
+      tail_index.push_back(static_cast<int32_t>(i));
+    } else {
+      *it = value;
+      tail_index[len] = static_cast<int32_t>(i);
+    }
+  }
+  std::vector<std::pair<int64_t, int64_t>> result;
+  if (!tails.empty()) {
+    int32_t index = tail_index.back();
+    while (index >= 0) {
+      result.push_back(pairs[static_cast<size_t>(index)]);
+      index = prev[index];
+    }
+    std::reverse(result.begin(), result.end());
+  }
+  return result;
+}
+
+}  // namespace
+
+LogComparison CompareLogs(const ParsedLog& base, const ParsedLog& target) {
+  // Group line indices by thread. std::map gives deterministic thread order.
+  std::map<std::string, std::vector<int64_t>> base_threads;
+  std::map<std::string, std::vector<int64_t>> target_threads;
+  for (const ParsedLine& line : base.lines) {
+    base_threads[line.thread].push_back(line.index);
+  }
+  for (const ParsedLine& line : target.lines) {
+    target_threads[line.thread].push_back(line.index);
+  }
+
+  // Intern sanitized keys so the diff runs over int sequences.
+  std::unordered_map<std::string, int32_t> intern;
+  auto intern_key = [&](const std::string& key) {
+    auto [it, inserted] = intern.emplace(key, static_cast<int32_t>(intern.size()));
+    return it->second;
+  };
+
+  LogComparison result;
+  std::unordered_set<std::string> seen_keys;
+  auto add_target_only = [&](const ParsedLine& line) {
+    if (seen_keys.insert(line.key).second) {
+      result.target_only_keys.push_back(line.key);
+    }
+  };
+
+  std::vector<std::pair<int64_t, int64_t>> all_matches;
+  for (const auto& [thread, target_indices] : target_threads) {
+    auto base_it = base_threads.find(thread);
+    if (base_it == base_threads.end()) {
+      // Thread absent from the base log: every message is target-only.
+      for (int64_t idx : target_indices) {
+        add_target_only(target.lines[static_cast<size_t>(idx)]);
+      }
+      continue;
+    }
+    const std::vector<int64_t>& base_indices = base_it->second;
+    std::vector<int32_t> base_seq;
+    base_seq.reserve(base_indices.size());
+    for (int64_t idx : base_indices) {
+      base_seq.push_back(intern_key(base.lines[static_cast<size_t>(idx)].key));
+    }
+    std::vector<int32_t> target_seq;
+    target_seq.reserve(target_indices.size());
+    for (int64_t idx : target_indices) {
+      target_seq.push_back(intern_key(target.lines[static_cast<size_t>(idx)].key));
+    }
+    auto matches = MyersDiff(base_seq, target_seq);
+    // Target entries not matched are target-only.
+    std::vector<bool> matched(target_seq.size(), false);
+    for (const auto& [bi, ti] : matches) {
+      matched[static_cast<size_t>(ti)] = true;
+      all_matches.emplace_back(base_indices[static_cast<size_t>(bi)],
+                               target_indices[static_cast<size_t>(ti)]);
+    }
+    for (size_t i = 0; i < target_seq.size(); ++i) {
+      if (!matched[i]) {
+        add_target_only(target.lines[static_cast<size_t>(target_indices[i])]);
+      }
+    }
+  }
+
+  result.matches = MonotoneMatches(std::move(all_matches));
+  return result;
+}
+
+TimelineAlignment::TimelineAlignment(std::vector<std::pair<int64_t, int64_t>> matches,
+                                     int64_t base_size, int64_t target_size) {
+  anchors_.emplace_back(-1, -1);
+  for (auto& match : matches) {
+    ANDURIL_CHECK_GT(match.first, anchors_.back().first);
+    ANDURIL_CHECK_GT(match.second, anchors_.back().second);
+    anchors_.push_back(match);
+  }
+  anchors_.emplace_back(base_size, target_size);
+}
+
+int64_t TimelineAlignment::MapPosition(int64_t base_pos) const {
+  // Find the finest interval [lo, hi) containing base_pos.
+  auto it = std::upper_bound(
+      anchors_.begin(), anchors_.end(), base_pos,
+      [](int64_t pos, const std::pair<int64_t, int64_t>& anchor) { return pos < anchor.first; });
+  ANDURIL_CHECK(it != anchors_.begin());
+  const auto& hi = (it == anchors_.end()) ? anchors_.back() : *it;
+  const auto& lo = *(it - 1);
+  if (base_pos == lo.first) {
+    return lo.second;
+  }
+  int64_t base_span = hi.first - lo.first;
+  int64_t target_span = hi.second - lo.second;
+  if (base_span <= 0) {
+    return lo.second;
+  }
+  return lo.second + (base_pos - lo.first) * target_span / base_span;
+}
+
+}  // namespace anduril::logdiff

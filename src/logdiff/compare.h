@@ -1,0 +1,59 @@
+// Per-thread log comparison (§5.1.1) and normal→failure timeline alignment
+// (§5.2.3).
+//
+// CompareLogs implements the paper's relevant-observable extraction: group
+// both logs by thread name, sanitize entries, run Myers diff per thread, and
+// report every message key that appears only in the failure log (plus all
+// messages of threads absent from the normal log). It also returns the
+// matched entry pairs, which AlignTimelines turns into a monotone piecewise-
+// linear mapping used to scale fault-instance positions from the normal-run
+// timeline onto the failure-log timeline.
+
+#ifndef ANDURIL_SRC_LOGDIFF_COMPARE_H_
+#define ANDURIL_SRC_LOGDIFF_COMPARE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/logdiff/parser.h"
+
+namespace anduril::logdiff {
+
+struct LogComparison {
+  // Observable keys present in `target` (failure log) but missing from
+  // `base` (normal/run log), deduplicated, in order of first appearance.
+  std::vector<std::string> target_only_keys;
+  // Matched entry pairs (base global index, target global index) from the
+  // per-thread diffs, merged and reduced to a globally monotone alignment
+  // (longest increasing subsequence on target indices).
+  std::vector<std::pair<int64_t, int64_t>> matches;
+};
+
+// Compares `base` against `target`, i.e. answers "what does `target` contain
+// that `base` does not". For observable extraction, base = normal log and
+// target = failure log.
+LogComparison CompareLogs(const ParsedLog& base, const ParsedLog& target);
+
+// Piecewise-linear position mapping built from matched pairs.
+class TimelineAlignment {
+ public:
+  // `matches` must be monotone (as produced by CompareLogs). `base_size` /
+  // `target_size` are the log lengths, used for the boundary intervals.
+  TimelineAlignment(std::vector<std::pair<int64_t, int64_t>> matches, int64_t base_size,
+                    int64_t target_size);
+
+  // Maps a base-log position (log clock) to the estimated target-log
+  // position by scaling within the finest enclosing matched interval.
+  int64_t MapPosition(int64_t base_pos) const;
+
+ private:
+  std::vector<std::pair<int64_t, int64_t>> anchors_;  // includes (0,0) & (end,end)
+};
+
+}  // namespace anduril::logdiff
+
+#endif  // ANDURIL_SRC_LOGDIFF_COMPARE_H_

@@ -1,0 +1,158 @@
+#include "src/logdiff/myers.h"
+
+#include "src/util/check.h"
+
+namespace anduril::logdiff {
+namespace {
+
+// Linear-space Myers (divide and conquer on the middle snake), following
+// section 4b of Myers' paper. This keeps memory bounded even when two run
+// logs diverge completely, which happens when an injected fault takes a
+// system down early.
+class MyersSolver {
+ public:
+  MyersSolver(const std::vector<int32_t>& a, const std::vector<int32_t>& b) : a_(a), b_(b) {}
+
+  std::vector<std::pair<int32_t, int32_t>> Solve() {
+    int n = static_cast<int>(a_.size());
+    int m = static_cast<int>(b_.size());
+    vf_.assign(static_cast<size_t>(2 * (n + m) + 3), 0);
+    vb_.assign(static_cast<size_t>(2 * (n + m) + 3), 0);
+    offset_ = n + m + 1;
+    Diff(0, n, 0, m);
+    return std::move(out_);
+  }
+
+ private:
+  struct Snake {
+    int d = 0;       // edit distance of the subproblem
+    int x = 0, y = 0;  // snake start (local coords)
+    int u = 0, v = 0;  // snake end
+  };
+
+  void Diff(int a0, int n, int b0, int m) {
+    // Strip the common prefix.
+    while (n > 0 && m > 0 && a_[static_cast<size_t>(a0)] == b_[static_cast<size_t>(b0)]) {
+      out_.emplace_back(a0, b0);
+      ++a0;
+      ++b0;
+      --n;
+      --m;
+    }
+    // Count the common suffix (emitted after the middle).
+    int suffix = 0;
+    while (suffix < n && suffix < m &&
+           a_[static_cast<size_t>(a0 + n - 1 - suffix)] ==
+               b_[static_cast<size_t>(b0 + m - 1 - suffix)]) {
+      ++suffix;
+    }
+    n -= suffix;
+    m -= suffix;
+
+    if (n > 0 && m > 0) {
+      Snake snake = MiddleSnake(a0, n, b0, m);
+      if (snake.d > 1) {
+        Diff(a0, snake.x, b0, snake.y);
+        for (int i = snake.x; i < snake.u; ++i) {
+          out_.emplace_back(a0 + i, b0 + snake.y + (i - snake.x));
+        }
+        Diff(a0 + snake.u, n - snake.u, b0 + snake.v, m - snake.v);
+      } else {
+        // Edit distance <= 1: greedy walk matches everything it can.
+        int i = 0;
+        int j = 0;
+        while (i < n && j < m) {
+          if (a_[static_cast<size_t>(a0 + i)] == b_[static_cast<size_t>(b0 + j)]) {
+            out_.emplace_back(a0 + i, b0 + j);
+            ++i;
+            ++j;
+          } else if (n > m) {
+            ++i;
+          } else {
+            ++j;
+          }
+        }
+      }
+    }
+
+    for (int i = 0; i < suffix; ++i) {
+      out_.emplace_back(a0 + n + i, b0 + m + i);
+    }
+  }
+
+  Snake MiddleSnake(int a0, int n, int b0, int m) {
+    const int delta = n - m;
+    const bool odd = (delta & 1) != 0;
+    const int max_d = (n + m + 1) / 2;
+    vf_[static_cast<size_t>(offset_ + 1)] = 0;
+    vb_[static_cast<size_t>(offset_ + 1)] = 0;
+    for (int d = 0; d <= max_d; ++d) {
+      for (int k = -d; k <= d; k += 2) {
+        int x;
+        if (k == -d || (k != d && vf_[static_cast<size_t>(offset_ + k - 1)] <
+                                      vf_[static_cast<size_t>(offset_ + k + 1)])) {
+          x = vf_[static_cast<size_t>(offset_ + k + 1)];
+        } else {
+          x = vf_[static_cast<size_t>(offset_ + k - 1)] + 1;
+        }
+        int y = x - k;
+        const int x0 = x;
+        const int y0 = y;
+        while (x < n && y < m &&
+               a_[static_cast<size_t>(a0 + x)] == b_[static_cast<size_t>(b0 + y)]) {
+          ++x;
+          ++y;
+        }
+        vf_[static_cast<size_t>(offset_ + k)] = x;
+        if (odd && k - delta >= -(d - 1) && k - delta <= d - 1) {
+          int xb = n - vb_[static_cast<size_t>(offset_ + (delta - k))];
+          if (x >= xb) {
+            return Snake{2 * d - 1, x0, y0, x, y};
+          }
+        }
+      }
+      for (int k = -d; k <= d; k += 2) {
+        int x;
+        if (k == -d || (k != d && vb_[static_cast<size_t>(offset_ + k - 1)] <
+                                      vb_[static_cast<size_t>(offset_ + k + 1)])) {
+          x = vb_[static_cast<size_t>(offset_ + k + 1)];
+        } else {
+          x = vb_[static_cast<size_t>(offset_ + k - 1)] + 1;
+        }
+        int y = x - k;
+        const int x0 = x;
+        const int y0 = y;
+        while (x < n && y < m &&
+               a_[static_cast<size_t>(a0 + n - 1 - x)] ==
+                   b_[static_cast<size_t>(b0 + m - 1 - y)]) {
+          ++x;
+          ++y;
+        }
+        vb_[static_cast<size_t>(offset_ + k)] = x;
+        if (!odd && delta - k >= -d && delta - k <= d) {
+          int xf = vf_[static_cast<size_t>(offset_ + (delta - k))];
+          if (xf >= n - x) {
+            return Snake{2 * d, n - x, m - y, n - x0, m - y0};
+          }
+        }
+      }
+    }
+    ANDURIL_UNREACHABLE() << "middle snake not found";
+  }
+
+  const std::vector<int32_t>& a_;
+  const std::vector<int32_t>& b_;
+  std::vector<int> vf_;
+  std::vector<int> vb_;
+  int offset_ = 0;
+  std::vector<std::pair<int32_t, int32_t>> out_;
+};
+
+}  // namespace
+
+std::vector<std::pair<int32_t, int32_t>> MyersDiff(const std::vector<int32_t>& a,
+                                                   const std::vector<int32_t>& b) {
+  return MyersSolver(a, b).Solve();
+}
+
+}  // namespace anduril::logdiff

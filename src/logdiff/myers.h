@@ -1,0 +1,22 @@
+// Myers O(ND) difference algorithm (Myers 1986), the diff the paper applies
+// to per-thread sanitized log sequences (§5.1.1). Operates on sequences of
+// interned symbols; returns the matched (LCS) index pairs, from which both
+// "failure-only" entries and the normal↔failure alignment are derived.
+
+#ifndef ANDURIL_SRC_LOGDIFF_MYERS_H_
+#define ANDURIL_SRC_LOGDIFF_MYERS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace anduril::logdiff {
+
+// Matched index pairs (i in `a`, j in `b`), strictly increasing in both
+// components; the pairs form a longest common subsequence of `a` and `b`.
+std::vector<std::pair<int32_t, int32_t>> MyersDiff(const std::vector<int32_t>& a,
+                                                   const std::vector<int32_t>& b);
+
+}  // namespace anduril::logdiff
+
+#endif  // ANDURIL_SRC_LOGDIFF_MYERS_H_

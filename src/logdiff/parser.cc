@@ -1,0 +1,80 @@
+#include "src/logdiff/parser.h"
+
+#include "src/util/strings.h"
+
+namespace anduril::logdiff {
+
+std::string Sanitize(const std::string& message) {
+  std::string out;
+  out.reserve(message.size());
+  bool in_digits = false;
+  for (char c : message) {
+    if (c >= '0' && c <= '9') {
+      if (!in_digits) {
+        out.push_back('#');
+        in_digits = true;
+      }
+    } else {
+      in_digits = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+ParsedLog ParseLogFile(const std::string& text, const LogFormat& format) {
+  ParsedLog log;
+  for (std::string_view raw : Split(text, '\n')) {
+    std::string_view line = Trim(raw);
+    if (line.empty()) {
+      continue;
+    }
+    // Skip timestamp tokens.
+    size_t pos = 0;
+    bool bad = false;
+    for (int i = 0; i < format.timestamp_tokens; ++i) {
+      size_t space = line.find(' ', pos);
+      if (space == std::string_view::npos) {
+        bad = true;
+        break;
+      }
+      pos = space + 1;
+    }
+    if (bad || pos >= line.size() || line[pos] != '[') {
+      continue;
+    }
+    size_t thread_end = line.find(']', pos);
+    if (thread_end == std::string_view::npos) {
+      continue;
+    }
+    std::string thread(line.substr(pos + 1, thread_end - pos - 1));
+    pos = thread_end + 1;
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    size_t level_end = line.find(' ', pos);
+    if (level_end == std::string_view::npos) {
+      continue;
+    }
+    std::string level(line.substr(pos, level_end - pos));
+    pos = level_end + 1;
+    size_t sep = line.find(format.message_separator, pos);
+    if (sep == std::string_view::npos) {
+      continue;
+    }
+    std::string logger(Trim(line.substr(pos, sep - pos)));
+    std::string message(line.substr(sep + format.message_separator.size()));
+
+    ParsedLine parsed;
+    parsed.index = static_cast<int64_t>(log.lines.size());
+    parsed.thread = std::move(thread);
+    parsed.level = std::move(level);
+    parsed.logger = std::move(logger);
+    parsed.key = parsed.level + "|" + parsed.logger + "|" + Sanitize(message);
+    parsed.message = std::move(message);
+    log.lines.push_back(std::move(parsed));
+  }
+  return log;
+}
+
+}  // namespace anduril::logdiff

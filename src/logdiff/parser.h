@@ -1,0 +1,51 @@
+// Production-log parsing.
+//
+// The explorer only sees log *files* (text), both for the failure log from
+// "production" and for each experiment run, mirroring the paper's toolchain
+// (its parser is a separate Scala component with per-system format configs,
+// §7). Lines are parsed into structured entries and sanitized so that
+// timestamps and other volatile values do not make every line unique.
+
+#ifndef ANDURIL_SRC_LOGDIFF_PARSER_H_
+#define ANDURIL_SRC_LOGDIFF_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anduril::logdiff {
+
+struct ParsedLine {
+  int64_t index = 0;  // global position in the file (log clock)
+  std::string thread;
+  std::string level;
+  std::string logger;
+  std::string message;
+  // "LEVEL|logger|sanitized(message)" — the observable identity key.
+  std::string key;
+};
+
+struct ParsedLog {
+  std::vector<ParsedLine> lines;
+};
+
+// Format configuration (the paper needed one config for Kafka and one for
+// the other four systems; non-standard formats supply their own).
+struct LogFormat {
+  // Number of whitespace-separated timestamp tokens before "[thread]".
+  int timestamp_tokens = 1;
+  // Separator between the logger and the message.
+  std::string message_separator = " - ";
+};
+
+// Replaces every digit run with '#'. Timestamps are already stripped by the
+// parser; this removes counters, sizes, ports, ids.
+std::string Sanitize(const std::string& message);
+
+// Parses a log file body. Unparseable lines are skipped (production logs
+// contain stack-trace continuation lines etc.).
+ParsedLog ParseLogFile(const std::string& text, const LogFormat& format = LogFormat());
+
+}  // namespace anduril::logdiff
+
+#endif  // ANDURIL_SRC_LOGDIFF_PARSER_H_

@@ -1,0 +1,277 @@
+// Simulated Cassandra and its two evaluated failures:
+//   f21 C*-17663: an interrupted FileStreamTask compromises the shared
+//                 channel proxy, failing the whole streaming session
+//   f22 C*-6415:  snapshot repair blocks forever when makeSnapshot gets no
+//                 response
+//
+// f22 also carries the paper's "deeper root cause" phenomenon (§8.2,
+// appendix Table 6): besides the documented snapshot-creation fault, an
+// earlier disk fault while creating the column family also leaves the
+// snapshot request unanswered and satisfies the same oracle — a deeper link
+// in the causal chain that the original patch (retrying the snapshot RPC)
+// would not fix.
+//
+// Topology: three Cassandra nodes + client, with gossip and compaction noise.
+
+#include "src/systems/common.h"
+
+#include "src/systems/extras.h"
+
+#include "src/util/check.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+void BuildCassandraBase(Program* p) {
+  // --- Gossip noise -----------------------------------------------------------
+  {
+    MethodBuilder b(p, "cas.gossip_loop");
+    b.While(b.LtVar("gossipRound", "gossipRounds"), [&] {
+      b.Assign("gossipRound", b.Plus("gossipRound", 1));
+      b.TryCatch(
+          [&] {
+            b.External("cas.gossip.send_syn", {"SocketException"}, /*transient_every_n=*/6);
+          },
+          {{"SocketException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "cassandra.Gossiper", "Gossip round failed, peer busy");
+            }}});
+      b.Sleep(22);
+    });
+  }
+  // --- Compaction noise ----------------------------------------------------------
+  {
+    MethodBuilder b(p, "cas.compaction_loop");
+    b.While(b.Lt("casCompact", 10), [&] {
+      b.Assign("casCompact", b.Plus("casCompact", 1));
+      b.TryCatch(
+          [&] {
+            b.External("cas.compact.merge_sstables", {"IOException"}, /*transient_every_n=*/7);
+            b.Log(LogLevel::kDebug, "cassandra.Compaction", "Compacted {} sstables",
+                  {b.V("casCompact")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "cassandra.Compaction", "Compaction failed, requeued");
+            }}});
+      b.Sleep(16);
+    });
+  }
+
+  // --- Streaming session (f21) ------------------------------------------------
+  {
+    MethodBuilder b(p, "cas.stream.file_task");
+    b.If(b.Eq("channelCorrupt", 1), [&] {
+      b.Log(LogLevel::kError, "cassandra.Streaming",
+            "Stream channel proxy compromised, session failed");
+      b.Assign("sessionFailed", Expr::Const(1));
+      b.Return();
+    });
+    b.TryCatch(
+        [&] {
+          b.External("cas.stream.write_file", {"InterruptedException", "IOException"});
+          b.Assign("filesStreamed", b.Plus("filesStreamed", 1));
+          b.Log(LogLevel::kDebug, "cassandra.Streaming", "Streamed file {} over channel",
+                {b.V("filesStreamed")});
+        },
+        {{"InterruptedException",
+          [&] {
+            // BUG (C*-17663): the interrupt leaves the shared channel in a
+            // half-written state that is never reset.
+            b.Log(LogLevel::kWarn, "cassandra.Streaming",
+                     "File stream task interrupted mid-transfer");
+            b.Assign("channelCorrupt", Expr::Const(1));
+          }},
+         {"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "cassandra.Streaming", "Stream write failed, retrying");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "cas.stream.session");
+    b.Log(LogLevel::kInfo, "cassandra.Streaming", "Starting streaming session, {} files",
+          {Expr::Const(6)});
+    b.While(b.Lt("filesSubmitted", 6), [&] {
+      b.Assign("filesSubmitted", b.Plus("filesSubmitted", 1));
+      b.Send("cas.stream.file_task", "cas2",
+             ir::SendOpts{.payload = b.V("filesSubmitted"), .handler_thread = "StreamIn"});
+      b.Sleep(12);
+    });
+    b.Sleep(120);
+    b.If(
+        b.Eq("streamSessionOk", 1),
+        [&] { b.Log(LogLevel::kInfo, "cassandra.Streaming", "Streaming session complete"); },
+        [&] { b.Nop(); });
+  }
+  {
+    MethodBuilder b(p, "cas.stream.verify");
+    b.Sleep(350);
+    b.If(
+        b.Ge("filesStreamed", 6),
+        [&] { b.Log(LogLevel::kInfo, "cassandra.Streaming", "All files received"); },
+        [&] {
+          b.Log(LogLevel::kWarn, "cassandra.Streaming", "Session incomplete, {} files received",
+                {b.V("filesStreamed")});
+        });
+  }
+
+  // --- Snapshot repair (f22) -----------------------------------------------------
+  {
+    MethodBuilder b(p, "cas.repair.make_column_family");
+    b.TryCatch(
+        [&] {
+          b.External("cas.cf.create", {"IOException"});
+          b.Assign("cfExists", Expr::Const(1));
+          b.Log(LogLevel::kInfo, "cassandra.Repair", "Column family ready for repair");
+        },
+        {{"IOException",
+          [&] {
+            // The deeper root cause (§8.2): the creation failure is logged
+            // but repair proceeds as if the column family existed.
+            b.Log(LogLevel::kWarn, "cassandra.Repair", "Column family creation failed");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "cas.repair.handle_snapshot");
+    b.If(b.Eq("cfExists", 0), [&] {
+      b.Log(LogLevel::kWarn, "cassandra.Snapshot", "No such column family, ignoring request");
+      b.Return();
+    });
+    b.TryCatch(
+        [&] {
+          b.External("cas.snapshot.create", {"IOException"});
+          b.Log(LogLevel::kInfo, "cassandra.Snapshot", "Snapshot created for repair");
+          b.Send("cas.repair.snapshot_ack", "cas1");
+        },
+        {{"IOException",
+          [&] {
+            // BUG (C*-6415): the failure is swallowed; no nack is sent, so
+            // the coordinator waits forever.
+            b.Log(LogLevel::kWarn, "cassandra.Snapshot", "Snapshot creation failed");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "cas.repair.snapshot_ack");
+    b.Assign("snapshotAcks", b.Plus("snapshotAcks", 1));
+    b.Signal("snapshotAcks");
+  }
+  {
+    MethodBuilder b(p, "cas.repair.coordinate");
+    b.Log(LogLevel::kInfo, "cassandra.Repair", "Starting snapshot repair of keyspace");
+    b.Invoke("cas.repair.make_column_family");
+    b.Send("cas.repair.make_cf_remote", "cas2");
+    b.Send("cas.repair.make_cf_remote", "cas3");
+    b.Sleep(20);
+    b.Send("cas.repair.handle_snapshot", "cas2");
+    b.Send("cas.repair.handle_snapshot", "cas3");
+    // BUG (C*-6415): no timeout on the snapshot responses.
+    b.Await(b.Ge("snapshotAcks", 2));
+    b.Log(LogLevel::kInfo, "cassandra.Repair", "Snapshots complete, merkle trees next");
+  }
+  {
+    MethodBuilder b(p, "cas.repair.make_cf_remote");
+    b.Invoke("cas.repair.make_column_family");
+  }
+  {
+    MethodBuilder b(p, "cas.repair.watchdog");
+    b.Sleep(600);
+    b.If(b.Lt("snapshotAcks", 2), [&] {
+      b.Log(LogLevel::kError, "cassandra.Repair",
+            "Repair session hanged waiting for snapshot responses");
+    });
+  }
+
+  BuildCassandraExtras(p);
+  AddNoisyServices(p, "cas.ipc", 8, 5);
+  AddNoisyServices(p, "cas.mutation", 6, 5);
+  AddColdModule(p, "cas.cql", 16, 8);
+  AddColdModule(p, "cas.hints", 12, 7);
+  AddColdModule(p, "cas.auth", 10, 6);
+}
+
+interp::ClusterSpec BaseCluster(Program* p, int gossip_rounds) {
+  interp::ClusterSpec cluster;
+  for (const char* node : {"cas1", "cas2", "cas3", "client"}) {
+    cluster.AddNode(node);
+  }
+  cluster.AddTask("cas1", "GossipStage", p->FindMethod("cas.gossip_loop"), 0);
+  cluster.AddTask("cas2", "GossipStage", p->FindMethod("cas.gossip_loop"), 4);
+  cluster.AddTask("cas1", "CompactionExecutor", p->FindMethod("cas.compaction_loop"), 8);
+  cluster.SetVar("cas1", p->InternVar("gossipRounds"), gossip_rounds);
+  cluster.SetVar("cas2", p->InternVar("gossipRounds"), gossip_rounds);
+  StartNoisyServices(&cluster, p, "cas.ipc", "cas3", 8, 8);
+  StartCassandraExtras(&cluster, p);
+  StartNoisyServices(&cluster, p, "cas.mutation", "cas2", 6, 7);
+  return cluster;
+}
+
+// --- Cases ---------------------------------------------------------------------
+
+void RegisterCa17663(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "ca-17663";
+  c.paper_id = "f21";
+  c.system = "cassandra";
+  c.title = "Interrupted FileStreamTask compromises the shared channel proxy";
+  c.injected_fault = "InterruptedException";
+  c.root_site = "cas.stream.write_file";
+  c.root_exception = "InterruptedException";
+  c.root_occurrence = 2;
+  c.build = BuildCassandraBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 12);
+    cluster.AddTask("cas1", "StreamOut", p->FindMethod("cas.stream.session"), 10);
+    cluster.AddTask("cas2", "StreamVerify", p->FindMethod("cas.stream.verify"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Stream channel proxy compromised") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "File stream task interrupted");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterCa6415(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "ca-6415";
+  c.paper_id = "f22";
+  c.system = "cassandra";
+  c.title = "Snapshot repair blocks forever without makeSnapshot responses";
+  c.injected_fault = "IOException";
+  c.root_site = "cas.snapshot.create";
+  c.root_exception = "IOException";
+  c.root_occurrence = 1;
+  c.build = BuildCassandraBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 12);
+    cluster.AddTask("cas1", "RepairCoordinator", p->FindMethod("cas.repair.coordinate"), 10);
+    cluster.AddTask("cas1", "RepairWatchdog", p->FindMethod("cas.repair.watchdog"), 0);
+    return cluster;
+  };
+  c.failure_workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 24);  // production noise
+    cluster.AddTask("cas1", "RepairCoordinator", p->FindMethod("cas.repair.coordinate"), 10);
+    cluster.AddTask("cas1", "RepairWatchdog", p->FindMethod("cas.repair.watchdog"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Repair session hanged waiting for snapshot") &&
+           run.IsThreadStuckIn(prog, "cas1/RepairCoordinator", "cas.repair.coordinate");
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterCassandraCases(std::vector<FailureCase>* cases) {
+  RegisterCa17663(cases);
+  RegisterCa6415(cases);
+}
+
+}  // namespace anduril::systems

@@ -1,0 +1,168 @@
+// Cassandra background subsystems: hinted handoff delivery, read repair,
+// anti-entropy merkle rounds, and commitlog segment recycling.
+
+#include "src/systems/extras.h"
+
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Hinted handoff: hints accumulate for a down replica and are replayed when
+// it comes back; failed deliveries re-queue the hint.
+void BuildHintedHandoff(Program* p) {
+  {
+    MethodBuilder b(p, "cas.hints.deliver_one");
+    b.If(b.Gt("hintsPending", 0), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("cas.hints.send_hint", {"SocketException"}, /*transient_every_n=*/8);
+            b.Assign("hintsPending", b.Minus("hintsPending", 1));
+            b.Assign("hintsDelivered", b.Plus("hintsDelivered", 1));
+            b.Log(LogLevel::kDebug, "cassandra.HintsService", "Hint delivered, {} pending",
+                  {b.V("hintsPending")});
+          },
+          {{"SocketException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "cassandra.HintsService",
+                       "Hint delivery failed, re-queued");
+            }}});
+    });
+  }
+  {
+    MethodBuilder b(p, "cas.hints.dispatch_loop");
+    b.Assign("hintsPending", Expr::Const(6));
+    b.While(ir::Cond::LtVar(b.Var("hintTick"), b.Var("casExtraRounds")), [&] {
+      b.Assign("hintTick", b.Plus("hintTick", 1));
+      b.Invoke("cas.hints.deliver_one");
+      b.Sleep(15);
+    });
+  }
+}
+
+// Read repair: a digest mismatch between replicas triggers a foreground
+// repair of the stale replica.
+void BuildReadRepair(Program* p) {
+  {
+    MethodBuilder b(p, "cas.read.coordinate");
+    b.TryCatch(
+        [&] {
+          b.External("cas.read.fetch_data", {"IOException"});
+          b.External("cas.read.fetch_digest", {"IOException"}, /*transient_every_n=*/9);
+          b.Assign("readsOk", b.Plus("readsOk", 1));
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "cassandra.ReadRepair",
+                     "Digest mismatch, repairing stale replica");
+            b.TryCatch(
+                [&] {
+                  b.External("cas.read.write_repair", {"IOException"});
+                  b.Assign("readRepairs", b.Plus("readRepairs", 1));
+                },
+                {{"IOException",
+                  [&] {
+                    b.LogExc(LogLevel::kWarn, "cassandra.ReadRepair",
+                             "Foreground repair failed, hint stored");
+                    b.Assign("hintsPending", b.Plus("hintsPending", 1));
+                  }}});
+          }}});
+  }
+  {
+    MethodBuilder b(p, "cas.read.workload_loop");
+    b.While(ir::Cond::LtVar(b.Var("readTick"), b.Var("casExtraRounds")), [&] {
+      b.Assign("readTick", b.Plus("readTick", 1));
+      b.Invoke("cas.read.coordinate");
+      b.Sleep(13);
+    });
+  }
+}
+
+// Anti-entropy: periodic merkle-tree comparison between neighbors, streaming
+// the differing ranges.
+void BuildAntiEntropy(Program* p) {
+  {
+    MethodBuilder b(p, "cas.ae.merkle_round");
+    b.TryCatch(
+        [&] {
+          b.External("cas.ae.build_merkle", {"IOException"});
+          b.External("cas.ae.compare_trees", {"IOException"}, /*transient_every_n=*/11);
+          b.Assign("merkleRounds", b.Plus("merkleRounds", 1));
+          b.Log(LogLevel::kDebug, "cassandra.AntiEntropy", "Merkle round {} in sync",
+                {b.V("merkleRounds")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "cassandra.AntiEntropy",
+                     "Tree comparison failed, will stream ranges");
+            b.TryCatch(
+                [&] {
+                  b.External("cas.ae.stream_range", {"IOException"});
+                  b.Assign("rangesStreamed", b.Plus("rangesStreamed", 1));
+                },
+                {{"IOException",
+                  [&] {
+                    b.LogExc(LogLevel::kWarn, "cassandra.AntiEntropy",
+                             "Range streaming failed, deferred");
+                  }}});
+          }}});
+  }
+  {
+    MethodBuilder b(p, "cas.ae.loop");
+    b.While(ir::Cond::LtVar(b.Var("aeTick"), b.Var("casExtraRounds")), [&] {
+      b.Assign("aeTick", b.Plus("aeTick", 1));
+      b.Invoke("cas.ae.merkle_round");
+      b.Sleep(28);
+    });
+  }
+}
+
+// Commitlog recycler: archives full segments and reuses their buffers.
+void BuildCommitlogRecycler(Program* p) {
+  {
+    MethodBuilder b(p, "cas.commitlog.recycle_loop");
+    b.While(ir::Cond::LtVar(b.Var("clogTick"), b.Var("casExtraRounds")), [&] {
+      b.Assign("clogTick", b.Plus("clogTick", 1));
+      b.TryCatch(
+          [&] {
+            b.External("cas.commitlog.sync_segment", {"IOException"}, /*transient_every_n=*/14);
+            b.External("cas.commitlog.recycle_segment", {"IOException"});
+            b.Assign("segmentsRecycled", b.Plus("segmentsRecycled", 1));
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "cassandra.CommitLog", "Segment sync postponed");
+            }}});
+      b.Sleep(25);
+    });
+  }
+}
+
+}  // namespace
+
+void BuildCassandraExtras(Program* p) {
+  BuildHintedHandoff(p);
+  BuildReadRepair(p);
+  BuildAntiEntropy(p);
+  BuildCommitlogRecycler(p);
+}
+
+void StartCassandraExtras(interp::ClusterSpec* cluster, ir::Program* p) {
+  int rounds = 6 * CurrentWorkloadScale();
+  cluster->AddTask("cas1", "HintsDispatcher", p->FindMethod("cas.hints.dispatch_loop"), 6);
+  cluster->AddTask("cas2", "ReadStage", p->FindMethod("cas.read.workload_loop"), 3);
+  cluster->AddTask("cas3", "AntiEntropyStage", p->FindMethod("cas.ae.loop"), 9);
+  cluster->AddTask("cas1", "CommitLogRecycler", p->FindMethod("cas.commitlog.recycle_loop"),
+                   12);
+  for (const char* node : {"cas1", "cas2", "cas3"}) {
+    cluster->SetVar(node, p->InternVar("casExtraRounds"), rounds);
+  }
+}
+
+}  // namespace anduril::systems

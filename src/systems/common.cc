@@ -1,0 +1,182 @@
+#include "src/systems/common.h"
+
+#include "src/interp/simulator.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace anduril::systems {
+
+void RegisterStandardExceptions(ir::Program* program) {
+  program->DefineException("IOException");
+  program->DefineException("FileNotFoundException", "IOException");
+  program->DefineException("SocketException", "IOException");
+  program->DefineException("ConnectException", "SocketException");
+  program->DefineException("EOFException", "IOException");
+  program->DefineException("TimeoutException");
+  program->DefineException("TimeoutIOException", "IOException");
+  program->DefineException("InterruptedException");
+  program->DefineException("ExecutionException");
+  program->DefineException("IllegalStateException");
+  program->DefineException("NullPointerException");
+  program->DefineException("RuntimeException");
+  program->DefineException("KeeperException");
+  program->DefineException("ReplicationException");
+}
+
+ir::FaultSiteId FindSiteByName(const ir::Program& program, const std::string& site_name) {
+  ir::FaultSiteId found = ir::kInvalidId;
+  std::string prefix = site_name + "@";
+  for (const ir::FaultSite& site : program.fault_sites()) {
+    if (StartsWith(site.name, prefix)) {
+      ANDURIL_CHECK_EQ(found, ir::kInvalidId) << "ambiguous site name " << site_name;
+      found = site.id;
+    }
+  }
+  ANDURIL_CHECK_NE(found, ir::kInvalidId) << "no fault site named " << site_name;
+  return found;
+}
+
+interp::RunResult RunOnce(const ir::Program& program, const interp::ClusterSpec& cluster,
+                          uint64_t seed,
+                          const std::vector<interp::InjectionCandidate>& window) {
+  interp::FaultRuntime runtime(&program);
+  runtime.SetWindow(window);
+  interp::Simulator simulator(&program, &cluster, seed, &runtime);
+  return simulator.Run();
+}
+
+namespace {
+int g_workload_scale = 1;
+}  // namespace
+
+int CurrentWorkloadScale() { return g_workload_scale; }
+
+void AddNoisyServices(ir::Program* program, const std::string& prefix, int services,
+                      int sites_per_service) {
+  for (int i = 0; i < services; ++i) {
+    ir::MethodBuilder b(program, StrFormat("%s.svc%d", prefix.c_str(), i));
+    std::string counter = StrFormat("%sRound%d", prefix.c_str(), i);
+    std::string rounds = prefix + "Rounds";
+    b.While(b.LtVar(counter, rounds), [&] {
+      b.Assign(counter, b.Plus(counter, 1));
+      b.TryCatch(
+          [&] {
+            for (int s = 0; s < sites_per_service; ++s) {
+              b.External(StrFormat("%s.svc%d_op%d", prefix.c_str(), i, s), {"IOException"},
+                         /*transient_every_n=*/5 + (i * 7 + s * 3) % 11);
+            }
+            b.Log(ir::LogLevel::kDebug, prefix, StrFormat("service %d round {} ok", i),
+                  {b.V(counter)});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(ir::LogLevel::kWarn, prefix,
+                       StrFormat("service %d operation failed, will retry", i));
+            }}});
+      b.Sleep(10 + i * 3);
+    });
+  }
+}
+
+void StartNoisyServices(interp::ClusterSpec* cluster, ir::Program* program,
+                        const std::string& prefix, const std::string& node, int services,
+                        int rounds) {
+  for (int i = 0; i < services; ++i) {
+    ir::MethodId method = program->FindMethod(StrFormat("%s.svc%d", prefix.c_str(), i));
+    cluster->AddTask(node, StrFormat("%sWorker%d", prefix.c_str(), i), method, i * 2);
+  }
+  cluster->SetVar(node, program->InternVar(prefix + "Rounds"),
+                  rounds * CurrentWorkloadScale());
+}
+
+void AddColdModule(ir::Program* program, const std::string& prefix, int methods,
+                   int sites_per_method) {
+  for (int m = 0; m < methods; ++m) {
+    ir::MethodBuilder builder(program, StrFormat("%s.mod%d", prefix.c_str(), m));
+    builder.TryCatch(
+        [&] {
+          for (int s = 0; s < sites_per_method; ++s) {
+            builder.External(StrFormat("%s.op%d_%d", prefix.c_str(), m, s), {"IOException"});
+          }
+        },
+        {{"IOException",
+          [&] {
+            builder.LogExc(ir::LogLevel::kWarn, prefix + ".maintenance",
+                           "maintenance operation failed, will retry");
+          }}});
+  }
+}
+
+BuiltCase BuildCase(const FailureCase& failure_case, bool verify) {
+  BuiltCase built;
+  built.program = std::make_unique<ir::Program>();
+  RegisterStandardExceptions(built.program.get());
+  failure_case.build(built.program.get());
+  built.program->Finalize();
+
+  g_workload_scale = 1;
+  built.cluster = failure_case.workload(built.program.get());
+  g_workload_scale = 2;  // the production run is longer and noisier
+  built.failure_cluster = failure_case.failure_workload
+                              ? failure_case.failure_workload(built.program.get())
+                              : failure_case.workload(built.program.get());
+  g_workload_scale = 1;
+
+  // Resolve the ground truth.
+  built.ground_truth.site = FindSiteByName(*built.program, failure_case.root_site);
+  built.ground_truth.occurrence = failure_case.root_occurrence;
+  built.ground_truth.type = built.program->FindException(failure_case.root_exception);
+  ANDURIL_CHECK_NE(built.ground_truth.type, ir::kInvalidId)
+      << "unknown exception " << failure_case.root_exception;
+
+  // The workload alone must not satisfy the oracle (§2: the failure is
+  // fault-induced).
+  if (verify) {
+    interp::RunResult fault_free =
+        RunOnce(*built.program, built.failure_cluster, failure_case.failure_seed);
+    ANDURIL_CHECK(!failure_case.oracle(*built.program, fault_free))
+        << failure_case.id << ": oracle satisfied without any fault";
+  }
+
+  // Generate the production failure log by injecting the ground truth.
+  interp::RunResult failure_run = RunOnce(*built.program, built.failure_cluster,
+                                          failure_case.failure_seed, {built.ground_truth});
+  if (verify) {
+    ANDURIL_CHECK(failure_run.injected.has_value())
+        << failure_case.id << ": ground-truth instance never occurred";
+    ANDURIL_CHECK(failure_case.oracle(*built.program, failure_run))
+        << failure_case.id << ": ground truth does not reproduce the failure";
+  }
+  built.failure_log_text = interp::FormatLogFile(failure_run.log);
+
+  built.spec.program = built.program.get();
+  built.spec.cluster = &built.cluster;
+  built.spec.failure_log_text = built.failure_log_text;
+  built.spec.oracle = failure_case.oracle;
+  built.spec.base_seed = failure_case.explore_seed;
+  return built;
+}
+
+const std::vector<FailureCase>& AllCases() {
+  static const std::vector<FailureCase>* cases = [] {
+    auto* all = new std::vector<FailureCase>();
+    RegisterZooKeeperCases(all);
+    RegisterHdfsCases(all);
+    RegisterHBaseCases(all);
+    RegisterKafkaCases(all);
+    RegisterCassandraCases(all);
+    return all;
+  }();
+  return *cases;
+}
+
+const FailureCase* FindCase(const std::string& id) {
+  for (const FailureCase& failure_case : AllCases()) {
+    if (failure_case.id == id || failure_case.paper_id == id) {
+      return &failure_case;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace anduril::systems

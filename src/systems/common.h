@@ -1,0 +1,122 @@
+// Failure-case registry: the 22 real-world failures of the paper's
+// evaluation (appendix Table 5), re-expressed as seeded bugs in five
+// simulated distributed systems.
+//
+// Each case packages exactly the inputs the paper's problem statement (§2)
+// lists: the system (program + cluster), a driving workload, a failure log
+// from an uninstrumented "production" run, and a failure oracle. It also
+// records the ground truth — the root-cause (site, occurrence, exception) —
+// which is used ONLY by benches/tests (to generate the failure log, verify
+// oracles, and report rank trajectories), never by the search itself.
+
+#ifndef ANDURIL_SRC_SYSTEMS_COMMON_H_
+#define ANDURIL_SRC_SYSTEMS_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/explorer/experiment.h"
+#include "src/interp/cluster.h"
+#include "src/interp/fault_runtime.h"
+#include "src/ir/builder.h"
+#include "src/ir/program.h"
+
+namespace anduril::systems {
+
+struct FailureCase {
+  std::string id;        // e.g. "zk-2247"
+  std::string paper_id;  // e.g. "f1"
+  std::string system;    // zookeeper | hdfs | hbase | kafka | cassandra
+  std::string title;
+  std::string injected_fault;  // exception type name, as in Table 5
+
+  // Ground truth root cause. The site is referenced by its ExternalCall
+  // site_name (unique per scenario); occurrence is 1-based.
+  std::string root_site;
+  std::string root_exception;
+  int64_t root_occurrence = 1;
+
+  uint64_t failure_seed = 9001;  // "production" run seed
+  uint64_t explore_seed = 1;     // base seed for exploration runs
+
+  std::function<void(ir::Program*)> build;
+  std::function<interp::ClusterSpec(ir::Program*)> workload;
+  // Optional distinct workload for the production failure run (defaults to
+  // `workload`); lets cases add realistic failure-only log noise.
+  std::function<interp::ClusterSpec(ir::Program*)> failure_workload;
+  explorer::Oracle oracle;
+};
+
+// A case instantiated and ready to explore.
+struct BuiltCase {
+  std::unique_ptr<ir::Program> program;
+  interp::ClusterSpec cluster;          // exploration workload
+  interp::ClusterSpec failure_cluster;  // production workload
+  interp::InjectionCandidate ground_truth;
+  std::string failure_log_text;
+  explorer::ExperimentSpec spec;  // points at program/cluster above
+};
+
+// Builds the program, resolves the ground truth, generates the failure log
+// by injecting the ground truth under failure_seed, and CHECKs that the
+// oracle holds for that run (and that the workload alone does NOT satisfy
+// it).
+BuiltCase BuildCase(const FailureCase& failure_case, bool verify = true);
+
+// Resolves an ExternalCall fault site by its site_name. CHECK-fails if the
+// name is missing or ambiguous.
+ir::FaultSiteId FindSiteByName(const ir::Program& program, const std::string& site_name);
+
+// Runs one simulation of the case's cluster with an optional single
+// injection; used by BuildCase and by tests.
+interp::RunResult RunOnce(const ir::Program& program, const interp::ClusterSpec& cluster,
+                          uint64_t seed,
+                          const std::vector<interp::InjectionCandidate>& window = {});
+
+// Registers the standard exception hierarchy every system uses.
+void RegisterStandardExceptions(ir::Program* program);
+
+// Adds `services` looping background services named "<prefix>.svc<i>", each
+// executing `sites_per_service` external calls per round inside a tolerant
+// try/catch that logs transient failures. Their round budget is the node
+// variable "<prefix>Rounds" (set via StartNoisyServices), scaled by the
+// current workload scale — so the production failure run emits *more* of the
+// same WARN templates than exploration runs, which is exactly what turns
+// them into the paper's noisy relevant observables (§5.1).
+void AddNoisyServices(ir::Program* program, const std::string& prefix, int services,
+                      int sites_per_service);
+void StartNoisyServices(interp::ClusterSpec* cluster, ir::Program* program,
+                        const std::string& prefix, const std::string& node, int services,
+                        int rounds);
+
+// Scale of the workload being constructed: 1 for exploration workloads, 2
+// for the production failure run (BuildCase sets this around the workload
+// callbacks). System cluster builders multiply their background-noise round
+// budgets by it.
+int CurrentWorkloadScale();
+
+// Adds `methods` cold methods named "<prefix>.mod<i>" that are never called
+// by any workload: realistic dead weight that inflates the *total* static
+// fault-site count without touching the causal graph (paper Table 1: Total
+// >> Inferred).
+void AddColdModule(ir::Program* program, const std::string& prefix, int methods,
+                   int sites_per_method);
+
+// All 22 evaluated failure cases, f1..f22.
+const std::vector<FailureCase>& AllCases();
+
+// Lookup by id ("zk-2247") or paper id ("f1"). Returns nullptr if unknown.
+const FailureCase* FindCase(const std::string& id);
+
+// Per-system registration functions (defined in the system modules).
+void RegisterZooKeeperCases(std::vector<FailureCase>* cases);
+void RegisterHdfsCases(std::vector<FailureCase>* cases);
+void RegisterHBaseCases(std::vector<FailureCase>* cases);
+void RegisterKafkaCases(std::vector<FailureCase>* cases);
+void RegisterCassandraCases(std::vector<FailureCase>* cases);
+
+}  // namespace anduril::systems
+
+#endif  // ANDURIL_SRC_SYSTEMS_COMMON_H_

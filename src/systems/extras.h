@@ -1,0 +1,37 @@
+// Additional subsystems for the five simulated systems: background state
+// machines that real deployments run continuously (session expiry, block
+// reports, group coordination, hinted handoff, ...). They are exercised by
+// the base workloads, so they widen the dynamic fault space, add realistic
+// log noise, and give the causal analysis more plausible-but-wrong paths to
+// prune — the conditions the paper's search operates under.
+
+#ifndef ANDURIL_SRC_SYSTEMS_EXTRAS_H_
+#define ANDURIL_SRC_SYSTEMS_EXTRAS_H_
+
+#include "src/interp/cluster.h"
+#include "src/ir/program.h"
+
+namespace anduril::systems {
+
+// Each Build*Extras registers the subsystem methods; each Start*Extras adds
+// their boot tasks to a cluster (round budgets scale with the current
+// workload scale, like the noisy services).
+
+void BuildZooKeeperExtras(ir::Program* program);
+void StartZooKeeperExtras(interp::ClusterSpec* cluster, ir::Program* program);
+
+void BuildHdfsExtras(ir::Program* program);
+void StartHdfsExtras(interp::ClusterSpec* cluster, ir::Program* program);
+
+void BuildHBaseExtras(ir::Program* program);
+void StartHBaseExtras(interp::ClusterSpec* cluster, ir::Program* program);
+
+void BuildKafkaExtras(ir::Program* program);
+void StartKafkaExtras(interp::ClusterSpec* cluster, ir::Program* program);
+
+void BuildCassandraExtras(ir::Program* program);
+void StartCassandraExtras(interp::ClusterSpec* cluster, ir::Program* program);
+
+}  // namespace anduril::systems
+
+#endif  // ANDURIL_SRC_SYSTEMS_EXTRAS_H_

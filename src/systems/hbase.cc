@@ -1,0 +1,799 @@
+// Simulated HBase and its six evaluated failures:
+//   f12 HB-18137: empty WAL file causes replication to get stuck
+//   f13 HB-19608: interrupted procedure mistakenly leaves a failed state flag
+//   f14 HB-19876: exception converting a pb mutation corrupts the CellScanner
+//   f15 HB-20583: failure during log splitting resubmits the wrong task
+//   f16 HB-16144: replication queue lock lives forever when its owner aborts
+//   f17 HB-25905: broken HDFS stream wedges the WAL at waitForSafePoint
+//                 (the paper's motivating example, Figures 1 and 6)
+//
+// Topology: master + two regionservers + an HDFS namenode substrate + a
+// ZooKeeper substrate (lock service) + client. The base provides the put
+// path, the AsyncFSWAL state machine (append/consume/sync with a recoverable
+// HDFS stream and batch-limited retry — the f17 mechanics), replication,
+// procedures, log splitting, and noisy chores (compaction, balancer,
+// DFSClient receiver) whose tolerated faults make logs noisy.
+
+#include "src/systems/common.h"
+
+#include "src/systems/extras.h"
+
+#include "src/util/check.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+constexpr int kPuts = 24;          // client puts per run
+constexpr int kWalBatch = 6;       // WAL sync batch size
+constexpr int kResyncValve = 10;   // full-resync safety valve threshold
+
+void BuildWal(Program* p) {
+  // Append: one WAL entry per put (runs on the AsyncFSWAL consumer thread).
+  {
+    MethodBuilder b(p, "hbase.wal.append");
+    b.Assign("writerLen", b.Plus("writerLen", 1));
+    b.Assign("unackedAppends", b.Plus("unackedAppends", 1));
+    b.Log(LogLevel::kDebug, "wal.AsyncFSWAL", "Appended entry {} to WAL",
+          {b.V("writerLen")});
+    b.Invoke("hbase.wal.consume");
+  }
+  // The consumer (paper Figure 1). The hole: writerLen == lenAtLastSync with
+  // unackedAppends > 0 makes it do nothing, forever.
+  {
+    MethodBuilder b(p, "hbase.wal.consume");
+    b.If(b.Eq("streamBroken", 1), [&] {
+      b.If(b.Eq("recoverInFlight", 0), [&] {
+        b.Assign("recoverInFlight", Expr::Const(1));
+        b.Log(LogLevel::kWarn, "wal.AsyncFSWAL",
+              "WAL stream to HDFS broken, creating new writer");
+        b.Send("hbase.hdfs.create_writer", "hdfsnn", ir::SendOpts{.latency_ms = 60});
+      });
+      b.Return();
+    });
+    b.If(
+        b.GtVar("writerLen", "lenAtLastSync"),
+        [&] { b.Invoke("hbase.wal.sync"); },
+        [&] {
+          b.If(b.Eq("unackedAppends", 0), [&] {
+            b.If(b.Eq("markerPending", 1), [&] {
+              b.Assign("markerPending", Expr::Const(0));
+              b.Assign("markerAcked", Expr::Const(1));
+              b.Signal("markerAcked");
+              b.Log(LogLevel::kInfo, "wal.AsyncFSWAL", "Flush marker synced");
+            });
+            b.Assign("readyForRolling", Expr::Const(1));
+            b.Signal("readyForRolling");
+          });
+        });
+  }
+  {
+    MethodBuilder b(p, "hbase.wal.sync");
+    // Length bookkeeping happens up front: entries handed to the stream are
+    // counted as synced even if their acks never arrive (the HB-25905 state).
+    b.Assign("lenAtLastSync", b.V("writerLen"));
+    b.Invoke("hbase.wal.sync_batch");
+  }
+  {
+    MethodBuilder b(p, "hbase.wal.sync_batch");
+    b.Assign("batchCount", Expr::Const(0));
+    b.While(b.Lt("batchCount", kWalBatch), [&] {
+      b.Assign("batchCount", b.Plus("batchCount", 1));
+      b.If(b.Eq("unackedAppends", 0), [&] { b.Break(); });
+      b.TryCatch(
+          [&] {
+            b.External("hbase.wal.write_chunk", {"IOException"});
+            b.External("hbase.wal.read_ack", {"IOException"});
+            b.Assign("unackedAppends", b.Minus("unackedAppends", 1));
+            b.Assign("ackedEntries", b.Plus("ackedEntries", 1));
+            b.Log(LogLevel::kDebug, "wal.AsyncFSWAL", "WAL entry acked, {} unacked remain",
+                  {b.V("unackedAppends")});
+          },
+          {{"IOException",
+            [&] {
+              b.Log(LogLevel::kWarn, "wal.AsyncFSWAL",
+                       "Failed to write WAL entry to HDFS stream");
+              b.Assign("streamBroken", Expr::Const(1));
+              b.Break();
+            }}});
+    });
+    b.If(b.Eq("unackedAppends", 0), [&] {
+      b.If(b.Eq("markerPending", 1), [&] {
+        b.Assign("markerPending", Expr::Const(0));
+        b.Assign("markerAcked", Expr::Const(1));
+        b.Signal("markerAcked");
+        b.Log(LogLevel::kInfo, "wal.AsyncFSWAL", "Flush marker synced");
+      });
+    });
+  }
+  {
+    MethodBuilder b(p, "hbase.hdfs.create_writer");
+    b.TryCatch(
+        [&] {
+          b.External("hbase.hdfs.nn_create_file", {"IOException"});
+          b.Log(LogLevel::kInfo, "hdfs.namenode", "Created new WAL file for regionserver");
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.namenode", "WAL file creation hiccup, retrying");
+          }}});
+    b.Send("hbase.wal.on_writer_ready", "rs1",
+           ir::SendOpts{.handler_thread = "AsyncFSWAL", .latency_ms = 20});
+  }
+  {
+    MethodBuilder b(p, "hbase.wal.on_writer_ready");
+    b.Assign("streamBroken", Expr::Const(0));
+    b.Assign("recoverInFlight", Expr::Const(0));
+    b.Assign("walRolls", b.Plus("walRolls", 1));
+    b.Log(LogLevel::kInfo, "wal.AsyncFSWAL", "New WAL writer ready, re-appending {} entries",
+          {b.V("unackedAppends")});
+    // The re-appended entries are counted into the synced length immediately
+    // (HB-25905's fatal bookkeeping)...
+    b.Assign("lenAtLastSync", b.V("writerLen"));
+    b.If(
+        b.Gt("unackedAppends", kResyncValve),
+        [&] {
+          // ...but a large backlog trips a safety valve that fully resyncs.
+          b.Log(LogLevel::kWarn, "wal.AsyncFSWAL",
+                "Too many unacked appends, forcing full resync");
+          b.Invoke("hbase.wal.full_resync");
+        },
+        [&] {
+          // A small backlog is retried one batch at a time; further batches
+          // only happen on future consume() calls — which never come if the
+          // workload has quiesced. That leftover is the wedge.
+          b.Invoke("hbase.wal.sync_batch");
+        });
+  }
+  {
+    MethodBuilder b(p, "hbase.wal.full_resync");
+    b.While(b.Gt("unackedAppends", 0), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("hbase.wal.resync_entry", {"IOException"});
+            b.Assign("unackedAppends", b.Minus("unackedAppends", 1));
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "wal.AsyncFSWAL", "Full resync hit stream error");
+              b.Assign("streamBroken", Expr::Const(1));
+              b.Break();
+            }}});
+    });
+    b.Invoke("hbase.wal.consume");
+  }
+  // Log roller: requests a safe point and waits — forever, in the bug.
+  {
+    MethodBuilder b(p, "hbase.rs.roll_wal");
+    b.Log(LogLevel::kInfo, "wal.LogRoller", "Rolling WAL writer, waiting for safe point");
+    b.Send("hbase.wal.consume", "rs1", ir::SendOpts{.handler_thread = "AsyncFSWAL"});
+    b.Await(b.Eq("readyForRolling", 1));
+    b.Assign("readyForRolling", Expr::Const(0));
+    b.Log(LogLevel::kInfo, "wal.LogRoller", "WAL rolled, safe point reached");
+  }
+  // MemStore flusher: appends a flush marker and waits for its sync.
+  {
+    MethodBuilder b(p, "hbase.rs.flush_region");
+    b.Log(LogLevel::kInfo, "regionserver.HRegion", "Flushing region, appending flush marker");
+    b.Assign("markerPending", Expr::Const(1));
+    b.Send("hbase.wal.consume", "rs1", ir::SendOpts{.handler_thread = "AsyncFSWAL"});
+    b.TryCatch(
+        [&] {
+          b.Await(b.Eq("markerAcked", 1), /*timeout_ms=*/15000, "TimeoutIOException");
+          b.Log(LogLevel::kInfo, "regionserver.HRegion", "Region flush completed");
+        },
+        {{"TimeoutIOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "regionserver.HRegion", "Failed to get sync result");
+            b.Log(LogLevel::kError, "regionserver.HRegion",
+                  "Region flush failed, memstore not persisted");
+          }}});
+  }
+}
+
+void BuildPutPath(Program* p) {
+  {
+    MethodBuilder b(p, "hbase.rs.handle_put");
+    b.TryCatch(
+        [&] {
+          b.External("hbase.rs.check_quota", {"IOException"}, /*transient_every_n=*/41);
+          b.External("hbase.rs.memstore_write", {"IOException"});
+          b.Assign("putsServed", b.Plus("putsServed", 1));
+          b.Send("hbase.wal.append", "rs1", ir::SendOpts{.handler_thread = "AsyncFSWAL"});
+        },
+        {{"IOException",
+          [&] { b.LogExc(LogLevel::kWarn, "regionserver.RSRpcServices", "Put failed"); }}});
+  }
+  {
+    MethodBuilder b(p, "hbase.client.put_workload");
+    b.While(b.Lt("putsSent", kPuts), [&] {
+      b.Assign("putsSent", b.Plus("putsSent", 1));
+      b.Send("hbase.rs.handle_put", "rs1",
+             ir::SendOpts{.payload = b.V("putsSent"), .handler_thread = "RpcHandler"});
+      b.Sleep(5);
+    });
+  }
+}
+
+void BuildChores(Program* p) {
+  // Compaction chore (rs1): tolerated transients, noisy WARNs.
+  {
+    MethodBuilder b(p, "hbase.rs.compaction_chore");
+    b.While(b.LtVar("compactRound", "compactRounds"), [&] {
+      b.Assign("compactRound", b.Plus("compactRound", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hbase.compact.select_files", {"IOException"}, /*transient_every_n=*/13);
+            b.External("hbase.compact.rewrite", {"IOException"}, /*transient_every_n=*/17);
+            b.Log(LogLevel::kDebug, "regionserver.CompactSplit", "Compaction round {} done",
+                  {b.V("compactRound")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "regionserver.CompactSplit",
+                       "Compaction failed, will retry in next chore");
+              b.Invoke("hbase.rs.abort_check");
+            }}});
+      b.Sleep(18);
+    });
+  }
+  // DFSClient receiver noise on the HDFS substrate node.
+  {
+    MethodBuilder b(p, "hbase.hdfs.receiver_loop");
+    b.While(b.LtVar("recvRound", "recvRounds"), [&] {
+      b.Assign("recvRound", b.Plus("recvRound", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hbase.hdfs.receive_block", {"IOException"}, /*transient_every_n=*/7);
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "hdfs.DFSClient",
+                       "Exception in block receiving, recovered by pipeline");
+            }}});
+      b.Sleep(9);
+    });
+  }
+  // Master balancer chore.
+  {
+    MethodBuilder b(p, "hbase.master.balancer_chore");
+    b.While(b.Lt("balanceRound", 6), [&] {
+      b.Assign("balanceRound", b.Plus("balanceRound", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hbase.master.fetch_region_load", {"IOException"},
+                       /*transient_every_n=*/11);
+            b.Log(LogLevel::kDebug, "master.Balancer", "Balance round {} evaluated",
+                  {b.V("balanceRound")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "master.Balancer", "Could not fetch region load");
+            }}});
+      b.Sleep(35);
+    });
+  }
+}
+
+void BuildAbortAndReplication(Program* p) {
+  // Abort helper invoked from many error paths (the HB-16144 ambiguity: the
+  // ABORT message is causally reachable from very many fault sites).
+  {
+    MethodBuilder b(p, "hbase.rs.abort_check");
+    b.Assign("faultStrikes", b.Plus("faultStrikes", 1));
+    b.If(b.Ge("faultStrikes", 2), [&] { b.Invoke("hbase.rs.abort"); });
+  }
+  {
+    MethodBuilder b(p, "hbase.rs.abort");
+    b.If(b.Eq("aborted", 0), [&] {
+      b.Assign("aborted", Expr::Const(1));
+      b.Log(LogLevel::kError, "regionserver.HRegionServer",
+            "***** ABORTING region server: unrecoverable failure *****");
+    });
+  }
+
+  // Replication source on rs1: claims the queue lock in ZooKeeper, ships
+  // edits, releases the lock. Aborting while holding the lock leaks it.
+  {
+    MethodBuilder b(p, "hbase.zk.acquire_lock");
+    b.If(
+        b.Eq("lockHolder", 0),
+        [&] {
+          b.Assign("lockHolder", Expr::Payload());
+          b.Log(LogLevel::kInfo, "zookeeper.Lock", "Replication queue lock granted to rs{}",
+                {Expr::Payload()});
+          b.If(b.Eq("lockHolder", 1), [&] {
+            b.Send("hbase.repl.lock_granted", "rs1");
+          });
+          b.If(b.Eq("lockHolder", 2), [&] {
+            b.Send("hbase.repl2.lock_granted", "rs2");
+          });
+        },
+        [&] {
+          b.Log(LogLevel::kWarn, "zookeeper.Lock", "Lock already held by rs{}",
+                {b.V("lockHolder")});
+          b.Send("hbase.repl2.lock_denied", "rs2");
+        });
+  }
+  {
+    MethodBuilder b(p, "hbase.zk.release_lock");
+    b.Assign("lockHolder", Expr::Const(0));
+    b.Log(LogLevel::kInfo, "zookeeper.Lock", "Replication queue lock released");
+  }
+  {
+    MethodBuilder b(p, "hbase.repl.lock_granted");
+    b.Assign("replLockHeld", Expr::Const(1));
+    b.Signal("replLockHeld");
+  }
+  {
+    MethodBuilder b(p, "hbase.repl.source_run");
+    b.Send("hbase.zk.acquire_lock", "zk", ir::SendOpts{.payload = Expr::Const(1)});
+    b.Await(b.Eq("replLockHeld", 1), /*timeout_ms=*/10000);
+    b.If(b.Eq("replLockHeld", 0), [&] { b.Return(); });
+    b.While(b.Lt("edited", 8), [&] {
+      b.Assign("edited", b.Plus("edited", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hbase.repl.ship_edits", {"IOException"});
+            b.Log(LogLevel::kDebug, "replication.Source", "Shipped edit batch {}",
+                  {b.V("edited")});
+          },
+          {{"IOException",
+            [&] {
+              // BUG (HB-16144): unknown shipping failure aborts the region
+              // server while it still holds the queue lock.
+              b.Log(LogLevel::kWarn, "replication.Source",
+                       "Failed shipping edits, aborting source");
+              b.Invoke("hbase.rs.abort");
+              b.Return();
+            }}});
+      b.Sleep(8);
+    });
+    b.Send("hbase.zk.release_lock", "zk");
+    b.Log(LogLevel::kInfo, "replication.Source", "Replication source finished cleanly");
+  }
+  // rs2 tries to claim the queue after rs1 is done (or dead).
+  {
+    MethodBuilder b(p, "hbase.repl2.lock_granted");
+    b.Assign("claimGranted", Expr::Const(1));
+    b.Signal("claimGranted");
+  }
+  {
+    MethodBuilder b(p, "hbase.repl2.lock_denied");
+    b.Assign("claimDenied", b.Plus("claimDenied", 1));
+    b.Signal("claimDenied");
+  }
+  {
+    MethodBuilder b(p, "hbase.repl2.claim_queue");
+    b.While(b.Lt("claimAttempts", 5), [&] {
+      b.Assign("claimAttempts", b.Plus("claimAttempts", 1));
+      b.Send("hbase.zk.acquire_lock", "zk", ir::SendOpts{.payload = Expr::Const(2)});
+      b.Sleep(40);
+      b.If(b.Eq("claimGranted", 1), [&] {
+        b.Log(LogLevel::kInfo, "replication.Claim", "Claimed replication queue, syncing");
+        b.Break();
+      });
+      b.Log(LogLevel::kWarn, "replication.Claim",
+            "Failed to claim replication queue, attempt {}", {b.V("claimAttempts")});
+    });
+    b.If(b.Eq("claimGranted", 0), [&] {
+      b.Log(LogLevel::kError, "replication.Claim",
+            "Replication queue can never be claimed, synchronization stopped");
+    });
+  }
+
+  // Replication WAL reader (f12): a persistently-empty WAL wedges the reader.
+  {
+    MethodBuilder b(p, "hbase.repl.read_wals");
+    b.While(b.Lt("walsRead", 6), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("hbase.repl.open_reader", {"IOException"}, /*transient_every_n=*/0);
+            b.If(b.Eq("emptyWal", 1), [&] {
+              // The zero-length WAL never grows; retrying cannot help.
+              b.Assign("emptyRetries", b.Plus("emptyRetries", 1));
+              b.Log(LogLevel::kWarn, "replication.WALReader",
+                    "WAL file is empty, retry {} waiting for data", {b.V("emptyRetries")});
+              b.If(b.Ge("emptyRetries", 6), [&] {
+                b.Log(LogLevel::kError, "replication.WALReader",
+                      "Replication is stuck on an empty WAL file");
+                b.Return();
+              });
+              b.Sleep(20);
+              b.Return();  // re-queued by the chore; modelled by the loop below
+            });
+            b.External("hbase.repl.read_entry", {"EOFException", "IOException"});
+            b.Assign("walsRead", b.Plus("walsRead", 1));
+            b.Log(LogLevel::kDebug, "replication.WALReader", "Replicated WAL {} entries",
+                  {b.V("walsRead")});
+          },
+          {{"EOFException",
+            [&] {
+              // BUG (HB-18137): the 0-length WAL is treated as "wait for
+              // more data" instead of being skipped.
+              b.LogExc(LogLevel::kWarn, "replication.WALReader",
+                       "EOF reading WAL, assuming in-progress file");
+              b.Assign("emptyWal", Expr::Const(1));
+            }},
+           {"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "replication.WALReader", "WAL read error, retrying");
+            }}});
+      b.Sleep(10);
+    });
+  }
+  {
+    MethodBuilder b(p, "hbase.repl.reader_chore");
+    b.While(b.Lt("readerChoreRound", 10), [&] {
+      b.Assign("readerChoreRound", b.Plus("readerChoreRound", 1));
+      b.Invoke("hbase.repl.read_wals");
+      b.If(b.Ge("walsRead", 6), [&] {
+        b.Log(LogLevel::kInfo, "replication.WALReader", "All WALs replicated");
+        b.Break();
+      });
+      b.Sleep(15);
+    });
+  }
+}
+
+void BuildProceduresAndSplits(Program* p) {
+  // Procedure executor (f13).
+  {
+    MethodBuilder b(p, "hbase.master.run_procedure");
+    b.Log(LogLevel::kInfo, "procedure.ProcedureExecutor", "Starting procedure pid={}",
+          {Expr::Payload()});
+    b.While(b.Lt("procStep", 5), [&] {
+      b.Assign("procStep", b.Plus("procStep", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hbase.proc.exec_step", {"InterruptedException", "IOException"});
+            b.Log(LogLevel::kDebug, "procedure.ProcedureExecutor", "Executed step {}",
+                  {b.V("procStep")});
+          },
+          {{"InterruptedException",
+            [&] {
+              // BUG (HB-19608): the interrupt marks the procedure failed but
+              // execution continues and completes.
+              b.Log(LogLevel::kWarn, "procedure.ProcedureExecutor",
+                       "Procedure interrupted mid-step");
+              b.Assign("procFailed", Expr::Const(1));
+            }},
+           {"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "procedure.ProcedureExecutor",
+                       "Step failed, will be retried");
+            }}});
+    });
+    b.If(
+        b.Eq("procFailed", 1),
+        [&] {
+          b.Log(LogLevel::kError, "procedure.ProcedureExecutor",
+                "Procedure ended in FAILED state despite completing all steps");
+        },
+        [&] {
+          b.Log(LogLevel::kInfo, "procedure.ProcedureExecutor", "Procedure finished");
+        });
+  }
+
+  // Multi-mutation request handling (f14, paper Figure 4).
+  {
+    MethodBuilder b(p, "hbase.rs.add_result");
+    b.Assign("resultsAdded", b.Plus("resultsAdded", 1));
+    b.Log(LogLevel::kDebug, "regionserver.RSRpcServices", "Added result {} to response",
+          {b.V("resultsAdded")});
+  }
+  {
+    MethodBuilder b(p, "hbase.rs.handle_multi");
+    b.While(b.Lt("mutIndex", 8), [&] {
+      b.Assign("mutIndex", b.Plus("mutIndex", 1));
+      b.If(b.Eq("scannerSkew", 1), [&] {
+        b.Log(LogLevel::kError, "regionserver.RSRpcServices",
+              "CellScanner position out of sync, multi request corrupted");
+        b.Return();
+      });
+      b.TryCatch(
+          [&] {
+            b.External("hbase.rs.pb_to_put", {"IOException"});
+            b.Assign("cellsProcessed", b.Plus("cellsProcessed", 1));
+            b.Invoke("hbase.rs.add_result");
+          },
+          {{"IOException",
+            [&] {
+              b.Log(LogLevel::kWarn, "regionserver.RSRpcServices",
+                       "Failed to convert pb mutation, skipping action");
+              // BUG (HB-19876): the scanner was already advanced; every
+              // subsequent mutation reads shifted cells.
+              b.Assign("scannerSkew", Expr::Const(1));
+              b.Invoke("hbase.rs.add_result");
+            }}});
+    });
+  }
+  // Extra callers of add_result (the "called in 30+ locations" ambiguity).
+  for (int i = 0; i < 6; ++i) {
+    MethodBuilder b(p, "hbase.rs.handle_batch_" + std::to_string(i));
+    b.TryCatch(
+        [&] {
+          b.External("hbase.rs.batch_op_" + std::to_string(i), {"IOException"},
+                     /*transient_every_n=*/0);
+          b.Invoke("hbase.rs.add_result");
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "regionserver.RSRpcServices", "Batch op failed");
+            b.Invoke("hbase.rs.add_result");
+          }}});
+  }
+
+  // Log splitting (f15).
+  {
+    MethodBuilder b(p, "hbase.rs.split_task");
+    b.TryCatch(
+        [&] {
+          b.External("hbase.split.read_wal", {"IOException"}, /*transient_every_n=*/4);
+          b.External("hbase.split.write_recovered", {"IOException"});
+          b.Send("hbase.master.split_done", "master", ir::SendOpts{.payload = Expr::Payload()});
+          b.Log(LogLevel::kDebug, "split.SplitLogWorker", "Split task {} done",
+                {Expr::Payload()});
+        },
+        {{"IOException",
+          [&] {
+            b.Log(LogLevel::kWarn, "split.SplitLogWorker", "Split task failed");
+            b.Send("hbase.master.split_failed", "master",
+                   ir::SendOpts{.payload = Expr::Payload()});
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hbase.master.split_done");
+    b.Assign("splitTaskId", Expr::Payload());
+    b.Assign("splitSum", Expr::AddVar(b.Var("splitSum"), b.Var("splitTaskId")));
+    b.Log(LogLevel::kInfo, "master.SplitLogManager", "Split task {} reported done",
+          {Expr::Payload()});
+  }
+  {
+    MethodBuilder b(p, "hbase.master.split_failed");
+    // BUG (HB-20583): resubmits the *previous* failed task id, then records
+    // the new one (stale-read resubmission).
+    b.Log(LogLevel::kWarn, "master.SplitLogManager", "Split task failed, resubmitting");
+    b.If(b.Gt("lastFailedTask", 0), [&] {
+      b.Send("hbase.rs.split_task", "rs2",
+             ir::SendOpts{.payload = b.V("lastFailedTask"), .handler_thread = "SplitWorker"});
+    });
+    b.If(b.Eq("lastFailedTask", 0), [&] {
+      b.Assign("lastFailedTask", Expr::Payload());
+      b.Send("hbase.rs.split_task", "rs2",
+             ir::SendOpts{.payload = Expr::Payload(), .handler_thread = "SplitWorker"});
+      b.Return();
+    });
+    b.Assign("lastFailedTask", Expr::Payload());
+  }
+  {
+    MethodBuilder b(p, "hbase.master.split_logs");
+    b.Log(LogLevel::kInfo, "master.SplitLogManager", "Splitting {} WALs of dead server",
+          {Expr::Const(6)});
+    b.While(b.Lt("splitSubmitted", 6), [&] {
+      b.Assign("splitSubmitted", b.Plus("splitSubmitted", 1));
+      b.Send("hbase.rs.split_task", "rs2",
+             ir::SendOpts{.payload = b.V("splitSubmitted"), .handler_thread = "SplitWorker"});
+      b.Sleep(12);
+    });
+    b.Sleep(300);
+    b.If(
+        b.Eq("splitSum", 21),  // 1+2+...+6
+        [&] { b.Log(LogLevel::kInfo, "master.SplitLogManager", "All split tasks completed"); },
+        [&] {
+          b.Log(LogLevel::kError, "master.SplitLogManager",
+                "Log splitting incomplete, recovered edits missing (checksum {})",
+                {b.V("splitSum")});
+        });
+  }
+}
+
+void BuildHBaseBase(Program* p) {
+  BuildWal(p);
+  BuildPutPath(p);
+  BuildChores(p);
+  BuildAbortAndReplication(p);
+  BuildProceduresAndSplits(p);
+  BuildHBaseExtras(p);
+  AddNoisyServices(p, "hbase.ipc", 10, 5);
+  AddNoisyServices(p, "hbase.memstore", 8, 5);
+  AddColdModule(p, "hbase.canary", 16, 8);
+  AddColdModule(p, "hbase.thrift", 14, 8);
+  AddColdModule(p, "hbase.rest", 12, 7);
+  AddColdModule(p, "hbase.backup", 15, 9);
+}
+
+interp::ClusterSpec BaseCluster(Program* p, int compact_rounds, int recv_rounds) {
+  interp::ClusterSpec cluster;
+  for (const char* node : {"master", "rs1", "rs2", "hdfsnn", "zk", "client"}) {
+    cluster.AddNode(node);
+  }
+  cluster.AddTask("rs1", "CompactionChore", p->FindMethod("hbase.rs.compaction_chore"), 0);
+  cluster.AddTask("hdfsnn", "BlockReceiver", p->FindMethod("hbase.hdfs.receiver_loop"), 2);
+  cluster.AddTask("master", "BalancerChore", p->FindMethod("hbase.master.balancer_chore"), 4);
+  cluster.SetVar("rs1", p->InternVar("compactRounds"), compact_rounds);
+  StartNoisyServices(&cluster, p, "hbase.ipc", "rs2", 10, 8);
+  StartHBaseExtras(&cluster, p);
+  StartNoisyServices(&cluster, p, "hbase.memstore", "master", 8, 7);
+  cluster.SetVar("hdfsnn", p->InternVar("recvRounds"), recv_rounds);
+  return cluster;
+}
+
+// --- Cases ---------------------------------------------------------------------
+
+void RegisterHb18137(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hb-18137";
+  c.paper_id = "f12";
+  c.system = "hbase";
+  c.title = "Empty WAL file causes replication to get stuck";
+  c.injected_fault = "IOException";
+  c.root_site = "hbase.repl.read_entry";
+  c.root_exception = "EOFException";
+  c.root_occurrence = 1;
+  c.build = BuildHBaseBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 10, 15);
+    cluster.AddTask("rs2", "ReplicationReader", p->FindMethod("hbase.repl.reader_chore"), 10);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Replication is stuck on an empty WAL file") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "EOF reading WAL");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHb19608(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hb-19608";
+  c.paper_id = "f13";
+  c.system = "hbase";
+  c.title = "Interrupted procedure mistakenly causes a failed state flag";
+  c.injected_fault = "InterruptedException";
+  c.root_site = "hbase.proc.exec_step";
+  c.root_exception = "InterruptedException";
+  c.root_occurrence = 3;
+  c.build = BuildHBaseBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 10, 15);
+    cluster.AddTask("master", "ProcExecutor", p->FindMethod("hbase.master.run_procedure"), 8,
+                    /*payload=*/77);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Procedure ended in FAILED state despite completing") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Procedure interrupted mid-step");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHb19876(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hb-19876";
+  c.paper_id = "f14";
+  c.system = "hbase";
+  c.title = "Exception converting pb mutation messes up the CellScanner";
+  c.injected_fault = "IOException";
+  c.root_site = "hbase.rs.pb_to_put";
+  c.root_exception = "IOException";
+  c.root_occurrence = 3;
+  c.build = BuildHBaseBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 10, 15);
+    cluster.AddTask("rs1", "RpcHandler", p->FindMethod("hbase.rs.handle_multi"), 10);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "CellScanner position out of sync") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Failed to convert pb mutation");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHb20583(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hb-20583";
+  c.paper_id = "f15";
+  c.system = "hbase";
+  c.title = "Failure during log splitting resubmits another failed task";
+  c.injected_fault = "IOException";
+  c.root_site = "hbase.split.write_recovered";
+  c.root_exception = "IOException";
+  c.root_occurrence = 5;
+  c.build = BuildHBaseBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 10, 15);
+    cluster.AddTask("master", "SplitLogManager", p->FindMethod("hbase.master.split_logs"), 10);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Log splitting incomplete") &&
+           run.CountLogContaining("Split task failed, resubmitting") >= 2;
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHb16144(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hb-16144";
+  c.paper_id = "f16";
+  c.system = "hbase";
+  c.title = "Replication queue lock lives forever when its owner aborts";
+  c.injected_fault = "IOException";
+  c.root_site = "hbase.repl.ship_edits";
+  c.root_exception = "IOException";
+  c.root_occurrence = 4;
+  c.build = BuildHBaseBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 16, 25);
+    cluster.AddTask("client", "PutPump", p->FindMethod("hbase.client.put_workload"), 5);
+    cluster.AddTask("rs1", "ReplicationSource", p->FindMethod("hbase.repl.source_run"), 12);
+    cluster.AddTask("rs2", "ReplicationClaim", p->FindMethod("hbase.repl2.claim_queue"), 150);
+    return cluster;
+  };
+  c.failure_workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 26, 45);  // longer run => noisier log
+    cluster.AddTask("client", "PutPump", p->FindMethod("hbase.client.put_workload"), 5);
+    cluster.AddTask("rs1", "ReplicationSource", p->FindMethod("hbase.repl.source_run"), 12);
+    cluster.AddTask("rs2", "ReplicationClaim", p->FindMethod("hbase.repl2.claim_queue"), 150);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Replication queue can never be claimed") &&
+           run.HasLogContaining("ABORTING region server");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHb25905(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hb-25905";
+  c.paper_id = "f17";
+  c.system = "hbase";
+  c.title = "Broken HDFS stream wedges the WAL at waitForSafePoint";
+  c.injected_fault = "IOException";
+  c.root_site = "hbase.wal.read_ack";
+  c.root_exception = "IOException";
+  c.root_occurrence = 16;
+  c.build = BuildHBaseBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 14, 20);
+    cluster.AddTask("client", "PutPump", p->FindMethod("hbase.client.put_workload"), 5);
+    cluster.AddTask("rs1", "LogRoller", p->FindMethod("hbase.rs.roll_wal"), 320);
+    cluster.AddTask("rs1", "MemStoreFlusher", p->FindMethod("hbase.rs.flush_region"), 420);
+    return cluster;
+  };
+  c.failure_workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 26, 40);  // production noise
+    cluster.AddTask("client", "PutPump", p->FindMethod("hbase.client.put_workload"), 5);
+    cluster.AddTask("rs1", "LogRoller", p->FindMethod("hbase.rs.roll_wal"), 320);
+    cluster.AddTask("rs1", "MemStoreFlusher", p->FindMethod("hbase.rs.flush_region"), 420);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    return run.IsThreadStuckIn(prog, "rs1/LogRoller", "hbase.rs.roll_wal") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Failed to get sync result");
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterHBaseCases(std::vector<FailureCase>* cases) {
+  RegisterHb18137(cases);
+  RegisterHb19608(cases);
+  RegisterHb19876(cases);
+  RegisterHb20583(cases);
+  RegisterHb16144(cases);
+  RegisterHb25905(cases);
+}
+
+}  // namespace anduril::systems

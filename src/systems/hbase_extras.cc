@@ -1,0 +1,158 @@
+// HBase background subsystems: region assignment, the memstore accounting
+// flush chore, meta-table lookups on the read path, and the WAL cleaner.
+
+#include "src/systems/extras.h"
+
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Region assignment: the master moves regions between servers; each move is
+// close -> open with a retry on transient open failures.
+void BuildAssignment(Program* p) {
+  {
+    MethodBuilder b(p, "hbase.master.assign_region");
+    b.TryCatch(
+        [&] {
+          b.External("hbase.assign.close_region", {"IOException"});
+          b.External("hbase.assign.open_region", {"IOException"}, /*transient_every_n=*/9);
+          b.Assign("regionsAssigned", b.Plus("regionsAssigned", 1));
+          b.Log(LogLevel::kInfo, "master.AssignmentManager", "Region {} moved",
+                {b.V("regionsAssigned")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "master.AssignmentManager",
+                     "Region move failed, re-queueing");
+            b.Assign("assignRetries", b.Plus("assignRetries", 1));
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hbase.master.assignment_loop");
+    b.While(ir::Cond::LtVar(b.Var("assignTick"), b.Var("hbaseExtraRounds")), [&] {
+      b.Assign("assignTick", b.Plus("assignTick", 1));
+      b.Invoke("hbase.master.assign_region");
+      b.Sleep(26);
+    });
+  }
+}
+
+// Memstore accounting: the flush chore flushes the biggest region when the
+// global memstore size crosses the high-water mark.
+void BuildMemstoreAccounting(Program* p) {
+  {
+    MethodBuilder b(p, "hbase.rs.memstore_tick");
+    b.Assign("memstoreSize", b.Plus("memstoreSize", 3));
+    b.If(b.Gt("memstoreSize", 12), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("hbase.memflush.write_hfile", {"IOException"}, /*transient_every_n=*/7);
+            b.External("hbase.memflush.commit_hfile", {"IOException"});
+            b.Assign("memstoreSize", Expr::Const(0));
+            b.Assign("hfilesWritten", b.Plus("hfilesWritten", 1));
+            b.Log(LogLevel::kInfo, "regionserver.MemStoreFlusher",
+                  "Flushed memstore, hfile {} written", {b.V("hfilesWritten")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "regionserver.MemStoreFlusher",
+                       "Memstore flush failed, will retry under pressure");
+              b.Invoke("hbase.rs.abort_check");
+            }}});
+    });
+  }
+  {
+    MethodBuilder b(p, "hbase.rs.memstore_loop");
+    b.While(ir::Cond::LtVar(b.Var("memTick"), b.Var("hbaseExtraRounds")), [&] {
+      b.Assign("memTick", b.Plus("memTick", 1));
+      b.Invoke("hbase.rs.memstore_tick");
+      b.Sleep(19);
+    });
+  }
+}
+
+// Meta lookups: the read path resolves a row's region via hbase:meta with a
+// client-side cache; cache misses hit the meta region server.
+void BuildMetaLookup(Program* p) {
+  {
+    MethodBuilder b(p, "hbase.client.locate_region");
+    b.If(
+        b.Gt("metaCacheHits", 4),
+        [&] { b.Assign("cachedLookups", b.Plus("cachedLookups", 1)); },
+        [&] {
+          b.TryCatch(
+              [&] {
+                b.External("hbase.meta.scan_row", {"IOException"}, /*transient_every_n=*/11);
+                b.Assign("metaCacheHits", b.Plus("metaCacheHits", 1));
+                b.Log(LogLevel::kDebug, "client.MetaCache", "Located region, {} cached",
+                      {b.V("metaCacheHits")});
+              },
+              {{"IOException",
+                [&] {
+                  b.LogExc(LogLevel::kWarn, "client.MetaCache",
+                           "Meta lookup failed, clearing cache");
+                  b.Assign("metaCacheHits", Expr::Const(0));
+                }}});
+        });
+  }
+  {
+    MethodBuilder b(p, "hbase.client.meta_loop");
+    b.While(ir::Cond::LtVar(b.Var("metaTick"), b.Var("hbaseExtraRounds")), [&] {
+      b.Assign("metaTick", b.Plus("metaTick", 1));
+      b.Invoke("hbase.client.locate_region");
+      b.Sleep(14);
+    });
+  }
+}
+
+// WAL cleaner: archives rolled WAL files once replication is done with them.
+void BuildWalCleaner(Program* p) {
+  {
+    MethodBuilder b(p, "hbase.master.wal_cleaner");
+    b.While(ir::Cond::LtVar(b.Var("cleanerTick"), b.Var("hbaseExtraRounds")), [&] {
+      b.Assign("cleanerTick", b.Plus("cleanerTick", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hbase.cleaner.list_oldwals", {"IOException"});
+            b.External("hbase.cleaner.archive_file", {"IOException"},
+                       /*transient_every_n=*/12);
+            b.Assign("walsArchived", b.Plus("walsArchived", 1));
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "master.LogCleaner", "WAL archive skipped this round");
+            }}});
+      b.Sleep(37);
+    });
+  }
+}
+
+}  // namespace
+
+void BuildHBaseExtras(Program* p) {
+  BuildAssignment(p);
+  BuildMemstoreAccounting(p);
+  BuildMetaLookup(p);
+  BuildWalCleaner(p);
+}
+
+void StartHBaseExtras(interp::ClusterSpec* cluster, ir::Program* p) {
+  int rounds = 6 * CurrentWorkloadScale();
+  cluster->AddTask("master", "AssignmentManager", p->FindMethod("hbase.master.assignment_loop"),
+                   6);
+  cluster->AddTask("rs1", "MemStoreChore", p->FindMethod("hbase.rs.memstore_loop"), 9);
+  cluster->AddTask("client", "MetaCacheWarmer", p->FindMethod("hbase.client.meta_loop"), 3);
+  cluster->AddTask("master", "LogCleaner", p->FindMethod("hbase.master.wal_cleaner"), 12);
+  for (const char* node : {"master", "rs1", "rs2", "client"}) {
+    cluster->SetVar(node, p->InternVar("hbaseExtraRounds"), rounds);
+  }
+}
+
+}  // namespace anduril::systems

@@ -1,0 +1,629 @@
+// Simulated HDFS and its seven evaluated failures:
+//   f5  HD-4233:  rolling backup fails but the namenode keeps serving
+//   f6  HD-12248: interrupted image transfer silently skips the image backup
+//   f7  HD-12070: failed block recovery leaves files open indefinitely
+//   f8  HD-13039: data block creation leaks a socket on exception
+//   f9  HD-16332: missing handling of an expired block token causes slow reads
+//   f10 HD-14333: disk error during registration keeps datanodes from starting
+//   f11 HD-15032: balancer crashes when a namenode is unreachable
+//
+// Topology: namenode (nn) + backup namenode (bn) + three datanodes + client.
+// The base system provides the write pipeline (edits log -> block allocation
+// -> datanode pipeline -> acks), heartbeats, checkpointing, block recovery,
+// the balancer, and token-checked reads. Transient faults in the pipeline
+// and heartbeats are tolerated with WARN logs (production noise).
+
+#include "src/systems/common.h"
+
+#include "src/systems/extras.h"
+
+#include "src/util/check.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+void BuildHdfsBase(Program* p) {
+  // --- Write pipeline ----------------------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.nn.allocate_block");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.nn.edits_append", {"IOException"});
+          b.External("hdfs.nn.edits_sync", {"IOException"});
+          b.Assign("blocksAllocated", b.Plus("blocksAllocated", 1));
+          b.Log(LogLevel::kInfo, "hdfs.namenode", "Allocated block {} for client",
+                {b.V("blocksAllocated")});
+          b.Assign("openFiles", b.Plus("openFiles", 1));
+          b.Send("hdfs.dn.write_block", "dn1", ir::SendOpts{.payload = Expr::Payload()});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kError, "hdfs.namenode", "Failed to persist edits for block");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.write_block");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.recv_packet", {"IOException"}, /*transient_every_n=*/23);
+          b.External("hdfs.dn.flush_block", {"IOException"});
+          b.Assign("blocksStored", b.Plus("blocksStored", 1));
+          b.Log(LogLevel::kDebug, "hdfs.datanode", "Stored block, {} local blocks",
+                {b.V("blocksStored")});
+          b.Send("hdfs.dn.replicate_block", "dn2", ir::SendOpts{.payload = Expr::Payload()});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.datanode",
+                     "Exception receiving block, requesting pipeline recovery");
+            b.Send("hdfs.nn.pipeline_failed", "nn");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.replicate_block");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.mirror_packet", {"IOException"}, /*transient_every_n=*/31);
+          b.Assign("replicas", b.Plus("replicas", 1));
+          b.Send("hdfs.nn.block_ack", "nn", ir::SendOpts{.payload = Expr::Payload()});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.datanode", "Mirror write failed, degraded pipeline");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.block_ack");
+    b.Assign("acksReceived", b.Plus("acksReceived", 1));
+    b.Assign("openFiles", b.Minus("openFiles", 1));
+    b.Signal("acksReceived");
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.pipeline_failed");
+    b.Assign("pipelineFailures", b.Plus("pipelineFailures", 1));
+    b.Log(LogLevel::kWarn, "hdfs.namenode", "Pipeline failure reported, {} so far",
+          {b.V("pipelineFailures")});
+  }
+
+  // --- Heartbeats (noise) --------------------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.dn.heartbeat_loop");
+    b.While(b.Lt("hbRound", 20), [&] {
+      b.Assign("hbRound", b.Plus("hbRound", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hdfs.dn.send_heartbeat", {"SocketException"}, /*transient_every_n=*/9);
+          },
+          {{"SocketException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "hdfs.datanode", "Heartbeat to namenode failed");
+            }}});
+      b.Sleep(25);
+    });
+  }
+
+  // --- Checkpoint / backup image service (f5, f6) ---------------------------
+  {
+    MethodBuilder b(p, "hdfs.nn.checkpoint");
+    b.Log(LogLevel::kInfo, "hdfs.checkpoint", "Starting checkpoint round {}",
+          {b.V("ckptRound")});
+    b.Assign("ckptRound", b.Plus("ckptRound", 1));
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.nn.save_image", {"IOException"});
+          b.Assign("imageSaved", Expr::Const(1));
+          b.External("hdfs.nn.transfer_image", {"InterruptedException", "IOException"});
+          b.Assign("imagesBackedUp", b.Plus("imagesBackedUp", 1));
+          b.Log(LogLevel::kInfo, "hdfs.checkpoint", "Image transferred to backup node");
+        },
+        {{"InterruptedException",
+          [&] {
+            // BUG (HD-12248): the interrupt is swallowed; the checkpoint is
+            // still declared complete without any backup copy.
+            b.Nop("swallowed interrupt");
+          }},
+         {"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.checkpoint", "Checkpoint attempt failed, retrying");
+          }}});
+    b.Log(LogLevel::kInfo, "hdfs.checkpoint", "Checkpoint complete");
+    b.Signal("ckptRound");
+  }
+  {
+    MethodBuilder b(p, "hdfs.bn.verify_backup");
+    // Run after checkpoints: a restart would need the backup image.
+    b.If(
+        b.Eq("imagesBackedUp", 0),
+        [&] {
+          b.Log(LogLevel::kError, "hdfs.backup",
+                "No valid image found in backup storage, cannot start");
+        },
+        [&] {
+          b.Log(LogLevel::kInfo, "hdfs.backup", "Backup holds {} images",
+                {b.V("imagesBackedUp")});
+        });
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.roll_edits_backup");
+    // f5: rolling the shared edits for the backup node.
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.nn.roll_edits", {"FileNotFoundException", "IOException"});
+          b.Assign("backupEpoch", b.Plus("backupEpoch", 1));
+          b.Log(LogLevel::kInfo, "hdfs.backup", "Rolled backup edits to epoch {}",
+                {b.V("backupEpoch")});
+        },
+        {{"FileNotFoundException",
+          [&] {
+            // BUG (HD-4233): the backup silently stops following, but the
+            // active namenode keeps serving.
+            b.Log(LogLevel::kError, "hdfs.backup", "Rolling backup failed, edits missing");
+            b.Assign("backupDead", Expr::Const(1));
+          }},
+         {"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.backup", "Transient edits roll failure, retrying");
+          }}});
+    b.If(b.Eq("backupDead", 0), [&] { b.Send("hdfs.bn.apply_edits", "bn"); });
+  }
+  {
+    MethodBuilder b(p, "hdfs.bn.apply_edits");
+    b.Assign("bnEpoch", b.Plus("bnEpoch", 1));
+    b.Log(LogLevel::kDebug, "hdfs.backup", "Backup applied edits epoch {}", {b.V("bnEpoch")});
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.serve_loop");
+    b.While(b.Lt("serveRound", 8), [&] {
+      b.Assign("serveRound", b.Plus("serveRound", 1));
+      b.Invoke("hdfs.nn.roll_edits_backup");
+      b.Log(LogLevel::kInfo, "hdfs.namenode", "Namenode serving, epoch {}",
+            {b.V("serveRound")});
+      b.Sleep(30);
+    });
+  }
+
+  // --- Block recovery (f7) ---------------------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.nn.recover_lease");
+    b.Log(LogLevel::kInfo, "hdfs.recovery", "Starting block recovery for open file");
+    b.Assign("recoveryAttempts", b.Plus("recoveryAttempts", 1));
+    b.Send("hdfs.dn.recover_block", "dn1");
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.recover_block");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.init_replica_recovery", {"IOException"});
+          b.Log(LogLevel::kInfo, "hdfs.recovery", "Replica recovery initialized");
+          b.External("hdfs.dn.update_replica_recovery", {"IOException"});
+          b.Send("hdfs.nn.commit_block_sync", "nn");
+        },
+        {{"IOException",
+          [&] {
+            // BUG (HD-12070): the recovery failure is reported but never
+            // rescheduled; the lease stays open forever.
+            b.LogExc(LogLevel::kWarn, "hdfs.recovery", "Failed to recover block on datanode");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.commit_block_sync");
+    b.Assign("leaseClosed", Expr::Const(1));
+    b.Signal("leaseClosed");
+    b.Assign("openFiles", b.Minus("openFiles", 1));
+    b.Log(LogLevel::kInfo, "hdfs.recovery", "Block recovery committed, lease closed");
+  }
+  {
+    MethodBuilder b(p, "hdfs.client.write_and_crash");
+    // Client writes one block then "crashes"; the lease monitor recovers it.
+    b.Send("hdfs.nn.allocate_block", "nn", ir::SendOpts{.payload = Expr::Const(42)});
+    b.Sleep(40);
+    b.Log(LogLevel::kInfo, "hdfs.client", "Client crashed with file open, lease expires");
+    b.Send("hdfs.nn.recover_lease", "nn");
+    b.Await(b.Eq("leaseClosed", 1), /*timeout_ms=*/30000);
+    b.If(
+        b.Eq("leaseClosed", 0),
+        [&] {
+          b.Log(LogLevel::kError, "hdfs.client",
+                "File remains open indefinitely, data loss risk");
+        },
+        [&] { b.Log(LogLevel::kInfo, "hdfs.client", "File closed after recovery"); });
+  }
+
+  // --- Socket-leaking block creation (f8) -------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.dn.create_block_stream");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.open_socket", {"IOException"});
+          b.Assign("socketsOpen", b.Plus("socketsOpen", 1));
+          b.External("hdfs.dn.setup_stream", {"IOException"});
+          b.Assign("streamsReady", b.Plus("streamsReady", 1));
+          b.Log(LogLevel::kDebug, "hdfs.datanode", "Block stream ready, {} streams",
+                {b.V("streamsReady")});
+          // Normal teardown.
+          b.Assign("socketsOpen", b.Minus("socketsOpen", 1));
+        },
+        {{"IOException",
+          [&] {
+            // BUG (HD-13039): the error path forgets to close the socket.
+            b.Log(LogLevel::kWarn, "hdfs.datanode", "Failed to set up block stream");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.fd_monitor");
+    b.Sleep(400);
+    b.If(b.Gt("socketsOpen", 0), [&] {
+      b.Log(LogLevel::kError, "hdfs.datanode", "Socket leak detected, {} sockets never closed",
+            {b.V("socketsOpen")});
+    });
+  }
+
+  // --- Token-checked reads (f9) -----------------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.dn.serve_read");
+    // An expired token is persistent state: every retry fails the same way
+    // until the client finally rebuilds its token (HD-16332).
+    b.If(b.Eq("tokenExpired", 1), [&] {
+      b.Log(LogLevel::kWarn, "hdfs.datanode", "Block token check failed for read");
+      b.Send("hdfs.client.read_retry", "client");
+      b.Return();
+    });
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.check_token", {"IOException"});
+          b.External("hdfs.dn.send_block_data", {"IOException"}, /*transient_every_n=*/19);
+          b.Assign("readsServed", b.Plus("readsServed", 1));
+          b.Send("hdfs.client.read_done", "client");
+        },
+        {{"IOException",
+          [&] {
+            // BUG (HD-16332): the expired token is not refreshed eagerly; the
+            // client must tear down and retry the whole pipeline each time.
+            b.Log(LogLevel::kWarn, "hdfs.datanode", "Block token check failed for read");
+            b.Assign("tokenExpired", Expr::Const(1));
+            b.Send("hdfs.client.read_retry", "client");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.client.read_done");
+    b.Assign("readDone", b.Plus("readDone", 1));
+    b.Signal("readDone");
+  }
+  {
+    MethodBuilder b(p, "hdfs.client.read_retry");
+    b.Assign("readRetries", b.Plus("readRetries", 1));
+    b.Log(LogLevel::kWarn, "hdfs.client", "Read attempt failed, retry {}",
+          {b.V("readRetries")});
+    b.If(b.Ge("readRetries", 4), [&] {
+      // Only a full client restart refreshes the token.
+      b.Log(LogLevel::kError, "hdfs.client", "Read extremely slow, took {} retries",
+            {b.V("readRetries")});
+      b.Send("hdfs.dn.refresh_token", "dn1");
+    });
+    b.If(b.Lt("readRetries", 8), [&] {
+      b.Sleep(200);  // slow full-pipeline re-setup
+      b.Send("hdfs.dn.serve_read", "dn1");
+    });
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.refresh_token");
+    b.Assign("tokenExpired", Expr::Const(0));
+    b.Log(LogLevel::kInfo, "hdfs.datanode", "Block token refreshed for client");
+  }
+  {
+    MethodBuilder b(p, "hdfs.client.read_workload");
+    b.Send("hdfs.dn.serve_read", "dn1");
+    b.Await(b.Ge("readDone", 1), /*timeout_ms=*/30000);
+    b.If(b.Ge("readDone", 1),
+         [&] { b.Log(LogLevel::kInfo, "hdfs.client", "Read completed"); });
+  }
+
+  // --- Datanode registration (f10) ---------------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.dn.startup");
+    b.Log(LogLevel::kInfo, "hdfs.datanode", "Datanode starting, registering with namenode");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.load_volumes", {"IOException"});
+          b.Send("hdfs.nn.register_dn", "nn");
+          b.Await(b.Eq("registered", 1), /*timeout_ms=*/15000);
+          b.If(
+              b.Eq("registered", 1),
+              [&] {
+                b.Log(LogLevel::kInfo, "hdfs.datanode", "Datanode registered and serving");
+                b.Assign("dnUp", Expr::Const(1));
+              },
+              [&] {
+                b.Log(LogLevel::kError, "hdfs.datanode",
+                      "Datanode failed to start, registration never acknowledged");
+              });
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kError, "hdfs.datanode",
+                     "Datanode failed to start, cannot load volumes");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.register_dn");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.nn.record_registration", {"IOException"});
+          b.Send("hdfs.dn.register_ack", "dn3");
+        },
+        {{"IOException",
+          [&] {
+            // BUG (HD-14333): the disk error during registration is swallowed
+            // on the namenode; the datanode never gets an ack and cannot
+            // start.
+            b.Log(LogLevel::kWarn, "hdfs.namenode",
+                     "Could not record datanode registration");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.register_ack");
+    b.Assign("registered", Expr::Const(1));
+    b.Signal("registered");
+  }
+
+  // --- Balancer (f11) -------------------------------------------------------------
+  {
+    MethodBuilder b(p, "hdfs.balancer.run");
+    b.Log(LogLevel::kInfo, "hdfs.balancer", "Balancer iteration {} starting",
+          {b.V("balRound")});
+    b.While(b.Lt("balRound", 6), [&] {
+      b.Assign("balRound", b.Plus("balRound", 1));
+      // BUG (HD-15032): no try/catch around the namenode RPC — an
+      // unreachable namenode kills the whole balancer.
+      b.External("hdfs.balancer.get_blocks", {"SocketException"});
+      b.Log(LogLevel::kInfo, "hdfs.balancer", "Fetched block list, round {}",
+            {b.V("balRound")});
+      b.TryCatch(
+          [&] {
+            b.External("hdfs.balancer.move_block", {"IOException"}, /*transient_every_n=*/11);
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "hdfs.balancer", "Block move failed, skipping");
+            }}});
+      b.Sleep(15);
+    });
+    b.Log(LogLevel::kInfo, "hdfs.balancer", "Balancer finished all iterations");
+  }
+
+  // Client write pump (shared background traffic).
+  {
+    MethodBuilder b(p, "hdfs.client.block_pump");
+    b.While(b.Lt("pumped", 10), [&] {
+      b.Assign("pumped", b.Plus("pumped", 1));
+      b.Send("hdfs.nn.allocate_block", "nn", ir::SendOpts{.payload = b.V("pumped")});
+      b.Sleep(12);
+    });
+  }
+
+  BuildHdfsExtras(p);
+  AddNoisyServices(p, "hdfs.ipc", 9, 5);
+  AddNoisyServices(p, "hdfs.xceiver", 7, 5);
+  AddColdModule(p, "hdfs.fsck", 18, 9);
+  AddColdModule(p, "hdfs.quota", 12, 7);
+  AddColdModule(p, "hdfs.snapshotdiff", 14, 8);
+  AddColdModule(p, "hdfs.cacheadmin", 10, 6);
+}
+
+interp::ClusterSpec BaseCluster(Program* p) {
+  interp::ClusterSpec cluster;
+  for (const char* node : {"nn", "bn", "dn1", "dn2", "dn3", "client"}) {
+    cluster.AddNode(node);
+  }
+  cluster.AddTask("dn1", "Heartbeater", p->FindMethod("hdfs.dn.heartbeat_loop"), 0);
+  cluster.AddTask("dn2", "Heartbeater", p->FindMethod("hdfs.dn.heartbeat_loop"), 3);
+  cluster.AddTask("client", "DataStreamer", p->FindMethod("hdfs.client.block_pump"), 10);
+  StartNoisyServices(&cluster, p, "hdfs.ipc", "dn3", 9, 8);
+  StartHdfsExtras(&cluster, p);
+  StartNoisyServices(&cluster, p, "hdfs.xceiver", "dn2", 7, 7);
+  return cluster;
+}
+
+// --- Cases ---------------------------------------------------------------------
+
+void RegisterHd4233(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-4233";
+  c.paper_id = "f5";
+  c.system = "hdfs";
+  c.title = "Rolling backup fails but the server keeps serving";
+  c.injected_fault = "FileNotFoundException";
+  c.root_site = "hdfs.nn.roll_edits";
+  c.root_exception = "FileNotFoundException";
+  c.root_occurrence = 3;
+  c.build = BuildHdfsBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("nn", "NameNodeRpcServer", p->FindMethod("hdfs.nn.serve_loop"), 5);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    // The backup followed for at least two epochs before dying.
+    return run.HasLogContaining(ir::LogLevel::kError, "Rolling backup failed") &&
+           run.HasLogContaining("Namenode serving, epoch 8") &&
+           run.HasLogContaining("Rolled backup edits to epoch 2");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHd12248(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-12248";
+  c.paper_id = "f6";
+  c.system = "hdfs";
+  c.title = "Interrupted image transfer makes checkpointing skip the backup";
+  c.injected_fault = "InterruptedException";
+  c.root_site = "hdfs.nn.transfer_image";
+  c.root_exception = "InterruptedException";
+  c.root_occurrence = 1;
+  c.build = [](Program* p) {
+    BuildHdfsBase(p);
+    MethodBuilder b(p, "hdfs.nn.checkpoint_workload");
+    b.Invoke("hdfs.nn.checkpoint");
+    b.Sleep(60);
+    b.Invoke("hdfs.bn.verify_backup");
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("nn", "Checkpointer", p->FindMethod("hdfs.nn.checkpoint_workload"), 20);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "No valid image found in backup") &&
+           run.HasLogContaining("Checkpoint complete");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHd12070(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-12070";
+  c.paper_id = "f7";
+  c.system = "hdfs";
+  c.title = "Failed block recovery leaves files open indefinitely";
+  c.injected_fault = "IOException";
+  c.root_site = "hdfs.dn.update_replica_recovery";
+  c.root_exception = "IOException";
+  c.root_occurrence = 1;
+  c.build = BuildHdfsBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("client", "LeaseWorker", p->FindMethod("hdfs.client.write_and_crash"), 15);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "File remains open indefinitely") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Failed to recover block");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHd13039(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-13039";
+  c.paper_id = "f8";
+  c.system = "hdfs";
+  c.title = "Data block creation leaks a socket on exception";
+  c.injected_fault = "IOException";
+  c.root_site = "hdfs.dn.setup_stream";
+  c.root_exception = "IOException";
+  c.root_occurrence = 4;
+  c.build = [](Program* p) {
+    BuildHdfsBase(p);
+    MethodBuilder b(p, "hdfs.client.stream_workload");
+    b.While(b.Lt("streamReqs", 8), [&] {
+      b.Assign("streamReqs", b.Plus("streamReqs", 1));
+      b.Send("hdfs.dn.create_block_stream", "dn2",
+             ir::SendOpts{.payload = b.V("streamReqs")});
+      b.Sleep(10);
+    });
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("client", "StreamWorker", p->FindMethod("hdfs.client.stream_workload"),
+                    10);
+    cluster.AddTask("dn2", "FdMonitor", p->FindMethod("hdfs.dn.fd_monitor"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Socket leak detected") &&
+           run.NodeVar(prog, "dn2", "socketsOpen") > 0;
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHd16332(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-16332";
+  c.paper_id = "f9";
+  c.system = "hdfs";
+  c.title = "Missing handling of expired block token causes slow read";
+  c.injected_fault = "IOException";
+  c.root_site = "hdfs.dn.check_token";
+  c.root_exception = "IOException";
+  c.root_occurrence = 1;
+  c.build = BuildHdfsBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("client", "Reader", p->FindMethod("hdfs.client.read_workload"), 10);
+    cluster.time_limit_ms = 120'000;
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Read extremely slow") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Block token check failed");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHd14333(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-14333";
+  c.paper_id = "f10";
+  c.system = "hdfs";
+  c.title = "Disk error during registration keeps datanodes from starting";
+  c.injected_fault = "IOException";
+  c.root_site = "hdfs.nn.record_registration";
+  c.root_exception = "IOException";
+  c.root_occurrence = 1;
+  c.build = BuildHdfsBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("dn3", "DataNodeMain", p->FindMethod("hdfs.dn.startup"), 5);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Datanode failed to start, registration never acknowledged") &&
+           run.HasLogContaining(ir::LogLevel::kWarn,
+                                "Could not record datanode registration");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHd15032(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-15032";
+  c.paper_id = "f11";
+  c.system = "hdfs";
+  c.title = "Balancer crashes when it cannot contact an unavailable namenode";
+  c.injected_fault = "SocketException";
+  c.root_site = "hdfs.balancer.get_blocks";
+  c.root_exception = "SocketException";
+  c.root_occurrence = 4;
+  c.build = BuildHdfsBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("nn", "Balancer", p->FindMethod("hdfs.balancer.run"), 10);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.DidThreadDie("nn/Balancer") && run.HasLogContaining("SocketException") &&
+           !run.HasLogContaining("Balancer finished all iterations");
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterHdfsCases(std::vector<FailureCase>* cases) {
+  RegisterHd4233(cases);
+  RegisterHd12248(cases);
+  RegisterHd12070(cases);
+  RegisterHd13039(cases);
+  RegisterHd16332(cases);
+  RegisterHd14333(cases);
+  RegisterHd15032(cases);
+}
+
+}  // namespace anduril::systems

@@ -1,0 +1,217 @@
+// HDFS background subsystems: block reports, the replication monitor's
+// under-replicated queue, the lease monitor, the trash emptier, and a
+// decommission manager. Fault-tolerant with WARN-logged retries.
+
+#include "src/systems/extras.h"
+
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Full block reports: each datanode periodically reports its replicas; the
+// namenode reconciles them against its block map.
+void BuildBlockReports(Program* p) {
+  {
+    MethodBuilder b(p, "hdfs.nn.process_block_report");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.nn.decode_report", {"IOException"});
+          b.External("hdfs.nn.reconcile_blockmap", {"IOException"}, /*transient_every_n=*/13);
+          b.Assign("reportsProcessed", b.Plus("reportsProcessed", 1));
+          b.Log(LogLevel::kInfo, "hdfs.BlockManager", "Processed block report {}",
+                {b.V("reportsProcessed")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.BlockManager",
+                     "Block report processing failed, datanode will resend");
+            b.Send("hdfs.dn.resend_report", "dn1");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.resend_report");
+    b.Assign("reportResends", b.Plus("reportResends", 1));
+    b.Log(LogLevel::kDebug, "hdfs.datanode", "Queued block report resend {}",
+          {b.V("reportResends")});
+    b.Sleep(15);
+    b.Send("hdfs.nn.process_block_report", "nn");
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.block_report_loop");
+    b.While(ir::Cond::LtVar(b.Var("reportTick"), b.Var("hdfsExtraRounds")), [&] {
+      b.Assign("reportTick", b.Plus("reportTick", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hdfs.dn.scan_volumes", {"IOException"}, /*transient_every_n=*/16);
+            b.Send("hdfs.nn.process_block_report", "nn");
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "hdfs.datanode", "Volume scan failed, report skipped");
+            }}});
+      b.Sleep(29);
+    });
+  }
+}
+
+// Replication monitor: scans the under-replicated queue and schedules
+// re-replication work on datanodes.
+void BuildReplicationMonitor(Program* p) {
+  {
+    MethodBuilder b(p, "hdfs.nn.replication_monitor");
+    b.While(ir::Cond::LtVar(b.Var("replTick"), b.Var("hdfsExtraRounds")), [&] {
+      b.Assign("replTick", b.Plus("replTick", 1));
+      b.If(b.Gt("underReplicated", 0), [&] {
+        b.TryCatch(
+            [&] {
+              b.External("hdfs.nn.choose_target", {"IOException"});
+              b.Assign("underReplicated", b.Minus("underReplicated", 1));
+              b.Send("hdfs.dn.rereplicate", "dn3");
+              b.Log(LogLevel::kInfo, "hdfs.BlockManager",
+                    "Scheduled re-replication, {} blocks still under-replicated",
+                    {b.V("underReplicated")});
+            },
+            {{"IOException",
+              [&] {
+                b.LogExc(LogLevel::kWarn, "hdfs.BlockManager",
+                         "No target for re-replication, will retry");
+              }}});
+      });
+      // Pipeline failures feed the queue.
+      b.If(ir::Cond::GtVar(b.Var("pipelineFailures"), b.Var("replSeen")), [&] {
+        b.Assign("replSeen", b.Plus("replSeen", 1));
+        b.Assign("underReplicated", b.Plus("underReplicated", 1));
+      });
+      b.Sleep(21);
+    });
+  }
+  {
+    MethodBuilder b(p, "hdfs.dn.rereplicate");
+    b.TryCatch(
+        [&] {
+          b.External("hdfs.dn.copy_replica", {"IOException"}, /*transient_every_n=*/8);
+          b.Assign("rereplicated", b.Plus("rereplicated", 1));
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "hdfs.datanode", "Re-replication copy failed");
+            b.Send("hdfs.nn.pipeline_failed", "nn");
+          }}});
+  }
+}
+
+// Lease monitor: recovers leases of clients that stopped renewing.
+void BuildLeaseMonitor(Program* p) {
+  {
+    MethodBuilder b(p, "hdfs.nn.lease_monitor");
+    b.While(ir::Cond::LtVar(b.Var("leaseTick"), b.Var("hdfsExtraRounds")), [&] {
+      b.Assign("leaseTick", b.Plus("leaseTick", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hdfs.nn.check_lease_table", {"IOException"}, /*transient_every_n=*/19);
+            b.Log(LogLevel::kDebug, "hdfs.LeaseManager", "Lease scan {} complete",
+                  {b.V("leaseTick")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "hdfs.LeaseManager", "Lease scan aborted, rescheduled");
+            }}});
+      b.Sleep(33);
+    });
+  }
+}
+
+// Trash emptier: deletes expired checkpointed trash directories.
+void BuildTrashEmptier(Program* p) {
+  {
+    MethodBuilder b(p, "hdfs.nn.trash_emptier");
+    b.While(ir::Cond::LtVar(b.Var("trashTick"), b.Var("hdfsExtraRounds")), [&] {
+      b.Assign("trashTick", b.Plus("trashTick", 1));
+      b.TryCatch(
+          [&] {
+            b.External("hdfs.nn.list_trash", {"IOException"});
+            b.External("hdfs.nn.delete_expired", {"IOException"}, /*transient_every_n=*/10);
+            b.Assign("trashEmptied", b.Plus("trashEmptied", 1));
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "hdfs.TrashEmptier", "Trash checkpoint skipped");
+            }}});
+      b.Sleep(41);
+    });
+  }
+}
+
+// Decommission manager: drains a datanode by re-replicating its blocks; the
+// node only transitions to DECOMMISSIONED when nothing is left on it.
+void BuildDecommissionManager(Program* p) {
+  {
+    MethodBuilder b(p, "hdfs.nn.decommission_check");
+    b.If(b.Eq("decomRequested", 1), [&] {
+      b.If(
+          b.Gt("decomBlocksLeft", 0),
+          [&] {
+            b.TryCatch(
+                [&] {
+                  b.External("hdfs.nn.drain_block", {"IOException"}, /*transient_every_n=*/7);
+                  b.Assign("decomBlocksLeft", b.Minus("decomBlocksLeft", 1));
+                  b.Log(LogLevel::kDebug, "hdfs.Decommission", "Drained block, {} left",
+                        {b.V("decomBlocksLeft")});
+                },
+                {{"IOException",
+                  [&] {
+                    b.LogExc(LogLevel::kWarn, "hdfs.Decommission", "Drain failed, retrying");
+                  }}});
+          },
+          [&] {
+            b.Assign("decomRequested", Expr::Const(0));
+            b.Log(LogLevel::kInfo, "hdfs.Decommission", "Datanode decommissioned");
+          });
+    });
+  }
+  {
+    MethodBuilder b(p, "hdfs.nn.decommission_loop");
+    b.Assign("decomRequested", Expr::Const(1));
+    b.Assign("decomBlocksLeft", Expr::Const(5));
+    b.Log(LogLevel::kInfo, "hdfs.Decommission", "Decommissioning datanode, {} blocks to move",
+          {b.V("decomBlocksLeft")});
+    b.While(ir::Cond::LtVar(b.Var("decomTick"), b.Var("hdfsExtraRounds")), [&] {
+      b.Assign("decomTick", b.Plus("decomTick", 1));
+      b.Invoke("hdfs.nn.decommission_check");
+      b.Sleep(27);
+    });
+  }
+}
+
+}  // namespace
+
+void BuildHdfsExtras(Program* p) {
+  BuildBlockReports(p);
+  BuildReplicationMonitor(p);
+  BuildLeaseMonitor(p);
+  BuildTrashEmptier(p);
+  BuildDecommissionManager(p);
+}
+
+void StartHdfsExtras(interp::ClusterSpec* cluster, ir::Program* p) {
+  int rounds = 6 * CurrentWorkloadScale();
+  cluster->AddTask("dn1", "BlockReporter", p->FindMethod("hdfs.dn.block_report_loop"), 6);
+  cluster->AddTask("nn", "ReplicationMonitor", p->FindMethod("hdfs.nn.replication_monitor"),
+                   4);
+  cluster->AddTask("nn", "LeaseMonitor", p->FindMethod("hdfs.nn.lease_monitor"), 9);
+  cluster->AddTask("nn", "TrashEmptier", p->FindMethod("hdfs.nn.trash_emptier"), 13);
+  cluster->AddTask("nn", "DecommissionManager", p->FindMethod("hdfs.nn.decommission_loop"),
+                   16);
+  for (const char* node : {"nn", "dn1", "dn2", "dn3"}) {
+    cluster->SetVar(node, p->InternVar("hdfsExtraRounds"), rounds);
+  }
+}
+
+}  // namespace anduril::systems

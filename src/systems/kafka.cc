@@ -1,0 +1,339 @@
+// Simulated Kafka and its three evaluated failures:
+//   f18 KA-12508: emit-on-change tables lose updates after error and restart
+//   f19 KA-9374:  a blocked connector disables the whole Connect worker
+//   f20 KA-10048: consumer failover under MM2 replication leaves a data gap
+//
+// Topology: two brokers + a Connect worker + an MM2 node + client. The base
+// provides a produce path with retries, a Streams task with emit-on-change
+// semantics and state flushing, the Connect herder, MM2 replication with
+// offset-translation checkpoints, and broker request-handling noise.
+
+#include "src/systems/common.h"
+
+#include "src/systems/extras.h"
+
+#include "src/util/check.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+void BuildKafkaBase(Program* p) {
+  // --- Broker request handling (noise + f19 dependency) ----------------------
+  {
+    MethodBuilder b(p, "kafka.broker.handle_produce");
+    b.TryCatch(
+        [&] {
+          b.External("kafka.broker.append_log", {"IOException"}, /*transient_every_n=*/21);
+          b.External("kafka.broker.update_isr", {"IOException"});
+          b.Assign("produced", b.Plus("produced", 1));
+          b.Log(LogLevel::kDebug, "kafka.ReplicaManager", "Appended record {} to log",
+                {b.V("produced")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "kafka.ReplicaManager",
+                     "Produce request failed, client will retry");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "kafka.broker.handle_metadata");
+    b.TryCatch(
+        [&] {
+          b.External("kafka.broker.read_metadata", {"IOException"});
+          b.Send("kafka.connect.metadata_response", "connect");
+        },
+        {{"IOException",
+          [&] {
+            // The failed request is simply dropped: no error response is
+            // sent back (the f19 trigger).
+            b.LogExc(LogLevel::kWarn, "kafka.RequestHandler",
+                     "Request processing failed, dropping request");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "kafka.broker.log_cleaner");
+    b.While(b.LtVar("cleanRound", "cleanRounds"), [&] {
+      b.Assign("cleanRound", b.Plus("cleanRound", 1));
+      b.TryCatch(
+          [&] {
+            b.External("kafka.broker.clean_segment", {"IOException"}, /*transient_every_n=*/8);
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "kafka.LogCleaner", "Segment cleaning failed, skipped");
+            }}});
+      b.Sleep(14);
+    });
+  }
+
+  // --- Streams emit-on-change task (f18) --------------------------------------
+  {
+    MethodBuilder b(p, "kafka.streams.process_record");
+    // Payload is the record value; emit only when it changes.
+    b.Assign("recordValue", Expr::Payload());
+    b.If(b.NeVar("recordValue", "lastValue"),
+         [&] {
+           b.Assign("lastValue", b.V("recordValue"));
+           b.Assign("emitsBuffered", b.Plus("emitsBuffered", 1));
+           b.Log(LogLevel::kDebug, "streams.KTable", "Buffered changed value {}",
+                 {b.V("recordValue")});
+         });
+    b.Assign("recordsSeen", b.Plus("recordsSeen", 1));
+    b.If(b.Eq("recordsSeen", 3), [&] {
+      b.Assign("recordsSeen", Expr::Const(0));
+      b.Invoke("kafka.streams.flush_state");
+    });
+  }
+  {
+    MethodBuilder b(p, "kafka.streams.flush_state");
+    b.TryCatch(
+        [&] {
+          b.External("kafka.streams.write_checkpoint", {"IOException"});
+          b.External("kafka.streams.flush_rocksdb", {"IOException"});
+          b.Assign("emitsFlushed", Expr::AddVar(b.Var("emitsFlushed"), b.Var("emitsBuffered")));
+          b.Assign("emitsBuffered", Expr::Const(0));
+          b.Log(LogLevel::kDebug, "streams.StateManager", "Flushed state, {} emits total",
+                {b.V("emitsFlushed")});
+        },
+        {{"IOException",
+          [&] {
+            // BUG (KA-12508): the task restarts from the changelog, but the
+            // buffered emit-on-change updates are dropped, not replayed.
+            b.LogExc(LogLevel::kWarn, "streams.StateManager",
+                     "State flush failed, restarting task from changelog");
+            b.Assign("emitsBuffered", Expr::Const(0));
+            b.Assign("taskRestarts", b.Plus("taskRestarts", 1));
+          }}});
+  }
+  {
+    MethodBuilder b(p, "kafka.streams.verify_output");
+    b.Invoke("kafka.streams.flush_state");
+    b.If(
+        b.Lt("emitsFlushed", 8),
+        [&] {
+          b.Log(LogLevel::kError, "streams.Verifier",
+                "Emit-on-change table lost updates, only {} of 8 emitted",
+                {b.V("emitsFlushed")});
+        },
+        [&] { b.Log(LogLevel::kInfo, "streams.Verifier", "All emit-on-change updates seen"); });
+  }
+  {
+    MethodBuilder b(p, "kafka.streams.workload");
+    // 12 records, 8 value changes (values: 1 1 2 2 3 4 5 5 6 7 8 8).
+    for (int64_t value : {1, 1, 2, 2, 3, 4, 5, 5, 6, 7, 8, 8}) {
+      b.Send("kafka.streams.process_record", "connect",
+             ir::SendOpts{.payload = Expr::Const(value), .handler_thread = "StreamThread"});
+      b.Sleep(7);
+    }
+    b.Sleep(60);
+    b.Send("kafka.streams.verify_output", "connect",
+           ir::SendOpts{.handler_thread = "StreamThread"});
+  }
+
+  // --- Connect herder (f19) -----------------------------------------------------
+  {
+    MethodBuilder b(p, "kafka.connect.metadata_response");
+    b.Assign("metadataResponses", b.Plus("metadataResponses", 1));
+    b.Signal("metadataResponses");
+  }
+  {
+    MethodBuilder b(p, "kafka.connect.start_connector");
+    b.Log(LogLevel::kInfo, "connect.Herder", "Starting connector {}", {Expr::Payload()});
+    b.Assign("metadataWanted", b.Plus("metadataWanted", 1));
+    b.Send("kafka.broker.handle_metadata", "broker1");
+    // BUG (KA-9374): the herder blocks with no timeout while holding the
+    // worker's only thread; a dropped response parks it forever.
+    b.Await(b.GeVar("metadataResponses", "metadataWanted"));
+    b.Assign("connectorsStarted", b.Plus("connectorsStarted", 1));
+    b.Log(LogLevel::kInfo, "connect.Herder", "Connector {} started", {Expr::Payload()});
+  }
+  {
+    MethodBuilder b(p, "kafka.connect.healthcheck");
+    b.Sleep(500);
+    b.If(
+        b.Lt("connectorsStarted", 4),
+        [&] {
+          b.Log(LogLevel::kError, "connect.Herder",
+                "Worker stalled, connectors disabled ({} of 4 running)",
+                {b.V("connectorsStarted")});
+        },
+        [&] { b.Log(LogLevel::kInfo, "connect.Herder", "All connectors running"); });
+  }
+  {
+    MethodBuilder b(p, "kafka.connect.workload");
+    b.While(b.Lt("connectorReq", 4), [&] {
+      b.Assign("connectorReq", b.Plus("connectorReq", 1));
+      b.Send("kafka.connect.start_connector", "connect",
+             ir::SendOpts{.payload = b.V("connectorReq"), .handler_thread = "Herder"});
+      b.Sleep(25);
+    });
+  }
+
+  // --- MM2 replication with checkpoints (f20) ------------------------------------
+  {
+    MethodBuilder b(p, "kafka.mm2.replicate_loop");
+    b.While(b.Lt("mirrored", 12), [&] {
+      b.Assign("mirrored", b.Plus("mirrored", 1));
+      b.TryCatch(
+          [&] {
+            b.External("kafka.mm2.fetch_source", {"IOException"}, /*transient_every_n=*/26);
+            b.External("kafka.mm2.produce_target", {"IOException"});
+            b.Log(LogLevel::kDebug, "mm2.MirrorSource", "Mirrored record {}",
+                  {b.V("mirrored")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "mm2.MirrorSource", "Mirror fetch failed, retrying");
+            }}});
+      b.If(b.EqVar("mirrored", "nextCkpt"), [&] {
+        b.Assign("nextCkpt", b.Plus("nextCkpt", 3));
+        b.TryCatch(
+            [&] {
+              b.External("kafka.mm2.emit_checkpoint", {"IOException"});
+              b.Assign("lastCheckpoint", b.V("mirrored"));
+              b.Log(LogLevel::kInfo, "mm2.Checkpoint", "Emitted checkpoint at offset {}",
+                    {b.V("lastCheckpoint")});
+            },
+            {{"IOException",
+              [&] {
+                // BUG (KA-10048): a failed checkpoint emission is skipped,
+                // not retried; a failover in that window reads a stale
+                // translated offset.
+                b.LogExc(LogLevel::kWarn, "mm2.Checkpoint",
+                         "Checkpoint emit failed, skipping interval");
+              }}});
+      });
+      b.Sleep(10);
+    });
+    b.Signal("mirrored");
+  }
+  {
+    MethodBuilder b(p, "kafka.consumer.failover");
+    b.Await(b.Ge("mirrored", 12), /*timeout_ms=*/30000);
+    b.Log(LogLevel::kInfo, "mm2.Consumer", "Primary cluster lost, failing over to backup");
+    b.Assign("consumedAfterFailover", b.V("lastCheckpoint"));
+    b.If(
+        b.Lt("consumedAfterFailover", 12),
+        [&] {
+          b.Log(LogLevel::kError, "mm2.Consumer",
+                "Data gap after failover, consumer resumed at {} of 12",
+                {b.V("consumedAfterFailover")});
+        },
+        [&] { b.Log(LogLevel::kInfo, "mm2.Consumer", "Failover complete with no gap"); });
+  }
+
+  BuildKafkaExtras(p);
+  AddNoisyServices(p, "kafka.ipc", 9, 5);
+  AddNoisyServices(p, "kafka.fetcher", 7, 5);
+  AddColdModule(p, "kafka.txncoord", 14, 8);
+  AddColdModule(p, "kafka.groupcoord", 12, 8);
+  AddColdModule(p, "kafka.acladmin", 10, 6);
+}
+
+interp::ClusterSpec BaseCluster(Program* p, int clean_rounds) {
+  interp::ClusterSpec cluster;
+  for (const char* node : {"broker1", "broker2", "connect", "mm2", "client"}) {
+    cluster.AddNode(node);
+  }
+  cluster.AddTask("broker1", "LogCleaner", p->FindMethod("kafka.broker.log_cleaner"), 0);
+  cluster.SetVar("broker1", p->InternVar("cleanRounds"), clean_rounds);
+  StartNoisyServices(&cluster, p, "kafka.ipc", "broker2", 9, 8);
+  StartKafkaExtras(&cluster, p);
+  StartNoisyServices(&cluster, p, "kafka.fetcher", "broker1", 7, 7);
+  return cluster;
+}
+
+// --- Cases ---------------------------------------------------------------------
+
+void RegisterKa12508(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "ka-12508";
+  c.paper_id = "f18";
+  c.system = "kafka";
+  c.title = "Emit-on-change tables lose updates after error and restart";
+  c.injected_fault = "IOException";
+  c.root_site = "kafka.streams.flush_rocksdb";
+  c.root_exception = "IOException";
+  c.root_occurrence = 2;
+  c.build = BuildKafkaBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 12);
+    cluster.AddTask("client", "Producer", p->FindMethod("kafka.streams.workload"), 5);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Emit-on-change table lost updates") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "State flush failed");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterKa9374(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "ka-9374";
+  c.paper_id = "f19";
+  c.system = "kafka";
+  c.title = "Blocked connectors disable the workers";
+  c.injected_fault = "IOException";
+  c.root_site = "kafka.broker.read_metadata";
+  c.root_exception = "IOException";
+  c.root_occurrence = 2;
+  c.build = BuildKafkaBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 12);
+    cluster.AddTask("client", "AdminClient", p->FindMethod("kafka.connect.workload"), 5);
+    cluster.AddTask("connect", "Healthcheck", p->FindMethod("kafka.connect.healthcheck"), 0);
+    return cluster;
+  };
+  c.failure_workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 30);  // noisier production log
+    cluster.AddTask("client", "AdminClient", p->FindMethod("kafka.connect.workload"), 5);
+    cluster.AddTask("connect", "Healthcheck", p->FindMethod("kafka.connect.healthcheck"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Worker stalled, connectors disabled") &&
+           run.IsThreadStuckIn(prog, "connect/Herder", "kafka.connect.start_connector");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterKa10048(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "ka-10048";
+  c.paper_id = "f20";
+  c.system = "kafka";
+  c.title = "Consumer failover under MM2 replication causes a data gap";
+  c.injected_fault = "IOException";
+  c.root_site = "kafka.mm2.emit_checkpoint";
+  c.root_exception = "IOException";
+  c.root_occurrence = 4;  // the last checkpoint before failover
+  c.build = BuildKafkaBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, 12);
+    cluster.AddTask("mm2", "MirrorSource", p->FindMethod("kafka.mm2.replicate_loop"), 5);
+    cluster.AddTask("mm2", "Consumer", p->FindMethod("kafka.consumer.failover"), 10);
+    cluster.SetVar("mm2", p->InternVar("nextCkpt"), 3);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Data gap after failover") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Checkpoint emit failed");
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterKafkaCases(std::vector<FailureCase>* cases) {
+  RegisterKa12508(cases);
+  RegisterKa9374(cases);
+  RegisterKa10048(cases);
+}
+
+}  // namespace anduril::systems

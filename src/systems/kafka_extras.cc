@@ -1,0 +1,180 @@
+// Kafka background subsystems: the group coordinator's join/sync/heartbeat
+// state machine, the transaction coordinator's two-phase commit, ISR
+// shrink/expand management, and log segment rolling.
+
+#include "src/systems/extras.h"
+
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Group coordinator: members join, the leader syncs assignments, members
+// heartbeat; a missed heartbeat triggers a rebalance generation bump.
+void BuildGroupCoordinator(Program* p) {
+  {
+    MethodBuilder b(p, "kafka.group.join");
+    b.Assign("groupMembers", b.Plus("groupMembers", 1));
+    b.Log(LogLevel::kInfo, "kafka.GroupCoordinator", "Member joined, {} in group",
+          {b.V("groupMembers")});
+    b.If(b.Ge("groupMembers", 2), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("kafka.group.persist_assignment", {"IOException"});
+            b.Assign("generation", b.Plus("generation", 1));
+            b.Log(LogLevel::kInfo, "kafka.GroupCoordinator", "Rebalanced to generation {}",
+                  {b.V("generation")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "kafka.GroupCoordinator",
+                       "Assignment persist failed, members will rejoin");
+              b.Assign("groupMembers", Expr::Const(0));
+            }}});
+    });
+  }
+  {
+    MethodBuilder b(p, "kafka.group.heartbeat");
+    b.TryCatch(
+        [&] {
+          b.External("kafka.group.check_session", {"IOException"}, /*transient_every_n=*/10);
+          b.Assign("heartbeatsOk", b.Plus("heartbeatsOk", 1));
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "kafka.GroupCoordinator",
+                     "Heartbeat session check failed, member evicted");
+            b.If(b.Gt("groupMembers", 0), [&] {
+              b.Assign("groupMembers", b.Minus("groupMembers", 1));
+            });
+          }}});
+  }
+  {
+    MethodBuilder b(p, "kafka.group.coordinator_loop");
+    b.Send("kafka.group.join", "broker1", ir::SendOpts{.handler_thread = "GroupCoordinator"});
+    b.Send("kafka.group.join", "broker1", ir::SendOpts{.handler_thread = "GroupCoordinator"});
+    b.While(ir::Cond::LtVar(b.Var("groupTick"), b.Var("kafkaExtraRounds")), [&] {
+      b.Assign("groupTick", b.Plus("groupTick", 1));
+      b.Send("kafka.group.heartbeat", "broker1",
+             ir::SendOpts{.handler_thread = "GroupCoordinator"});
+      b.Sleep(18);
+    });
+  }
+}
+
+// Transaction coordinator: begin -> add partitions -> prepare -> commit,
+// with the prepare state persisted to the transaction log.
+void BuildTransactionCoordinator(Program* p) {
+  {
+    MethodBuilder b(p, "kafka.txn.run_transaction");
+    b.TryCatch(
+        [&] {
+          b.External("kafka.txn.append_begin", {"IOException"});
+          b.External("kafka.txn.add_partitions", {"IOException"}, /*transient_every_n=*/13);
+          b.External("kafka.txn.append_prepare", {"IOException"});
+          b.External("kafka.txn.write_markers", {"IOException"});
+          b.Assign("txnCommitted", b.Plus("txnCommitted", 1));
+          b.Log(LogLevel::kInfo, "kafka.TransactionCoordinator", "Transaction {} committed",
+                {b.V("txnCommitted")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "kafka.TransactionCoordinator",
+                     "Transaction aborted, producer must retry");
+            b.Assign("txnAborted", b.Plus("txnAborted", 1));
+          }}});
+  }
+  {
+    MethodBuilder b(p, "kafka.txn.coordinator_loop");
+    b.While(ir::Cond::LtVar(b.Var("txnTick"), b.Var("kafkaExtraRounds")), [&] {
+      b.Assign("txnTick", b.Plus("txnTick", 1));
+      b.Invoke("kafka.txn.run_transaction");
+      b.Sleep(23);
+    });
+  }
+}
+
+// ISR manager: shrinks the in-sync replica set when a follower lags, expands
+// it back once the follower catches up.
+void BuildIsrManager(Program* p) {
+  {
+    MethodBuilder b(p, "kafka.isr.tick");
+    b.TryCatch(
+        [&] {
+          b.External("kafka.isr.check_follower_lag", {"IOException"}, /*transient_every_n=*/6);
+          b.If(b.Lt("isrSize", 3), [&] {
+            b.Assign("isrSize", b.Plus("isrSize", 1));
+            b.Log(LogLevel::kInfo, "kafka.Partition", "ISR expanded to {}", {b.V("isrSize")});
+          });
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "kafka.Partition", "Follower lagging, shrinking ISR");
+            b.If(b.Gt("isrSize", 1), [&] {
+              b.Assign("isrSize", b.Minus("isrSize", 1));
+            });
+          }}});
+  }
+  {
+    MethodBuilder b(p, "kafka.isr.manager_loop");
+    b.Assign("isrSize", Expr::Const(3));
+    b.While(ir::Cond::LtVar(b.Var("isrTick"), b.Var("kafkaExtraRounds")), [&] {
+      b.Assign("isrTick", b.Plus("isrTick", 1));
+      b.Invoke("kafka.isr.tick");
+      b.Sleep(16);
+    });
+  }
+}
+
+// Segment roller: rolls the active log segment by size/time and flushes the
+// old one.
+void BuildSegmentRoller(Program* p) {
+  {
+    MethodBuilder b(p, "kafka.log.segment_roll_loop");
+    b.While(ir::Cond::LtVar(b.Var("segTick"), b.Var("kafkaExtraRounds")), [&] {
+      b.Assign("segTick", b.Plus("segTick", 1));
+      b.TryCatch(
+          [&] {
+            b.External("kafka.log.flush_segment", {"IOException"}, /*transient_every_n=*/15);
+            b.External("kafka.log.open_new_segment", {"IOException"});
+            b.Assign("segmentsRolled", b.Plus("segmentsRolled", 1));
+            b.Log(LogLevel::kDebug, "kafka.Log", "Rolled segment {}", {b.V("segmentsRolled")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "kafka.Log", "Segment roll failed, retry next interval");
+            }}});
+      b.Sleep(34);
+    });
+  }
+}
+
+}  // namespace
+
+void BuildKafkaExtras(Program* p) {
+  BuildGroupCoordinator(p);
+  BuildTransactionCoordinator(p);
+  BuildIsrManager(p);
+  BuildSegmentRoller(p);
+}
+
+void StartKafkaExtras(interp::ClusterSpec* cluster, ir::Program* p) {
+  int rounds = 6 * CurrentWorkloadScale();
+  cluster->AddTask("client", "GroupDriver", p->FindMethod("kafka.group.coordinator_loop"), 5);
+  cluster->AddTask("broker1", "TxnCoordinator", p->FindMethod("kafka.txn.coordinator_loop"),
+                   8);
+  cluster->AddTask("broker2", "IsrManager", p->FindMethod("kafka.isr.manager_loop"), 4);
+  cluster->AddTask("broker1", "SegmentRoller", p->FindMethod("kafka.log.segment_roll_loop"),
+                   11);
+  for (const char* node : {"broker1", "broker2", "client"}) {
+    cluster->SetVar(node, p->InternVar("kafkaExtraRounds"), rounds);
+  }
+}
+
+}  // namespace anduril::systems

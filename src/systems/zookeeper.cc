@@ -1,0 +1,429 @@
+// Simulated ZooKeeper and its four evaluated failures:
+//   f1 ZK-2247: server unavailable when the leader fails to write the txn log
+//   f2 ZK-3157: connection loss at the wrong moment makes the client fail
+//   f3 ZK-4203: leader election stuck forever after a connection error
+//   f4 ZK-3006: invalid disk file content causes a NullPointerException
+//
+// Topology: zk1 (leader) + zk2/zk3 (followers) + a client node. The base
+// system provides request processing (txn log write -> quorum commit ->
+// client ack), session handling, a leader-election service, snapshot
+// loading, and periodic ping/maintenance noise whose transient faults are
+// tolerated but logged — the source of the noisy WARN messages the paper
+// emphasizes.
+
+#include "src/systems/common.h"
+
+#include "src/systems/extras.h"
+
+#include "src/util/check.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+constexpr int kClientRequests = 20;
+
+// --- Shared plumbing ---------------------------------------------------------
+
+void BuildZooKeeperBase(Program* p) {
+  // Leader request pipeline.
+  {
+    MethodBuilder b(p, "zk.leader.process_request");
+    b.If(b.Eq("txnlogBroken", 1), [&] {
+      b.Log(LogLevel::kWarn, "zk.leader", "Dropping request {}, txnlog marked broken",
+            {Expr::Payload()});
+      b.Return();
+    });
+    b.TryCatch(
+        [&] {
+          b.External("zk.txnlog.write", {"IOException"});
+          b.External("zk.txnlog.sync", {"IOException"});
+          b.Send("zk.follower.commit", "zk2", ir::SendOpts{.payload = Expr::Payload()});
+          b.Send("zk.follower.commit", "zk3", ir::SendOpts{.payload = Expr::Payload()});
+          b.Send("zk.client.response", "client", ir::SendOpts{.payload = Expr::Payload()});
+          b.Assign("committed", b.Plus("committed", 1));
+          b.Log(LogLevel::kInfo, "zk.leader", "Committed request {}", {Expr::Payload()});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kError, "zk.leader",
+                     "Severe unrecoverable error while writing transaction log");
+            b.Assign("txnlogBroken", Expr::Const(1));
+          }}});
+  }
+  {
+    MethodBuilder b(p, "zk.follower.commit");
+    b.TryCatch(
+        [&] {
+          b.External("zk.snap.flush", {"IOException"}, /*transient_every_n=*/17);
+          b.Assign("applied", b.Plus("applied", 1));
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "zk.follower", "Snapshot flush failed, will retry");
+          }}});
+    b.Send("zk.leader.ack", "zk1", ir::SendOpts{.payload = Expr::Payload()});
+  }
+  {
+    MethodBuilder b(p, "zk.leader.ack");
+    b.Assign("acks", b.Plus("acks", 1));
+  }
+  {
+    MethodBuilder b(p, "zk.client.response");
+    b.Assign("responses", b.Plus("responses", 1));
+    b.Signal("responses");
+  }
+
+  // Client workload pump: submits requests and waits for acknowledgements.
+  {
+    MethodBuilder b(p, "zk.client.run_workload");
+    b.Log(LogLevel::kInfo, "zk.client", "Session established to ensemble");
+    b.While(b.Lt("reqId", kClientRequests), [&] {
+      b.Assign("reqId", b.Plus("reqId", 1));
+      b.Send("zk.leader.process_request", "zk1", ir::SendOpts{.payload = b.V("reqId")});
+      b.Sleep(5);
+    });
+    b.Await(b.Ge("responses", kClientRequests), /*timeout_ms=*/30000);
+    b.If(
+        b.Lt("responses", kClientRequests),
+        [&] {
+          b.Log(LogLevel::kWarn, "zk.client",
+                "Did not receive responses for all requests, got only {}",
+                {b.V("responses")});
+        },
+        [&] { b.Log(LogLevel::kInfo, "zk.client", "All requests acknowledged"); });
+  }
+
+  // Periodic ping noise (tolerated transient faults -> noisy WARNs).
+  {
+    MethodBuilder b(p, "zk.leader.ping_loop");
+    b.While(b.Lt("pingRound", 25), [&] {
+      b.Assign("pingRound", b.Plus("pingRound", 1));
+      b.TryCatch(
+          [&] { b.External("zk.ping.send", {"SocketException"}, /*transient_every_n=*/7); },
+          {{"SocketException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zk.quorum", "Ping to follower failed, retrying");
+            }}});
+      b.Sleep(20);
+    });
+  }
+
+  // Leader election service (exercised by f3; cold elsewhere unless started).
+  {
+    MethodBuilder b(p, "zk.election.on_connection");
+    b.If(b.Eq("listenerDead", 1), [&] {
+      b.Log(LogLevel::kWarn, "zk.election",
+            "Connection dropped, election socket service closed");
+      b.Return();
+    });
+    b.TryCatch(
+        [&] {
+          b.External("zk.election.accept_socket", {"IOException"});
+          b.External("zk.election.read_vote", {"IOException"});
+          b.Assign("votesReceived", b.Plus("votesReceived", 1));
+          b.Signal("votesReceived");
+          b.Log(LogLevel::kInfo, "zk.election", "Received vote {} from follower",
+                {b.V("votesReceived")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kError, "zk.election",
+                     "Exception while listening for election connections");
+            // BUG (ZK-4203): one socket error permanently fails the whole
+            // listener; later connection attempts are silently dropped.
+            b.Assign("listenerDead", Expr::Const(1));
+          }}});
+  }
+  {
+    MethodBuilder b(p, "zk.election.coordinate");
+    b.Log(LogLevel::kInfo, "zk.election", "Starting leader election");
+    b.Await(b.Ge("votesReceived", 2), /*timeout_ms=*/40000);
+    b.If(
+        b.Ge("votesReceived", 2),
+        [&] {
+          b.Assign("electionDone", Expr::Const(1));
+          b.Log(LogLevel::kInfo, "zk.election", "zk1 elected leader with quorum");
+        },
+        [&] {
+          b.Log(LogLevel::kError, "zk.election",
+                "Failed to elect a leader, quorum never formed");
+        });
+  }
+  {
+    MethodBuilder b(p, "zk.follower.join_election");
+    b.While(b.Lt("connectAttempts", 3), [&] {
+      b.Assign("connectAttempts", b.Plus("connectAttempts", 1));
+      b.TryCatch(
+          [&] { b.External("zk.election.open_channel", {"ConnectException"}); },
+          {{"ConnectException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zk.election", "Cannot open election channel, retry");
+            }}});
+      b.Send("zk.election.on_connection", "zk1",
+             ir::SendOpts{.handler_thread = "ListenerHandler"});
+      b.Sleep(30);
+    });
+  }
+
+  // Snapshot loading (exercised by f4).
+  {
+    MethodBuilder b(p, "zk.server.load_database");
+    b.TryCatch(
+        [&] {
+          b.External("zk.snap.read_header", {"IOException"});
+          b.External("zk.snap.deserialize", {"EOFException"});
+          b.Assign("dataTreeLoaded", Expr::Const(1));
+          b.Log(LogLevel::kInfo, "zk.server", "Snapshot loaded, {} sessions restored",
+                {b.V("applied")});
+        },
+        {{"EOFException",
+          [&] {
+            // BUG (ZK-3006): falls through without initializing the tree.
+            b.LogExc(LogLevel::kWarn, "zk.server",
+                     "Truncated snapshot, falling back to empty data tree");
+          }},
+         {"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "zk.server", "Snapshot read failed, trying next one");
+            b.Assign("dataTreeLoaded", Expr::Const(1));
+          }}});
+    b.Invoke("zk.server.start_serving");
+  }
+  {
+    MethodBuilder b(p, "zk.server.start_serving");
+    b.If(
+        b.Eq("dataTreeLoaded", 0),
+        [&] {
+          // Dereferences the never-initialized data tree.
+          b.Throw("NullPointerException");
+        },
+        [&] { b.Log(LogLevel::kInfo, "zk.server", "Serving client requests"); });
+  }
+
+  // Session handling (exercised by f2).
+  {
+    MethodBuilder b(p, "zk.follower.handle_packet");
+    b.If(b.Eq("connClosed", 1), [&] {
+      b.Log(LogLevel::kInfo, "zk.session", "Re-establishing client connection");
+      b.Assign("connClosed", Expr::Const(0));
+    });
+    b.TryCatch(
+        [&] {
+          b.External("zk.session.read_packet", {"IOException"});
+          // Payload 7 = watch registration; everything else is a ping.
+          b.Assign("lastPacket", Expr::Payload());
+          b.If(
+              ir::Cond::Eq(b.Var("lastPacket"), 7),
+              [&] {
+                b.Assign("watchRegistered", Expr::Const(1));
+                b.Log(LogLevel::kInfo, "zk.session", "Watch registered for client path");
+              },
+              [&] {
+                b.Assign("sessionTouched", b.Plus("sessionTouched", 1));
+                b.Log(LogLevel::kDebug, "zk.session", "Touched session, {} pings so far",
+                      {b.V("sessionTouched")});
+                b.Send("zk.client.session_ok", "client");
+              });
+        },
+        {{"IOException",
+          [&] {
+            // Tolerated for pings (client re-sends), but a registration
+            // packet is lost for good (ZK-3157): the client believes the
+            // watch is armed.
+            b.LogExc(LogLevel::kWarn, "zk.session",
+                     "Unexpected exception on session channel, closing connection");
+            b.Assign("connClosed", Expr::Const(1));
+          }}});
+  }
+  {
+    MethodBuilder b(p, "zk.client.session_ok");
+    b.Assign("sessionAcks", b.Plus("sessionAcks", 1));
+    b.Signal("sessionAcks");
+  }
+  {
+    MethodBuilder b(p, "zk.follower.trigger_event");
+    b.If(
+        b.Eq("watchRegistered", 1),
+        [&] {
+          b.Log(LogLevel::kInfo, "zk.session", "Data changed, firing client watch");
+          b.Send("zk.client.watch_fired", "client");
+        },
+        [&] { b.Log(LogLevel::kDebug, "zk.session", "Data changed, no watchers"); });
+  }
+  {
+    MethodBuilder b(p, "zk.client.watch_fired");
+    b.Assign("watchFired", Expr::Const(1));
+    b.Signal("watchFired");
+  }
+  {
+    MethodBuilder b(p, "zk.client.watch_workload");
+    b.Log(LogLevel::kInfo, "zk.client", "Session established to ensemble");
+    // A few pings, then the watch registration, then more pings.
+    b.While(b.Lt("pingsSent", 5), [&] {
+      b.Assign("pingsSent", b.Plus("pingsSent", 1));
+      b.Send("zk.follower.handle_packet", "zk2",
+             ir::SendOpts{.payload = Expr::Const(1), .handler_thread = "SessionTracker"});
+      b.Sleep(8);
+    });
+    b.Send("zk.follower.handle_packet", "zk2",
+           ir::SendOpts{.payload = Expr::Const(7), .handler_thread = "SessionTracker"});
+    b.Sleep(8);
+    b.While(b.Lt("pingsSent", 10), [&] {
+      b.Assign("pingsSent", b.Plus("pingsSent", 1));
+      b.Send("zk.follower.handle_packet", "zk2",
+             ir::SendOpts{.payload = Expr::Const(1), .handler_thread = "SessionTracker"});
+      b.Sleep(8);
+    });
+    // Mutate the watched path and wait for the watch to fire.
+    b.Sleep(50);
+    b.Send("zk.follower.trigger_event", "zk2");
+    b.Await(b.Eq("watchFired", 1), /*timeout_ms=*/20000);
+    b.If(
+        b.Eq("watchFired", 0),
+        [&] {
+          b.Log(LogLevel::kError, "zk.client",
+                "Watch never fired for client, giving up on session");
+        },
+        [&] { b.Log(LogLevel::kInfo, "zk.client", "Watch fired, client done"); });
+  }
+
+  BuildZooKeeperExtras(p);
+  AddNoisyServices(p, "zk.ipc", 8, 5);
+  AddNoisyServices(p, "zk.watch", 6, 5);
+  AddColdModule(p, "zk.admin", 14, 8);
+  AddColdModule(p, "zk.audit", 10, 6);
+  AddColdModule(p, "zk.jmx", 8, 5);
+}
+
+interp::ClusterSpec BaseCluster(Program* p, bool with_requests) {
+  interp::ClusterSpec cluster;
+  cluster.AddNode("zk1");
+  cluster.AddNode("zk2");
+  cluster.AddNode("zk3");
+  cluster.AddNode("client");
+  cluster.AddTask("zk1", "PingScheduler", p->FindMethod("zk.leader.ping_loop"), 0);
+  StartNoisyServices(&cluster, p, "zk.ipc", "zk3", 8, 8);
+  StartZooKeeperExtras(&cluster, p);
+  StartNoisyServices(&cluster, p, "zk.watch", "zk2", 6, 7);
+  if (with_requests) {
+    cluster.AddTask("client", "main", p->FindMethod("zk.client.run_workload"), 10);
+  }
+  return cluster;
+}
+
+// --- Cases -------------------------------------------------------------------
+
+void RegisterZk2247(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-2247";
+  c.paper_id = "f1";
+  c.system = "zookeeper";
+  c.title = "Server unavailable when leader fails to write transaction log";
+  c.injected_fault = "IOException";
+  c.root_site = "zk.txnlog.write";
+  c.root_exception = "IOException";
+  c.root_occurrence = 5;
+  c.build = BuildZooKeeperBase;
+  c.workload = [](Program* p) { return BaseCluster(p, /*with_requests=*/true); };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    // The production log shows healthy commits before the txnlog broke.
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Severe unrecoverable error while writing transaction log") &&
+           run.HasLogContaining(ir::LogLevel::kWarn,
+                                "Did not receive responses for all requests") &&
+           run.HasLogContaining("Committed request 3");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterZk3157(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-3157";
+  c.paper_id = "f2";
+  c.system = "zookeeper";
+  c.title = "Connection loss causes the client to fail";
+  c.injected_fault = "IOException";
+  c.root_site = "zk.session.read_packet";
+  c.root_exception = "IOException";
+  c.root_occurrence = 6;  // the packet carrying the watch registration
+  c.build = BuildZooKeeperBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, /*with_requests=*/false);
+    cluster.AddTask("client", "main", p->FindMethod("zk.client.watch_workload"), 10);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Watch never fired for client") &&
+           run.HasLogContaining(ir::LogLevel::kWarn,
+                                "Unexpected exception on session channel");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterZk4203(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-4203";
+  c.paper_id = "f3";
+  c.system = "zookeeper";
+  c.title = "Leader election stuck forever due to connection error";
+  c.injected_fault = "IOException";
+  c.root_site = "zk.election.accept_socket";
+  c.root_exception = "IOException";
+  c.root_occurrence = 2;
+  c.build = BuildZooKeeperBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, /*with_requests=*/false);
+    cluster.AddTask("zk1", "QuorumPeer", p->FindMethod("zk.election.coordinate"), 0);
+    cluster.AddTask("zk2", "WorkerSender", p->FindMethod("zk.follower.join_election"), 5);
+    cluster.AddTask("zk3", "WorkerSender", p->FindMethod("zk.follower.join_election"), 9);
+    cluster.time_limit_ms = 120'000;
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    // One vote arrived before the listener died (as in the incident log).
+    return run.HasLogContaining(ir::LogLevel::kError, "Failed to elect a leader") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Connection dropped, election socket") &&
+           run.HasLogContaining("Received vote 1 from follower");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterZk3006(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-3006";
+  c.paper_id = "f4";
+  c.system = "zookeeper";
+  c.title = "Invalid disk file content causes null pointer exception";
+  c.injected_fault = "IOException";
+  c.root_site = "zk.snap.deserialize";
+  c.root_exception = "EOFException";
+  c.root_occurrence = 1;
+  c.build = BuildZooKeeperBase;
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, /*with_requests=*/false);
+    cluster.AddTask("zk1", "main", p->FindMethod("zk.server.load_database"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.DidThreadDie("zk1/main") &&
+           run.HasLogContaining("NullPointerException") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Truncated snapshot");
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterZooKeeperCases(std::vector<FailureCase>* cases) {
+  RegisterZk2247(cases);
+  RegisterZk3157(cases);
+  RegisterZk4203(cases);
+  RegisterZk3006(cases);
+}
+
+}  // namespace anduril::systems

@@ -1,0 +1,204 @@
+// ZooKeeper background subsystems: session expiry buckets, snapshot
+// scheduling with purge, observer synchronization, and the digest-based
+// data-tree audit. All are fault-tolerant (transient failures are retried
+// with WARN logs) and all run during every ZooKeeper workload.
+
+#include "src/systems/extras.h"
+
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Session tracker: sessions are expired in coarse buckets; touching a
+// session moves it to the next bucket. An expired session closes its
+// connection and releases its ephemeral nodes.
+void BuildSessionExpiry(Program* p) {
+  {
+    MethodBuilder b(p, "zk.session.touch");
+    b.Assign("activeSessions", b.Plus("activeSessions", 1));
+    b.Log(LogLevel::kDebug, "zk.SessionTracker", "Touched session, {} active",
+          {b.V("activeSessions")});
+  }
+  {
+    MethodBuilder b(p, "zk.session.expire_bucket");
+    b.If(b.Gt("activeSessions", 0), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("zk.session.close_connection", {"SocketException"},
+                       /*transient_every_n=*/12);
+            b.External("zk.session.delete_ephemerals", {"KeeperException"});
+            b.Assign("activeSessions", b.Minus("activeSessions", 1));
+            b.Assign("expiredSessions", b.Plus("expiredSessions", 1));
+            b.Log(LogLevel::kInfo, "zk.SessionTracker", "Expired session, {} total expired",
+                  {b.V("expiredSessions")});
+          },
+          {{"SocketException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zk.SessionTracker",
+                       "Connection close failed during expiry, will retry");
+            }},
+           {"KeeperException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zk.SessionTracker",
+                       "Ephemeral cleanup failed, queued for retry");
+              b.Assign("ephemeralCleanupBacklog", b.Plus("ephemeralCleanupBacklog", 1));
+            }}});
+    });
+  }
+  {
+    MethodBuilder b(p, "zk.session.expiry_loop");
+    b.While(ir::Cond::LtVar(b.Var("expiryTick"), b.Var("zkExtraRounds")), [&] {
+      b.Assign("expiryTick", b.Plus("expiryTick", 1));
+      // New sessions arrive from the workload's connections.
+      b.If(ir::Cond::Eq(b.Var("expiryTick"), 1), [&] {
+        b.Assign("activeSessions", Expr::Const(4));
+      });
+      b.Invoke("zk.session.expire_bucket");
+      b.Sleep(24);
+    });
+  }
+}
+
+// Snapshot scheduler: takes a snapshot once enough transactions accumulated,
+// then purges old snapshots, keeping a retention count.
+void BuildSnapshotScheduler(Program* p) {
+  {
+    MethodBuilder b(p, "zk.snapshot.take");
+    b.TryCatch(
+        [&] {
+          b.External("zk.snapshot.serialize_tree", {"IOException"});
+          b.External("zk.snapshot.fsync", {"IOException"}, /*transient_every_n=*/9);
+          b.Assign("snapshotsTaken", b.Plus("snapshotsTaken", 1));
+          b.Log(LogLevel::kInfo, "zk.SnapshotScheduler", "Snapshot {} written to disk",
+                {b.V("snapshotsTaken")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "zk.SnapshotScheduler",
+                     "Snapshot attempt failed, keeping txn log");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "zk.snapshot.purge_old");
+    b.While(b.Gt("snapshotsTaken", 3), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("zk.snapshot.delete_file", {"IOException"});
+            b.Assign("snapshotsTaken", b.Minus("snapshotsTaken", 1));
+            b.Assign("snapshotsPurged", b.Plus("snapshotsPurged", 1));
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zk.SnapshotScheduler", "Purge failed, leaving file");
+              b.Break();
+            }}});
+    });
+  }
+  {
+    MethodBuilder b(p, "zk.snapshot.scheduler_loop");
+    b.While(ir::Cond::LtVar(b.Var("snapTick"), b.Var("zkExtraRounds")), [&] {
+      b.Assign("snapTick", b.Plus("snapTick", 1));
+      b.Invoke("zk.snapshot.take");
+      b.Invoke("zk.snapshot.purge_old");
+      b.Sleep(31);
+    });
+  }
+}
+
+// Observer sync: read-only replicas pull committed proposals from the
+// leader; a stale observer catches up with a snapshot transfer instead.
+void BuildObserverSync(Program* p) {
+  {
+    MethodBuilder b(p, "zk.observer.pull_proposals");
+    b.TryCatch(
+        [&] {
+          b.External("zk.observer.read_proposal", {"IOException"}, /*transient_every_n=*/14);
+          b.Assign("observerZxid", b.Plus("observerZxid", 1));
+          b.Log(LogLevel::kDebug, "zk.Observer", "Observer applied proposal {}",
+                {b.V("observerZxid")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "zk.Observer", "Proposal stream hiccup, re-syncing");
+            b.Assign("observerStale", b.Plus("observerStale", 1));
+          }}});
+    b.If(b.Ge("observerStale", 3), [&] {
+      b.TryCatch(
+          [&] {
+            b.External("zk.observer.snapshot_transfer", {"IOException"});
+            b.Assign("observerStale", Expr::Const(0));
+            b.Log(LogLevel::kInfo, "zk.Observer", "Observer caught up via snapshot");
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zk.Observer", "Snapshot transfer failed, retrying");
+            }}});
+    });
+  }
+  {
+    MethodBuilder b(p, "zk.observer.sync_loop");
+    b.While(ir::Cond::LtVar(b.Var("obsTick"), b.Var("zkExtraRounds")), [&] {
+      b.Assign("obsTick", b.Plus("obsTick", 1));
+      b.Invoke("zk.observer.pull_proposals");
+      b.Sleep(17);
+    });
+  }
+}
+
+// Digest audit: periodically recomputes the data-tree digest and compares it
+// against the txn-log digest; mismatches are the classic sign of silent
+// corruption.
+void BuildDigestAudit(Program* p) {
+  {
+    MethodBuilder b(p, "zk.digest.audit_once");
+    b.TryCatch(
+        [&] {
+          b.External("zk.digest.compute_tree", {"IOException"});
+          b.External("zk.digest.read_txn_digest", {"IOException"}, /*transient_every_n=*/11);
+          b.Assign("digestChecks", b.Plus("digestChecks", 1));
+          b.Log(LogLevel::kDebug, "zk.DigestAudit", "Digest check {} clean",
+                {b.V("digestChecks")});
+        },
+        {{"IOException",
+          [&] {
+            b.LogExc(LogLevel::kWarn, "zk.DigestAudit", "Digest computation failed, skipped");
+          }}});
+  }
+  {
+    MethodBuilder b(p, "zk.digest.audit_loop");
+    b.While(ir::Cond::LtVar(b.Var("digestTick"), b.Var("zkExtraRounds")), [&] {
+      b.Assign("digestTick", b.Plus("digestTick", 1));
+      b.Invoke("zk.digest.audit_once");
+      b.Sleep(43);
+    });
+  }
+}
+
+}  // namespace
+
+void BuildZooKeeperExtras(Program* p) {
+  BuildSessionExpiry(p);
+  BuildSnapshotScheduler(p);
+  BuildObserverSync(p);
+  BuildDigestAudit(p);
+}
+
+void StartZooKeeperExtras(interp::ClusterSpec* cluster, ir::Program* p) {
+  int rounds = 6 * CurrentWorkloadScale();
+  cluster->AddTask("zk1", "SessionTracker-Expirer", p->FindMethod("zk.session.expiry_loop"), 3);
+  cluster->AddTask("zk1", "SnapshotScheduler", p->FindMethod("zk.snapshot.scheduler_loop"), 7);
+  cluster->AddTask("zk3", "ObserverSync", p->FindMethod("zk.observer.sync_loop"), 5);
+  cluster->AddTask("zk2", "DigestAudit", p->FindMethod("zk.digest.audit_loop"), 11);
+  cluster->SetVar("zk1", p->InternVar("zkExtraRounds"), rounds);
+  cluster->SetVar("zk2", p->InternVar("zkExtraRounds"), rounds);
+  cluster->SetVar("zk3", p->InternVar("zkExtraRounds"), rounds);
+}
+
+}  // namespace anduril::systems

@@ -1,0 +1,15 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace anduril {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& message) {
+  std::fprintf(stderr, "ANDURIL_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace anduril

@@ -1,0 +1,63 @@
+// Lightweight assertion macros used across anduril.
+//
+// ANDURIL_CHECK is always on (also in release builds): the tool is a research
+// artifact whose correctness matters more than the last few percent of speed,
+// and a silent invariant violation in the explorer would corrupt experiment
+// results without any visible symptom.
+
+#ifndef ANDURIL_SRC_UTIL_CHECK_H_
+#define ANDURIL_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace anduril {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+namespace internal {
+
+// Stream-style message collector so call sites can write
+//   ANDURIL_CHECK(x > 0) << "x was " << x;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace anduril
+
+#define ANDURIL_CHECK(cond)                                               \
+  if (cond) {                                                             \
+  } else /* NOLINT */                                                     \
+    ::anduril::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define ANDURIL_CHECK_EQ(a, b) ANDURIL_CHECK((a) == (b))
+#define ANDURIL_CHECK_NE(a, b) ANDURIL_CHECK((a) != (b))
+#define ANDURIL_CHECK_LT(a, b) ANDURIL_CHECK((a) < (b))
+#define ANDURIL_CHECK_LE(a, b) ANDURIL_CHECK((a) <= (b))
+#define ANDURIL_CHECK_GT(a, b) ANDURIL_CHECK((a) > (b))
+#define ANDURIL_CHECK_GE(a, b) ANDURIL_CHECK((a) >= (b))
+
+#define ANDURIL_UNREACHABLE() \
+  ::anduril::internal::CheckMessageBuilder(__FILE__, __LINE__, "unreachable")
+
+#endif  // ANDURIL_SRC_UTIL_CHECK_H_

@@ -1,0 +1,520 @@
+#include <gtest/gtest.h>
+
+#include "src/analysis/causal_graph.h"
+#include "src/analysis/exception_flow.h"
+#include "src/analysis/indexes.h"
+#include "src/analysis/graph_export.h"
+#include "src/analysis/observable_map.h"
+#include "src/logdiff/parser.h"
+#include "src/ir/builder.h"
+
+namespace anduril::analysis {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() {
+    program_.DefineException("IOException");
+    program_.DefineException("FileNotFoundException", "IOException");
+    program_.DefineException("TimeoutException");
+    program_.DefineException("ExecutionException");
+  }
+
+  ir::GlobalStmt FindStmt(const std::string& method_name, ir::StmtKind kind,
+                          int skip = 0) const {
+    const ir::Method& method = program_.method(program_.FindMethod(method_name));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      if (method.stmt(s).kind == kind) {
+        if (skip-- == 0) {
+          return ir::GlobalStmt{method.id, s};
+        }
+      }
+    }
+    return ir::GlobalStmt{};
+  }
+
+  ir::FaultSiteId Site(const std::string& prefix) const {
+    for (const ir::FaultSite& site : program_.fault_sites()) {
+      if (site.name.find(prefix + "@") == 0) {
+        return site.id;
+      }
+    }
+    return ir::kInvalidId;
+  }
+
+  Program program_;
+};
+
+// --- exception flow --------------------------------------------------------------
+
+TEST_F(AnalysisTest, EscapesFromThrowAndExternal) {
+  MethodBuilder b(&program_, "m");
+  b.Throw("TimeoutException");
+  b.External("site", {"IOException"});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  ASSERT_EQ(escapes.size(), 2u);
+}
+
+TEST_F(AnalysisTest, TryCatchAbsorbsMatchingTypes) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("site", {"FileNotFoundException"}); },
+             {{"IOException", [&] {}}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  EXPECT_TRUE(flow.Escapes(program_.FindMethod("m")).empty());
+}
+
+TEST_F(AnalysisTest, NonMatchingTypeEscapesTry) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("site", {"TimeoutException"}); }, {{"IOException", [&] {}}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].type, program_.FindException("TimeoutException"));
+  EXPECT_EQ(escapes[0].kind, OriginKind::kExternal);
+}
+
+TEST_F(AnalysisTest, CatchBlockCodeIsNotProtectedByItsOwnClause) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("a", {"IOException"}); },
+             {{"IOException", [&] { b.Throw("IOException"); }}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].kind, OriginKind::kNew);
+}
+
+TEST_F(AnalysisTest, InvokeEscapesPropagateTransitively) {
+  {
+    MethodBuilder b(&program_, "deep");
+    b.External("root.site", {"IOException"});
+  }
+  {
+    MethodBuilder b(&program_, "mid");
+    b.Invoke("deep");
+  }
+  {
+    MethodBuilder b(&program_, "top");
+    b.Invoke("mid");
+  }
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("top"));
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].kind, OriginKind::kViaInvoke);
+  EXPECT_EQ(escapes[0].type, program_.FindException("IOException"));
+}
+
+TEST_F(AnalysisTest, RecursionReachesFixpoint) {
+  {
+    MethodBuilder b(&program_, "a");
+    b.Invoke("b");
+    b.External("a.site", {"IOException"});
+  }
+  {
+    MethodBuilder b(&program_, "b");
+    b.Invoke("a");
+  }
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  EXPECT_FALSE(flow.Escapes(program_.FindMethod("a")).empty());
+  EXPECT_FALSE(flow.Escapes(program_.FindMethod("b")).empty());
+  EXPECT_LT(flow.iterations(), 10);
+}
+
+TEST_F(AnalysisTest, FutureGetEscapesExecutionException) {
+  {
+    MethodBuilder b(&program_, "task");
+    b.External("task.site", {"IOException"});
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Submit("task", "fut", "executor");
+    b.FutureGet("fut");
+  }
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].kind, OriginKind::kViaFuture);
+  EXPECT_EQ(escapes[0].type, program_.FindException("ExecutionException"));
+}
+
+TEST_F(AnalysisTest, AwaitTimeoutEscapes) {
+  MethodBuilder b(&program_, "m");
+  b.Await(b.Eq("x", 1), 100, "TimeoutException");
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].kind, OriginKind::kAwaitTimeout);
+}
+
+TEST_F(AnalysisTest, HandlerOriginsRespectClausePrecedence) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.External("fnf.site", {"FileNotFoundException"});
+        b.External("io.site", {"IOException"});
+      },
+      {{"FileNotFoundException", [&] {}}, {"IOException", [&] {}}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  ir::GlobalStmt trycatch = FindStmt("m", ir::StmtKind::kTryCatch);
+  auto clause0 = flow.HandlerOrigins(trycatch.method, trycatch.stmt, 0);
+  auto clause1 = flow.HandlerOrigins(trycatch.method, trycatch.stmt, 1);
+  ASSERT_EQ(clause0.size(), 1u);
+  EXPECT_EQ(clause0[0].type, program_.FindException("FileNotFoundException"));
+  ASSERT_EQ(clause1.size(), 1u);
+  EXPECT_EQ(clause1[0].type, program_.FindException("IOException"));
+}
+
+TEST_F(AnalysisTest, NestedTryAbsorbsBeforeOuterHandler) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.TryCatch([&] { b.External("inner.site", {"IOException"}); },
+                   {{"IOException", [&] {}}});
+        b.External("outer.site", {"IOException"});
+      },
+      {{"IOException", [&] {}}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  ir::GlobalStmt trycatch = FindStmt("m", ir::StmtKind::kTryCatch);
+  auto origins = flow.HandlerOrigins(trycatch.method, trycatch.stmt, 0);
+  ASSERT_EQ(origins.size(), 1u);
+  const ir::Method& method = program_.method(trycatch.method);
+  EXPECT_EQ(method.stmt(origins[0].stmt).site_name, "outer.site");
+}
+
+// --- indexes ---------------------------------------------------------------------
+
+TEST_F(AnalysisTest, CallersIncludeInvokeSendSubmit) {
+  {
+    MethodBuilder b(&program_, "callee");
+    b.Nop();
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Invoke("callee");
+    b.Send("callee", "n1");
+    b.Submit("callee", "fut", "executor");
+  }
+  program_.Finalize();
+  ProgramIndexes indexes(program_);
+  EXPECT_EQ(indexes.CallersOf(program_.FindMethod("callee")).size(), 3u);
+}
+
+TEST_F(AnalysisTest, WritersIncludeAssignAndSignal) {
+  MethodBuilder b(&program_, "m");
+  b.Assign("x", Expr::Const(1));
+  b.Signal("x");
+  b.Assign("y", Expr::Const(2));
+  b.Build();
+  program_.Finalize();
+  ProgramIndexes indexes(program_);
+  EXPECT_EQ(indexes.WritersOf(program_.InternVar("x")).size(), 2u);
+  EXPECT_EQ(indexes.WritersOf(program_.InternVar("y")).size(), 1u);
+  EXPECT_TRUE(indexes.WritersOf(program_.InternVar("unwritten")).empty());
+}
+
+TEST_F(AnalysisTest, SubmitsForMapsFutureVars) {
+  {
+    MethodBuilder b(&program_, "task");
+    b.Nop();
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Submit("task", "fut", "executor");
+  }
+  program_.Finalize();
+  ProgramIndexes indexes(program_);
+  EXPECT_EQ(indexes.SubmitsFor(program_.InternVar("fut")).size(), 1u);
+}
+
+// --- causal graph -----------------------------------------------------------------
+
+// Builds the graph with the given log statement as the single sink.
+CausalGraph GraphFromLog(const Program& program, ir::GlobalStmt log_stmt) {
+  CausalSink sink;
+  sink.observable = 0;
+  sink.log_stmt = log_stmt;
+  return CausalGraph(program, {sink});
+}
+
+TEST_F(AnalysisTest, HandlerChainReachesExternalSource) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("root.site", {"IOException"}); },
+             {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "failed"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  ASSERT_EQ(graph.sources().size(), 1u);
+  EXPECT_EQ(graph.sources()[0].site, Site("root.site"));
+  // Distance: log <- handler <- external = 2 hops.
+  auto dist = graph.DistancesToObservable(0);
+  EXPECT_EQ(dist[static_cast<size_t>(graph.sources()[0].node)], 2);
+}
+
+TEST_F(AnalysisTest, ConditionSlicingJumpsToWritersAcrossMethods) {
+  {
+    MethodBuilder b(&program_, "writer");
+    b.TryCatch([&] { b.External("w.site", {"IOException"}); },
+               {{"IOException", [&] {}}});
+    b.Assign("flag", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.If(b.Eq("flag", 0), [&] { b.Log(LogLevel::kError, "t", "flag never set"); });
+  }
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  // Chain: log <- condition(flag==0) <- location(assign in writer) <-
+  // (preceding-sibling try containing the external call) <- external source.
+  ASSERT_FALSE(graph.sources().empty());
+  bool found = false;
+  for (const auto& source : graph.sources()) {
+    if (source.site == Site("w.site")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnalysisTest, InvocationPriorsAreCallSites) {
+  {
+    MethodBuilder b(&program_, "logger_method");
+    b.Log(LogLevel::kInfo, "t", "in callee");
+  }
+  {
+    MethodBuilder b(&program_, "caller");
+    b.External("pre.site", {"IOException"});
+    b.Invoke("logger_method");
+  }
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("logger_method", ir::StmtKind::kLog));
+  // log <- invocation(logger_method) <- location(invoke in caller) whose
+  // preceding sibling is an external call -> source found.
+  bool found = false;
+  for (const auto& source : graph.sources()) {
+    if (source.site == Site("pre.site")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnalysisTest, ThrowInCatchIsDowngradedThroughHandler) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.TryCatch([&] { b.External("deep.site", {"IOException"}); },
+                   {{"IOException", [&] { b.Throw("TimeoutException"); }}});
+      },
+      {{"TimeoutException", [&] { b.Log(LogLevel::kError, "t", "gave up"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  // The throw-new inside the inner catch must not be terminal: the chain
+  // continues through the inner handler to the external site.
+  bool external_found = false;
+  for (const auto& source : graph.sources()) {
+    if (source.site == Site("deep.site")) {
+      external_found = true;
+    }
+  }
+  EXPECT_TRUE(external_found);
+}
+
+TEST_F(AnalysisTest, AwaitTimeoutContinuesThroughCondition) {
+  {
+    MethodBuilder b(&program_, "producer");
+    b.TryCatch(
+        [&] {
+          b.External("net.site", {"IOException"});
+          b.Assign("ready", Expr::Const(1));
+          b.Signal("ready");
+        },
+        {{"IOException", [&] {}}});
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.TryCatch([&] { b.Await(b.Eq("ready", 1), 100, "TimeoutException"); },
+               {{"TimeoutException", [&] { b.Log(LogLevel::kWarn, "t", "timed out"); }}});
+  }
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  // timeout log <- handler <- await-timeout (new-exc) <- condition(ready)
+  // <- writers(ready) in producer <- ... <- external source.
+  bool found = false;
+  for (const auto& source : graph.sources()) {
+    if (source.site == Site("net.site")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnalysisTest, FutureSemanticsCrossThreadPropagation) {
+  {
+    MethodBuilder b(&program_, "task");
+    b.External("task.site", {"IOException"});
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Submit("task", "fut", "executor");
+    b.TryCatch([&] { b.FutureGet("fut"); },
+               {{"ExecutionException",
+                 [&] { b.Log(LogLevel::kWarn, "t", "task failed"); }}});
+  }
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  bool found = false;
+  for (const auto& source : graph.sources()) {
+    if (source.site == Site("task.site")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AnalysisTest, UnrelatedSitesStayOutOfTheGraph) {
+  {
+    MethodBuilder b(&program_, "unrelated");
+    b.External("cold.site", {"IOException"});
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.TryCatch([&] { b.External("hot.site", {"IOException"}); },
+               {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "hot failed"); }}});
+  }
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  for (const auto& source : graph.sources()) {
+    EXPECT_NE(source.site, Site("cold.site"));
+  }
+}
+
+TEST_F(AnalysisTest, StatsCountVerticesEdgesAndInferredSites) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("s1", {"IOException"}); },
+             {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "oops"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  EXPECT_GT(graph.stats().vertices, 0);
+  EXPECT_GT(graph.stats().edges, 0);
+  EXPECT_EQ(graph.stats().inferred_fault_sites, 1);
+  EXPECT_EQ(static_cast<size_t>(graph.stats().vertices), graph.node_count());
+}
+
+// --- observable mapper -----------------------------------------------------------------
+
+TEST_F(AnalysisTest, TemplateKeyMatchesRenderedAndSanitizedMessage) {
+  MethodBuilder b(&program_, "m");
+  b.Log(LogLevel::kInfo, "comp", "did {} things", {Expr::Const(7)});
+  b.Build();
+  program_.Finalize();
+  ObservableMapper mapper(program_);
+  // What the log diff would extract for the rendered message "did 7 things".
+  std::vector<analysis::CausalSink> sinks = mapper.Resolve({"INFO|comp|did # things"});
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0].log_stmt, FindStmt("m", ir::StmtKind::kLog));
+}
+
+TEST_F(AnalysisTest, ExcSuffixIsStrippedForTemplateMatch) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("s", {"IOException"}); },
+             {{"IOException", [&] { b.LogExc(LogLevel::kWarn, "comp", "it broke"); }}});
+  b.Build();
+  program_.Finalize();
+  ObservableMapper mapper(program_);
+  auto sinks = mapper.Resolve({"WARN|comp|it broke [exc=IOException at s@m##]"});
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0].direct_site, ir::kInvalidId);
+}
+
+TEST_F(AnalysisTest, UncaughtMessageResolvesToFaultSiteDirectly) {
+  MethodBuilder b(&program_, "m");
+  b.External("boom.site", {"IOException"});
+  b.Build();
+  program_.Finalize();
+  ObservableMapper mapper(program_);
+  const ir::FaultSite& site = program_.fault_site(Site("boom.site"));
+  std::string sanitized_site = logdiff::Sanitize(site.name);
+  auto sinks = mapper.Resolve(
+      {"ERROR|thread|Uncaught exception terminating thread: IOException [exc=IOException at " +
+       sanitized_site + "]"});
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0].direct_site, site.id);
+  EXPECT_EQ(sinks[0].direct_type, program_.FindException("IOException"));
+}
+
+TEST_F(AnalysisTest, UnknownKeysResolveToNothing) {
+  MethodBuilder b(&program_, "m");
+  b.Nop();
+  b.Build();
+  program_.Finalize();
+  ObservableMapper mapper(program_);
+  EXPECT_TRUE(mapper.Resolve({"INFO|x|never logged anywhere"}).empty());
+  EXPECT_TRUE(mapper.Resolve({"not even a key"}).empty());
+}
+
+// --- graph export -----------------------------------------------------------------
+
+TEST_F(AnalysisTest, DotExportIsWellFormed) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("root.site", {"IOException"}); },
+             {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "failed"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  std::string dot = ExportDot(program_, graph);
+  EXPECT_NE(dot.find("digraph causal"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);          // source
+  EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos); // sink
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST_F(AnalysisTest, DotExportHonorsNodeCap) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("root.site", {"IOException"}); },
+             {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "failed"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  std::string dot = ExportDot(program_, graph, /*max_nodes=*/2);
+  EXPECT_NE(dot.find("truncated: 2 of"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, DescribeNodeNamesEveryKind) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("root.site", {"IOException"}); },
+             {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "failed"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  for (size_t n = 0; n < graph.node_count(); ++n) {
+    EXPECT_FALSE(DescribeNode(program_, graph.node(static_cast<int32_t>(n))).empty());
+  }
+}
+
+}  // namespace
+}  // namespace anduril::analysis

@@ -1,0 +1,232 @@
+// Interpreter edge cases and failure-mode contracts: misuse that must be
+// caught loudly (CHECK aborts), runaway protection, and boundary behaviors
+// of the scheduler.
+
+#include <gtest/gtest.h>
+
+#include "src/interp/log_entry.h"
+#include "src/interp/simulator.h"
+#include "src/ir/builder.h"
+
+namespace anduril::interp {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+struct Harness {
+  Program program;
+  ClusterSpec cluster;
+
+  Harness() {
+    program.DefineException("IOException");
+    program.DefineException("TimeoutException");
+    program.DefineException("ExecutionException");
+  }
+
+  RunResult Run(const std::string& entry, uint64_t seed = 1) {
+    if (!program.finalized()) {
+      program.Finalize();
+    }
+    if (cluster.nodes.empty()) {
+      cluster.AddNode("n1");
+    }
+    cluster.AddTask("n1", "main", program.FindMethod(entry));
+    FaultRuntime runtime(&program);
+    Simulator simulator(&program, &cluster, seed, &runtime);
+    return simulator.Run();
+  }
+};
+
+TEST(InterpEdgeDeathTest, FutureGetBeforeSubmitAborts) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    b.FutureGet("neverSubmitted");
+  }
+  EXPECT_DEATH(h.Run("m"), "FutureGet before Submit");
+}
+
+TEST(InterpEdgeDeathTest, SendToUnknownNodeAborts) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "handler");
+    b.Nop();
+  }
+  {
+    MethodBuilder b(&h.program, "m");
+    b.Send("handler", "ghost-node");
+  }
+  EXPECT_DEATH(h.Run("m"), "unknown node");
+}
+
+TEST(InterpEdgeDeathTest, RunawayWhileLoopIsCaught) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    b.Assign("x", Expr::Const(1));
+    b.While(b.Eq("x", 1), [&] { b.Nop(); });  // never terminates
+  }
+  EXPECT_DEATH(h.Run("m"), "runaway loop|step");
+}
+
+TEST(InterpEdge, StepLimitStopsPathologicalPrograms) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    // Legal but heavy: nested loops doing ~10^6 statements.
+    b.While(b.Lt("i", 1000), [&] {
+      b.Assign("i", b.Plus("i", 1));
+      b.Assign("j", Expr::Const(0));
+      b.While(b.Lt("j", 1000), [&] { b.Assign("j", b.Plus("j", 1)); });
+    });
+  }
+  h.cluster.AddNode("n1");
+  h.cluster.step_limit = 50'000;
+  RunResult run = h.Run("m");
+  EXPECT_TRUE(run.hit_step_limit);
+}
+
+TEST(InterpEdge, SimulatorRunIsSingleUse) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    b.Nop();
+  }
+  h.program.Finalize();
+  h.cluster.AddNode("n1");
+  h.cluster.AddTask("n1", "main", h.program.FindMethod("m"));
+  FaultRuntime runtime(&h.program);
+  Simulator simulator(&h.program, &h.cluster, 1, &runtime);
+  (void)simulator.Run();
+  EXPECT_DEATH(simulator.Run(), "may be called once");
+}
+
+TEST(InterpEdge, ZeroTaskClusterProducesEmptyRun) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    b.Nop();
+  }
+  h.program.Finalize();
+  h.cluster.AddNode("n1");
+  FaultRuntime runtime(&h.program);
+  Simulator simulator(&h.program, &h.cluster, 1, &runtime);
+  RunResult run = simulator.Run();
+  EXPECT_TRUE(run.log.empty());
+  EXPECT_TRUE(run.trace.empty());
+  EXPECT_EQ(run.end_time_ms, 0);
+}
+
+TEST(InterpEdge, InitialValuesSeedTheEnvironment) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    b.Assign("y", b.Plus("x", 1));
+  }
+  h.program.Finalize();
+  h.cluster.AddNode("n1");
+  h.cluster.SetVar("n1", h.program.InternVar("x"), 41);
+  RunResult run = h.Run("m");
+  EXPECT_EQ(run.NodeVar(h.program, "n1", "y"), 42);
+}
+
+TEST(InterpEdge, TwoAwaitersOnSameVariableBothWake) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "waiter");
+    b.Await(b.Eq("go", 1));
+    b.Assign("woken", b.Plus("woken", 1));
+  }
+  {
+    MethodBuilder b(&h.program, "kicker");
+    b.Sleep(20);
+    b.Assign("go", Expr::Const(1));
+    b.Signal("go");
+  }
+  h.program.Finalize();
+  h.cluster.AddNode("n1");
+  h.cluster.AddTask("n1", "w1", h.program.FindMethod("waiter"));
+  h.cluster.AddTask("n1", "w2", h.program.FindMethod("waiter"));
+  h.cluster.AddTask("n1", "k", h.program.FindMethod("kicker"));
+  FaultRuntime runtime(&h.program);
+  Simulator simulator(&h.program, &h.cluster, 1, &runtime);
+  RunResult run = simulator.Run();
+  EXPECT_EQ(run.NodeVar(h.program, "n1", "woken"), 2);
+}
+
+TEST(InterpEdge, SignalOnDifferentNodeDoesNotWake) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "waiter");
+    b.Await(b.Eq("go", 1));
+    b.Assign("woken", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&h.program, "kicker");
+    b.Sleep(10);
+    b.Assign("go", Expr::Const(1));
+    b.Signal("go");
+  }
+  h.program.Finalize();
+  h.cluster.AddNode("n1");
+  h.cluster.AddNode("n2");
+  h.cluster.AddTask("n1", "w", h.program.FindMethod("waiter"));
+  h.cluster.AddTask("n2", "k", h.program.FindMethod("kicker"));  // other node!
+  FaultRuntime runtime(&h.program);
+  Simulator simulator(&h.program, &h.cluster, 1, &runtime);
+  RunResult run = simulator.Run();
+  EXPECT_EQ(run.NodeVar(h.program, "n1", "woken"), 0);
+  EXPECT_TRUE(run.IsThreadStuck("n1/w"));
+}
+
+TEST(InterpEdge, MultipleFutureWaitersAllComplete) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "task");
+    b.Sleep(30);
+    b.Assign("taskDone", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&h.program, "m");
+    b.Submit("task", "fut", "executor");
+    b.FutureGet("fut");
+    b.FutureGet("fut");  // second get on a completed future is immediate
+    b.Assign("after", Expr::Const(1));
+  }
+  RunResult run = h.Run("m");
+  EXPECT_EQ(run.NodeVar(h.program, "n1", "after"), 1);
+}
+
+TEST(InterpEdge, TransientAndInjectionAtSameOccurrencePrefersInjection) {
+  Harness h;
+  {
+    MethodBuilder b(&h.program, "m");
+    b.While(b.Lt("i", 6), [&] {
+      b.Assign("i", b.Plus("i", 1));
+      b.TryCatch([&] { b.External("op", {"IOException"}, /*transient_every_n=*/3); },
+                 {{"IOException", [&] { b.Assign("failures", b.Plus("failures", 1)); }}});
+    });
+  }
+  h.program.Finalize();
+  ir::FaultSiteId site = ir::kInvalidId;
+  for (const ir::FaultSite& s : h.program.fault_sites()) {
+    site = s.id;
+  }
+  h.cluster.AddNode("n1");
+  h.cluster.AddTask("n1", "main", h.program.FindMethod("m"));
+  FaultRuntime runtime(&h.program);
+  runtime.SetWindow(
+      {InjectionCandidate{site, 3, h.program.FindException("IOException")}});
+  Simulator simulator(&h.program, &h.cluster, 1, &runtime);
+  RunResult run = simulator.Run();
+  // occ 3 = injected (counted once), occ 6 = natural transient.
+  EXPECT_EQ(run.NodeVar(h.program, "n1", "failures"), 2);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_EQ(run.injected->occurrence, 3);
+}
+
+}  // namespace
+}  // namespace anduril::interp

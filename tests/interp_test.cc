@@ -1,0 +1,657 @@
+#include <gtest/gtest.h>
+
+#include "src/interp/log_entry.h"
+#include "src/interp/simulator.h"
+#include "src/ir/builder.h"
+
+namespace anduril::interp {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Fixture assembling a single-node program and running it.
+class InterpTest : public ::testing::Test {
+ protected:
+  InterpTest() {
+    program_.DefineException("IOException");
+    program_.DefineException("FileNotFoundException", "IOException");
+    program_.DefineException("TimeoutException");
+    program_.DefineException("ExecutionException");
+  }
+
+  RunResult Run(const std::string& entry, uint64_t seed = 1,
+                std::vector<InjectionCandidate> window = {}, int64_t payload = 0) {
+    if (!program_.finalized()) {
+      program_.Finalize();
+    }
+    if (cluster_.nodes.empty()) {
+      cluster_.AddNode("n1");
+      cluster_.AddNode("n2");
+    }
+    cluster_.tasks.clear();
+    cluster_.AddTask("n1", "main", program_.FindMethod(entry), 0, payload);
+    FaultRuntime runtime(&program_);
+    runtime.SetWindow(std::move(window));
+    Simulator simulator(&program_, &cluster_, seed, &runtime);
+    return simulator.Run();
+  }
+
+  int64_t Var(const RunResult& result, const std::string& var,
+              const std::string& node = "n1") const {
+    return result.NodeVar(program_, node, var);
+  }
+
+  ir::FaultSiteId Site(const std::string& prefix) const {
+    for (const ir::FaultSite& site : program_.fault_sites()) {
+      if (site.name.find(prefix + "@") == 0) {
+        return site.id;
+      }
+    }
+    return ir::kInvalidId;
+  }
+
+  Program program_;
+  ClusterSpec cluster_;
+};
+
+// --- straight-line semantics ----------------------------------------------------
+
+TEST_F(InterpTest, AssignAndArithmetic) {
+  MethodBuilder b(&program_, "m");
+  b.Assign("x", Expr::Const(10));
+  b.Assign("y", b.Plus("x", 5));
+  b.Assign("z", b.Minus("y", 3));
+  b.Assign("w", Expr::AddVar(b.Var("y"), b.Var("z")));
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "x"), 10);
+  EXPECT_EQ(Var(result, "y"), 15);
+  EXPECT_EQ(Var(result, "z"), 12);
+  EXPECT_EQ(Var(result, "w"), 27);
+}
+
+TEST_F(InterpTest, IfTakesCorrectBranch) {
+  MethodBuilder b(&program_, "m");
+  b.Assign("x", Expr::Const(2));
+  b.If(b.Eq("x", 2), [&] { b.Assign("then", Expr::Const(1)); },
+       [&] { b.Assign("else", Expr::Const(1)); });
+  b.If(b.Eq("x", 3), [&] { b.Assign("then2", Expr::Const(1)); },
+       [&] { b.Assign("else2", Expr::Const(1)); });
+  b.If(b.Gt("x", 10), [&] { b.Assign("never", Expr::Const(1)); });  // no else
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "then"), 1);
+  EXPECT_EQ(Var(result, "else"), 0);
+  EXPECT_EQ(Var(result, "else2"), 1);
+  EXPECT_EQ(Var(result, "never"), 0);
+}
+
+TEST_F(InterpTest, WhileLoopAndBreak) {
+  MethodBuilder b(&program_, "m");
+  b.While(b.Lt("i", 10), [&] {
+    b.Assign("i", b.Plus("i", 1));
+    b.If(b.Eq("i", 6), [&] { b.Break(); });
+  });
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "i"), 6);
+}
+
+TEST_F(InterpTest, NestedLoopBreakOnlyExitsInner) {
+  MethodBuilder b(&program_, "m");
+  b.While(b.Lt("outer", 3), [&] {
+    b.Assign("outer", b.Plus("outer", 1));
+    b.While(b.Lt("inner", 100), [&] {
+      b.Assign("inner", b.Plus("inner", 1));
+      b.Break();
+    });
+  });
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "outer"), 3);
+  EXPECT_EQ(Var(result, "inner"), 3);  // one increment per outer iteration
+}
+
+TEST_F(InterpTest, ReturnStopsMethod) {
+  MethodBuilder b(&program_, "m");
+  b.Assign("a", Expr::Const(1));
+  b.Return();
+  b.Assign("b", Expr::Const(1));
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "a"), 1);
+  EXPECT_EQ(Var(result, "b"), 0);
+}
+
+TEST_F(InterpTest, InvokeRunsCalleeThenContinues) {
+  {
+    MethodBuilder b(&program_, "callee");
+    b.Assign("inside", Expr::Const(7));
+    b.Return();
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Invoke("callee");
+    b.Assign("after", b.Plus("inside", 1));
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "inside"), 7);
+  EXPECT_EQ(Var(result, "after"), 8);
+}
+
+TEST_F(InterpTest, PayloadPropagatesThroughInvoke) {
+  {
+    MethodBuilder b(&program_, "inner");
+    b.Assign("got", Expr::Payload());
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Invoke("inner");
+  }
+  RunResult result = Run("m", 1, {}, /*payload=*/99);
+  EXPECT_EQ(Var(result, "got"), 99);
+}
+
+// --- exceptions -----------------------------------------------------------------
+
+TEST_F(InterpTest, CatchMatchesSubtype) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.Throw("FileNotFoundException"); },
+             {{"IOException", [&] { b.Assign("caught", Expr::Const(1)); }}});
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "caught"), 1);
+  EXPECT_EQ(result.threads[0].state, ThreadEndState::kFinished);
+}
+
+TEST_F(InterpTest, CatchClausePrecedenceFirstMatchWins) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.Throw("FileNotFoundException"); },
+             {{"FileNotFoundException", [&] { b.Assign("specific", Expr::Const(1)); }},
+              {"IOException", [&] { b.Assign("general", Expr::Const(1)); }}});
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "specific"), 1);
+  EXPECT_EQ(Var(result, "general"), 0);
+}
+
+TEST_F(InterpTest, UnmatchedTypePropagates) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.TryCatch([&] { b.Throw("IOException"); },
+                   {{"TimeoutException", [&] { b.Assign("wrong", Expr::Const(1)); }}});
+      },
+      {{"IOException", [&] { b.Assign("outer", Expr::Const(1)); }}});
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "wrong"), 0);
+  EXPECT_EQ(Var(result, "outer"), 1);
+}
+
+TEST_F(InterpTest, ExceptionInCatchPropagatesOutward) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.TryCatch([&] { b.Throw("IOException"); },
+                   {{"IOException", [&] { b.Throw("TimeoutException"); }}});
+      },
+      {{"TimeoutException", [&] { b.Assign("outer", Expr::Const(1)); }}});
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "outer"), 1);
+}
+
+TEST_F(InterpTest, RethrowPreservesException) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.TryCatch([&] { b.Throw("FileNotFoundException"); },
+                   {{"IOException", [&] { b.Rethrow(); }}});
+      },
+      {{"FileNotFoundException", [&] { b.Assign("outer", Expr::Const(1)); }}});
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "outer"), 1);
+}
+
+TEST_F(InterpTest, ExceptionCrossesFrames) {
+  {
+    MethodBuilder b(&program_, "deep");
+    b.Throw("IOException");
+  }
+  {
+    MethodBuilder b(&program_, "mid");
+    b.Invoke("deep");
+    b.Assign("skipped", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.TryCatch([&] { b.Invoke("mid"); },
+               {{"IOException", [&] { b.Assign("caught", Expr::Const(1)); }}});
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "caught"), 1);
+  EXPECT_EQ(Var(result, "skipped"), 0);
+}
+
+TEST_F(InterpTest, UncaughtExceptionKillsThreadAndLogs) {
+  MethodBuilder b(&program_, "m");
+  b.Throw("IOException");
+  b.Build();
+  RunResult result = Run("m");
+  ASSERT_EQ(result.threads.size(), 1u);
+  EXPECT_EQ(result.threads[0].state, ThreadEndState::kDied);
+  EXPECT_EQ(result.threads[0].death_exception, program_.FindException("IOException"));
+  EXPECT_TRUE(result.HasLogContaining("Uncaught exception terminating thread"));
+  EXPECT_TRUE(result.HasLogContaining("IOException"));
+}
+
+TEST_F(InterpTest, ReturnInsideTryLeavesMethodNormally) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.Assign("a", Expr::Const(1));
+        b.Return();
+      },
+      {{"IOException", [&] { b.Assign("caught", Expr::Const(1)); }}});
+  b.Assign("after", Expr::Const(1));
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "a"), 1);
+  EXPECT_EQ(Var(result, "caught"), 0);
+  EXPECT_EQ(Var(result, "after"), 0);
+}
+
+// --- logging --------------------------------------------------------------------
+
+TEST_F(InterpTest, LogRendersArguments) {
+  MethodBuilder b(&program_, "m");
+  b.Assign("x", Expr::Const(42));
+  b.Log(LogLevel::kInfo, "test", "value is {} and {}", {b.V("x"), Expr::Const(-1)});
+  b.Build();
+  RunResult result = Run("m");
+  ASSERT_EQ(result.log.size(), 1u);
+  EXPECT_EQ(result.log[0].message, "value is 42 and -1");
+  EXPECT_EQ(result.log[0].logger, "test");
+  EXPECT_EQ(result.log[0].level, LogLevel::kInfo);
+  EXPECT_EQ(result.log[0].FullThreadName(), "n1/main");
+}
+
+TEST_F(InterpTest, LogExcAppendsExceptionMarkerWithOriginSite) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("disk.op", {"IOException"}); },
+             {{"IOException",
+               [&] { b.LogExc(LogLevel::kWarn, "test", "operation failed"); }}});
+  b.Build();
+  program_.Finalize();
+  ir::FaultSiteId site = Site("disk.op");
+  RunResult result =
+      Run("m", 1, {InjectionCandidate{site, 1, program_.FindException("IOException")}});
+  ASSERT_EQ(result.log.size(), 1u);
+  EXPECT_TRUE(result.log[0].message.find("operation failed [exc=IOException at disk.op@") !=
+              std::string::npos)
+      << result.log[0].message;
+}
+
+TEST_F(InterpTest, LogClockIsMonotonic) {
+  MethodBuilder b(&program_, "m");
+  for (int i = 0; i < 5; ++i) {
+    b.Log(LogLevel::kInfo, "test", "msg " + std::to_string(i));
+  }
+  b.Build();
+  RunResult result = Run("m");
+  for (size_t i = 0; i < result.log.size(); ++i) {
+    EXPECT_EQ(result.log[i].log_clock, static_cast<int64_t>(i));
+  }
+}
+
+// --- await / signal / timeouts -----------------------------------------------------
+
+TEST_F(InterpTest, AwaitSatisfiedImmediatelyDoesNotBlock) {
+  MethodBuilder b(&program_, "m");
+  b.Assign("flag", Expr::Const(1));
+  b.Await(b.Eq("flag", 1), 1000, "TimeoutException");
+  b.Assign("after", Expr::Const(1));
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "after"), 1);
+  EXPECT_EQ(result.end_time_ms, 0);
+}
+
+TEST_F(InterpTest, SignalWakesAwaitingThread) {
+  {
+    MethodBuilder b(&program_, "waiter");
+    b.Await(b.Eq("flag", 1));
+    b.Assign("woke", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&program_, "signaller");
+    b.Sleep(50);
+    b.Assign("flag", Expr::Const(1));
+    b.Signal("flag");
+  }
+  program_.Finalize();
+  cluster_.AddNode("n1");
+  cluster_.AddNode("n2");
+  cluster_.AddTask("n1", "waiter", program_.FindMethod("waiter"), 0);
+  cluster_.AddTask("n1", "signaller", program_.FindMethod("signaller"), 0);
+  FaultRuntime runtime(&program_);
+  Simulator simulator(&program_, &cluster_, 1, &runtime);
+  RunResult result = simulator.Run();
+  EXPECT_EQ(result.NodeVar(program_, "n1", "woke"), 1);
+  EXPECT_EQ(result.end_time_ms, 50);
+}
+
+TEST_F(InterpTest, SignalWithoutConditionLeavesThreadBlocked) {
+  {
+    MethodBuilder b(&program_, "waiter");
+    b.Await(b.Ge("flag", 5));
+    b.Assign("woke", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&program_, "signaller");
+    b.Sleep(10);
+    b.Assign("flag", Expr::Const(1));  // condition still false
+    b.Signal("flag");
+  }
+  program_.Finalize();
+  cluster_.AddNode("n1");
+  cluster_.AddNode("n2");
+  cluster_.AddTask("n1", "waiter", program_.FindMethod("waiter"), 0);
+  cluster_.AddTask("n1", "signaller", program_.FindMethod("signaller"), 0);
+  FaultRuntime runtime(&program_);
+  Simulator simulator(&program_, &cluster_, 1, &runtime);
+  RunResult result = simulator.Run();
+  EXPECT_EQ(result.NodeVar(program_, "n1", "woke"), 0);
+  EXPECT_TRUE(result.IsThreadStuck("n1/waiter"));
+  EXPECT_TRUE(result.IsThreadStuckIn(program_, "n1/waiter", "waiter"));
+}
+
+TEST_F(InterpTest, AwaitTimeoutWithoutExceptionContinues) {
+  MethodBuilder b(&program_, "m");
+  b.Await(b.Eq("flag", 1), /*timeout_ms=*/200);
+  b.Assign("after", Expr::Const(1));
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "after"), 1);
+  EXPECT_EQ(result.end_time_ms, 200);
+}
+
+TEST_F(InterpTest, AwaitTimeoutWithExceptionThrows) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.Await(b.Eq("flag", 1), 100, "TimeoutException"); },
+             {{"TimeoutException", [&] { b.Assign("timed_out", Expr::Const(1)); }}});
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "timed_out"), 1);
+  EXPECT_EQ(result.end_time_ms, 100);
+}
+
+TEST_F(InterpTest, SleepAdvancesSimulatedTime) {
+  MethodBuilder b(&program_, "m");
+  b.Sleep(123);
+  b.Sleep(77);
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(result.end_time_ms, 200);
+}
+
+// --- messaging --------------------------------------------------------------------
+
+TEST_F(InterpTest, SendDeliversPayloadToTargetNode) {
+  {
+    MethodBuilder b(&program_, "handler");
+    b.Assign("received", Expr::Payload());
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Send("handler", "n2", ir::SendOpts{.payload = Expr::Const(55)});
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "received", "n2"), 55);
+  EXPECT_EQ(Var(result, "received", "n1"), 0);
+}
+
+TEST_F(InterpTest, SendTargetIndexVarSelectsNode) {
+  {
+    MethodBuilder b(&program_, "handler");
+    b.Assign("hit", b.Plus("hit", 1));
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Assign("idx", Expr::Const(2));
+    b.Send("handler", "n", ir::SendOpts{.index_var = "idx"});  // -> node "n2"
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "hit", "n2"), 1);
+  EXPECT_EQ(Var(result, "hit", "n1"), 0);
+}
+
+TEST_F(InterpTest, TasksOnOneThreadRunSerially) {
+  {
+    MethodBuilder b(&program_, "handler");
+    b.Assign("order", b.Plus("order", 1));
+    b.Assign("slot", Expr::Payload());
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Send("handler", "n2", ir::SendOpts{.payload = Expr::Const(1), .latency_ms = 5});
+    b.Send("handler", "n2", ir::SendOpts{.payload = Expr::Const(2), .latency_ms = 50});
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "order", "n2"), 2);
+  EXPECT_EQ(Var(result, "slot", "n2"), 2);  // later message processed last
+}
+
+TEST_F(InterpTest, MessageToDeadThreadIsDropped) {
+  {
+    MethodBuilder b(&program_, "handler");
+    b.Assign("count", b.Plus("count", 1));
+    b.Throw("IOException");  // kills the handler thread on first message
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Send("handler", "n2", ir::SendOpts{.latency_ms = 1});
+    b.Sleep(20);
+    b.Send("handler", "n2", ir::SendOpts{.latency_ms = 1});
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "count", "n2"), 1);
+  EXPECT_TRUE(result.DidThreadDie("n2/handler"));
+}
+
+// --- futures ---------------------------------------------------------------------
+
+TEST_F(InterpTest, SubmitAndFutureGetSuccess) {
+  {
+    MethodBuilder b(&program_, "task");
+    b.Assign("task_ran", Expr::Const(1));
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Submit("task", "fut", "executor");
+    b.FutureGet("fut");
+    b.Assign("after_get", b.Plus("task_ran", 1));
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "task_ran"), 1);
+  EXPECT_EQ(Var(result, "after_get"), 2);
+}
+
+TEST_F(InterpTest, FailedTaskSurfacesAsExecutionException) {
+  {
+    MethodBuilder b(&program_, "task");
+    b.Throw("IOException");
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Submit("task", "fut", "executor");
+    b.TryCatch([&] { b.FutureGet("fut"); },
+               {{"ExecutionException", [&] { b.Assign("wrapped", Expr::Const(1)); }}});
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "wrapped"), 1);
+  // The executor thread survives (the exception went into the future).
+  EXPECT_FALSE(result.DidThreadDie("n1/executor"));
+}
+
+TEST_F(InterpTest, FutureGetTimeoutThrows) {
+  {
+    MethodBuilder b(&program_, "slow_task");
+    b.Sleep(500);
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.Submit("slow_task", "fut", "executor");
+    b.TryCatch([&] { b.FutureGet("fut", 100, "TimeoutException"); },
+               {{"TimeoutException", [&] { b.Assign("timed_out", Expr::Const(1)); }}});
+  }
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "timed_out"), 1);
+}
+
+// --- fault injection ----------------------------------------------------------------
+
+TEST_F(InterpTest, WindowInjectsAtExactOccurrence) {
+  MethodBuilder b(&program_, "m");
+  b.While(b.Lt("i", 10), [&] {
+    b.Assign("i", b.Plus("i", 1));
+    b.TryCatch([&] { b.External("op", {"IOException"}); },
+               {{"IOException", [&] { b.Assign("failed_at", b.V("i")); }}});
+  });
+  b.Build();
+  program_.Finalize();
+  RunResult result =
+      Run("m", 1, {InjectionCandidate{Site("op"), 7, program_.FindException("IOException")}});
+  EXPECT_EQ(Var(result, "failed_at"), 7);
+  ASSERT_TRUE(result.injected.has_value());
+  EXPECT_EQ(result.injected->occurrence, 7);
+}
+
+TEST_F(InterpTest, AtMostOneInjectionPerRun) {
+  MethodBuilder b(&program_, "m");
+  b.While(b.Lt("i", 10), [&] {
+    b.Assign("i", b.Plus("i", 1));
+    b.TryCatch([&] { b.External("op", {"IOException"}); },
+               {{"IOException", [&] { b.Assign("failures", b.Plus("failures", 1)); }}});
+  });
+  b.Build();
+  program_.Finalize();
+  ir::ExceptionTypeId io = program_.FindException("IOException");
+  RunResult result = Run("m", 1,
+                         {InjectionCandidate{Site("op"), 3, io},
+                          InjectionCandidate{Site("op"), 5, io}});
+  EXPECT_EQ(Var(result, "failures"), 1);
+  ASSERT_TRUE(result.injected.has_value());
+  EXPECT_EQ(result.injected->occurrence, 3);  // first reached wins
+}
+
+TEST_F(InterpTest, TransientFaultsFireDeterministically) {
+  MethodBuilder b(&program_, "m");
+  b.While(b.Lt("i", 9), [&] {
+    b.Assign("i", b.Plus("i", 1));
+    b.TryCatch([&] { b.External("op", {"IOException"}, /*transient_every_n=*/3); },
+               {{"IOException", [&] { b.Assign("failures", b.Plus("failures", 1)); }}});
+  });
+  b.Build();
+  RunResult result = Run("m");
+  EXPECT_EQ(Var(result, "failures"), 3);  // occurrences 3, 6, 9
+  EXPECT_FALSE(result.injected.has_value());
+}
+
+TEST_F(InterpTest, TraceRecordsOccurrencesAndLogClock) {
+  MethodBuilder b(&program_, "m");
+  b.Log(LogLevel::kInfo, "t", "before");
+  b.External("op", {"IOException"});
+  b.Log(LogLevel::kInfo, "t", "between");
+  b.External("op2", {"IOException"});
+  b.Build();
+  RunResult result = Run("m");
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace[0].occurrence, 1);
+  EXPECT_EQ(result.trace[0].log_clock, 1);
+  EXPECT_EQ(result.trace[1].log_clock, 2);
+  EXPECT_EQ(result.injection_requests, 2);
+}
+
+// --- determinism ---------------------------------------------------------------------
+
+TEST_F(InterpTest, SameSeedSameRun) {
+  {
+    MethodBuilder b(&program_, "handler");
+    b.Assign("received", b.Plus("received", 1));
+    b.Log(LogLevel::kInfo, "t", "handled {}", {b.V("received")});
+  }
+  {
+    MethodBuilder b(&program_, "m");
+    b.While(b.Lt("i", 20), [&] {
+      b.Assign("i", b.Plus("i", 1));
+      b.Send("handler", "n2");
+      b.Sleep(2);
+    });
+  }
+  RunResult first = Run("m", 777);
+
+  // Rebuild everything from scratch with the same seed.
+  Program program2;
+  program2.DefineException("IOException");
+  {
+    MethodBuilder b(&program2, "handler");
+    b.Assign("received", b.Plus("received", 1));
+    b.Log(LogLevel::kInfo, "t", "handled {}", {b.V("received")});
+  }
+  {
+    MethodBuilder b(&program2, "m");
+    b.While(b.Lt("i", 20), [&] {
+      b.Assign("i", b.Plus("i", 1));
+      b.Send("handler", "n2");
+      b.Sleep(2);
+    });
+  }
+  program2.Finalize();
+  ClusterSpec cluster2;
+  cluster2.AddNode("n1");
+  cluster2.AddNode("n2");
+  cluster2.AddTask("n1", "main", program2.FindMethod("m"), 0);
+  FaultRuntime runtime2(&program2);
+  Simulator simulator2(&program2, &cluster2, 777, &runtime2);
+  RunResult second = simulator2.Run();
+
+  EXPECT_EQ(FormatLogFile(first.log), FormatLogFile(second.log));
+  EXPECT_EQ(first.end_time_ms, second.end_time_ms);
+}
+
+// --- run limits --------------------------------------------------------------------
+
+TEST_F(InterpTest, TimeLimitStopsRun) {
+  MethodBuilder b(&program_, "m");
+  b.While(b.Lt("i", 1000), [&] {
+    b.Assign("i", b.Plus("i", 1));
+    b.Sleep(1000);
+  });
+  b.Build();
+  program_.Finalize();
+  cluster_.AddNode("n1");
+  cluster_.AddNode("n2");
+  cluster_.time_limit_ms = 5000;
+  RunResult result = Run("m");
+  EXPECT_TRUE(result.hit_time_limit);
+  EXPECT_LE(result.end_time_ms, 5000);
+}
+
+TEST_F(InterpTest, LogFileFormatting) {
+  MethodBuilder b(&program_, "m");
+  b.Sleep(61'234);
+  b.Log(LogLevel::kWarn, "comp", "late message");
+  b.Build();
+  RunResult result = Run("m");
+  std::string line = FormatLogLine(result.log[0]);
+  EXPECT_EQ(line, "10:01:01,234 [n1/main] WARN comp - late message");
+}
+
+}  // namespace
+}  // namespace anduril::interp

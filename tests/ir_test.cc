@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/program.h"
+
+namespace anduril::ir {
+namespace {
+
+// --- exception hierarchy ------------------------------------------------------
+
+TEST(ExceptionTypes, RootAlwaysExists) {
+  Program program;
+  EXPECT_EQ(program.FindException("Exception"), 0);
+  EXPECT_EQ(program.exception_type(0).parent, kInvalidId);
+}
+
+TEST(ExceptionTypes, SubtypingFollowsParents) {
+  Program program;
+  ExceptionTypeId io = program.DefineException("IOException");
+  ExceptionTypeId fnf = program.DefineException("FileNotFoundException", "IOException");
+  ExceptionTypeId interrupted = program.DefineException("InterruptedException");
+  EXPECT_TRUE(program.ExceptionIsA(fnf, io));
+  EXPECT_TRUE(program.ExceptionIsA(fnf, program.root_exception()));
+  EXPECT_TRUE(program.ExceptionIsA(io, io));
+  EXPECT_FALSE(program.ExceptionIsA(io, fnf));
+  EXPECT_FALSE(program.ExceptionIsA(interrupted, io));
+}
+
+TEST(ExceptionTypes, DefineIsIdempotent) {
+  Program program;
+  EXPECT_EQ(program.DefineException("IOException"), program.DefineException("IOException"));
+}
+
+TEST(ExceptionTypesDeathTest, UnknownParentFails) {
+  Program program;
+  EXPECT_DEATH(program.DefineException("X", "NoSuchParent"), "unknown parent");
+}
+
+// --- variables / log templates ---------------------------------------------------
+
+TEST(Vars, InterningIsStable) {
+  Program program;
+  VarId x = program.InternVar("x");
+  VarId y = program.InternVar("y");
+  EXPECT_NE(x, y);
+  EXPECT_EQ(program.InternVar("x"), x);
+  EXPECT_EQ(program.var_name(x), "x");
+}
+
+TEST(LogTemplates, DedupByLevelLoggerText) {
+  Program program;
+  LogTemplateId a = program.DefineLogTemplate(LogLevel::kWarn, "log", "msg {}");
+  LogTemplateId b = program.DefineLogTemplate(LogLevel::kWarn, "log", "msg {}");
+  LogTemplateId c = program.DefineLogTemplate(LogLevel::kError, "log", "msg {}");
+  LogTemplateId d = program.DefineLogTemplate(LogLevel::kWarn, "other", "msg {}");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+// --- builder structure ---------------------------------------------------------
+
+TEST(Builder, SimpleMethodStructure) {
+  Program program;
+  program.DefineException("IOException");
+  MethodBuilder b(&program, "m");
+  b.Assign("x", Expr::Const(5));
+  b.Log(LogLevel::kInfo, "t", "hello {}", {b.V("x")});
+  b.Return();
+  b.Build();
+  program.Finalize();
+
+  const Method& method = program.method(program.FindMethod("m"));
+  const Stmt& root = method.stmt(0);
+  ASSERT_EQ(root.kind, StmtKind::kBlock);
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(method.stmt(root.children[0]).kind, StmtKind::kAssign);
+  EXPECT_EQ(method.stmt(root.children[1]).kind, StmtKind::kLog);
+  EXPECT_EQ(method.stmt(root.children[2]).kind, StmtKind::kReturn);
+}
+
+TEST(Builder, NestedBlocksGetParents) {
+  Program program;
+  MethodBuilder b(&program, "m");
+  b.If(b.Eq("x", 1), [&] { b.While(b.Lt("y", 3), [&] { b.Nop(); }); });
+  b.Build();
+  program.Finalize();
+
+  const Method& method = program.method(program.FindMethod("m"));
+  for (StmtId s = 1; s < static_cast<StmtId>(method.stmts.size()); ++s) {
+    EXPECT_NE(method.stmt(s).parent, kInvalidId) << "stmt " << s << " has no parent";
+  }
+}
+
+TEST(Builder, ForwardReferencedCalleeIsResolved) {
+  Program program;
+  {
+    MethodBuilder b(&program, "caller");
+    b.Invoke("callee");  // not yet defined
+  }
+  {
+    MethodBuilder b(&program, "callee");
+    b.Nop();
+  }
+  program.Finalize();
+  MethodId callee = program.FindMethod("callee");
+  const Method& caller = program.method(program.FindMethod("caller"));
+  EXPECT_EQ(caller.stmt(caller.stmt(0).children[0]).callee, callee);
+}
+
+TEST(BuilderDeathTest, DuplicateBodyFails) {
+  Program program;
+  { MethodBuilder b(&program, "m"); b.Nop(); }
+  EXPECT_DEATH(MethodBuilder(&program, "m"), "already has a body");
+}
+
+TEST(BuilderDeathTest, UnknownExceptionInCatchFails) {
+  Program program;
+  MethodBuilder b(&program, "m");
+  EXPECT_DEATH(b.TryCatch([&] {}, {{"Nope", [&] {}}}), "unknown exception");
+}
+
+TEST(BuilderDeathTest, BreakOutsideLoopFailsVerification) {
+  Program program;
+  { MethodBuilder b(&program, "m"); b.Break(); }
+  EXPECT_DEATH(program.Finalize(), "break outside loop");
+}
+
+TEST(BuilderDeathTest, RethrowOutsideCatchFailsVerification) {
+  Program program;
+  { MethodBuilder b(&program, "m"); b.Rethrow(); }
+  EXPECT_DEATH(program.Finalize(), "rethrow outside catch");
+}
+
+TEST(Builder, RethrowInsideCatchVerifies) {
+  Program program;
+  program.DefineException("IOException");
+  MethodBuilder b(&program, "m");
+  b.TryCatch([&] { b.External("s", {"IOException"}); },
+             {{"IOException", [&] { b.Rethrow(); }}});
+  b.Build();
+  program.Finalize();
+  SUCCEED();
+}
+
+// --- fault sites --------------------------------------------------------------------
+
+TEST(FaultSites, EnumerationCoversExternalThrowAndAwait) {
+  Program program;
+  program.DefineException("IOException");
+  program.DefineException("TimeoutException");
+  MethodBuilder b(&program, "m");
+  b.External("ext.call", {"IOException"});
+  b.Throw("IOException");
+  b.Await(b.Eq("x", 1), 100, "TimeoutException");
+  b.Await(b.Eq("y", 1));  // no timeout exception: not a fault site
+  b.Build();
+  program.Finalize();
+
+  EXPECT_EQ(program.fault_sites().size(), 3u);
+  EXPECT_EQ(program.CountFaultSites(FaultSiteKind::kExternal), 1u);
+  EXPECT_EQ(program.CountFaultSites(FaultSiteKind::kThrowNew), 1u);
+  EXPECT_EQ(program.CountFaultSites(FaultSiteKind::kAwaitTimeout), 1u);
+}
+
+TEST(FaultSites, NamesEncodeSiteMethodAndStmt) {
+  Program program;
+  program.DefineException("IOException");
+  {
+    MethodBuilder b(&program, "mod.method");
+    b.External("disk.write", {"IOException"});
+  }
+  program.Finalize();
+  ASSERT_EQ(program.fault_sites().size(), 1u);
+  const FaultSite& site = program.fault_sites()[0];
+  EXPECT_TRUE(site.name.find("disk.write@mod.method#") == 0) << site.name;
+  EXPECT_EQ(program.FaultSiteAt(site.location), site.id);
+}
+
+TEST(FaultSites, RethrowIsNotAFaultSite) {
+  Program program;
+  program.DefineException("IOException");
+  MethodBuilder b(&program, "m");
+  b.TryCatch([&] { b.External("s", {"IOException"}); },
+             {{"IOException", [&] { b.Rethrow(); }}});
+  b.Build();
+  program.Finalize();
+  EXPECT_EQ(program.CountFaultSites(FaultSiteKind::kThrowNew), 0u);
+}
+
+TEST(FaultSites, LookupAtNonSiteReturnsInvalid) {
+  Program program;
+  MethodBuilder b(&program, "m");
+  b.Nop();
+  b.Build();
+  program.Finalize();
+  EXPECT_EQ(program.FaultSiteAt(GlobalStmt{0, 1}), kInvalidId);
+}
+
+// --- conditions / expressions ---------------------------------------------------------
+
+TEST(Cond, EvaluateAllOperators) {
+  auto eval = [](CmpOp op, int64_t lhs, int64_t rhs) {
+    Cond cond;
+    cond.op = op;
+    cond.lhs = 0;
+    return cond.Evaluate(lhs, rhs);
+  };
+  EXPECT_TRUE(Cond::True().Evaluate(0, 0));
+  EXPECT_TRUE(eval(CmpOp::kEq, 5, 5));
+  EXPECT_FALSE(eval(CmpOp::kEq, 5, 6));
+  EXPECT_TRUE(eval(CmpOp::kNe, 5, 6));
+  EXPECT_TRUE(eval(CmpOp::kLt, 1, 2));
+  EXPECT_TRUE(eval(CmpOp::kLe, 2, 2));
+  EXPECT_TRUE(eval(CmpOp::kGt, 3, 2));
+  EXPECT_TRUE(eval(CmpOp::kGe, 2, 2));
+  EXPECT_FALSE(eval(CmpOp::kGt, 2, 2));
+}
+
+TEST(Cond, CollectReadsGathersBothSides) {
+  std::vector<VarId> reads;
+  Cond::GtVar(3, 7).CollectReads(&reads);
+  EXPECT_EQ(reads, (std::vector<VarId>{3, 7}));
+  reads.clear();
+  Cond::Eq(5, 0).CollectReads(&reads);
+  EXPECT_EQ(reads, (std::vector<VarId>{5}));
+}
+
+TEST(Expr, CollectReads) {
+  std::vector<VarId> reads;
+  Expr::AddVar(2, 4).CollectReads(&reads);
+  EXPECT_EQ(reads, (std::vector<VarId>{2, 4}));
+  reads.clear();
+  Expr::Const(9).CollectReads(&reads);
+  EXPECT_TRUE(reads.empty());
+  reads.clear();
+  Expr::Payload().CollectReads(&reads);
+  EXPECT_TRUE(reads.empty());
+}
+
+// --- dump -----------------------------------------------------------------------------
+
+TEST(Dump, ContainsStructure) {
+  Program program;
+  program.DefineException("IOException");
+  MethodBuilder b(&program, "m");
+  b.If(b.Eq("x", 1), [&] { b.Throw("IOException"); });
+  b.Build();
+  program.Finalize();
+  std::string dump = program.Dump();
+  EXPECT_NE(dump.find("method m:"), std::string::npos);
+  EXPECT_NE(dump.find("if (x == 1)"), std::string::npos);
+  EXPECT_NE(dump.find("throw new IOException"), std::string::npos);
+}
+
+TEST(Program, TotalStmtCountSums) {
+  Program program;
+  { MethodBuilder b(&program, "a"); b.Nop(); b.Nop(); }
+  { MethodBuilder b(&program, "b"); b.Nop(); }
+  program.Finalize();
+  // root blocks (2) + 3 nops
+  EXPECT_EQ(program.TotalStmtCount(), 5u);
+}
+
+}  // namespace
+}  // namespace anduril::ir

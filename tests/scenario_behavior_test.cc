@@ -1,0 +1,173 @@
+// Deep-dive behavioral tests for the flagship scenarios: these verify the
+// seeded bug *mechanics* (not just the oracles), so a refactor of the
+// simulated systems cannot silently turn a hard timing bug into a trivial
+// one.
+
+#include <gtest/gtest.h>
+
+#include "src/explorer/explorer.h"
+#include "src/interp/log_entry.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+interp::RunResult RunWith(const BuiltCase& built, int64_t occurrence,
+                          const FailureCase& failure_case) {
+  auto candidate = built.ground_truth;
+  candidate.occurrence = occurrence;
+  return RunOnce(*built.program, built.failure_cluster, failure_case.failure_seed,
+                 {candidate});
+}
+
+// --- HBase-25905 (f17): the WAL wedge state machine ------------------------------
+
+class Hbase25905Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failure_case_ = FindCase("hb-25905");
+    ASSERT_NE(failure_case_, nullptr);
+    built_ = BuildCase(*failure_case_);
+  }
+
+  const FailureCase* failure_case_ = nullptr;
+  BuiltCase built_;
+};
+
+TEST_F(Hbase25905Test, FaultFreeRunRollsAndFlushesCleanly) {
+  interp::RunResult run =
+      RunOnce(*built_.program, built_.failure_cluster, failure_case_->failure_seed);
+  EXPECT_TRUE(run.HasLogContaining("WAL rolled, safe point reached"));
+  EXPECT_TRUE(run.HasLogContaining("Region flush completed"));
+  EXPECT_EQ(run.NodeVar(*built_.program, "rs1", "unackedAppends"), 0);
+}
+
+TEST_F(Hbase25905Test, EarlyBreakTripsTheResyncValve) {
+  // A break with a large backlog triggers the full-resync safety valve and
+  // recovers — the failure needs a *mid-window* break.
+  interp::RunResult run = RunWith(built_, 2, *failure_case_);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(run.HasLogContaining("Too many unacked appends, forcing full resync"));
+  EXPECT_FALSE(failure_case_->oracle(*built_.program, run));
+}
+
+TEST_F(Hbase25905Test, LateBreakDrainsWithinOneBatch) {
+  interp::RunResult run = RunWith(built_, 22, *failure_case_);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_FALSE(failure_case_->oracle(*built_.program, run));
+  EXPECT_EQ(run.NodeVar(*built_.program, "rs1", "unackedAppends"), 0);
+}
+
+TEST_F(Hbase25905Test, MidWindowBreakWedgesConsumerRollerAndFlusher) {
+  interp::RunResult run = RunWith(built_, built_.ground_truth.occurrence, *failure_case_);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(failure_case_->oracle(*built_.program, run));
+  // The precise stale state of the incident: length bookkeeping says
+  // "synced", the unacked queue says otherwise, and nothing will ever run
+  // consume() again.
+  EXPECT_GT(run.NodeVar(*built_.program, "rs1", "unackedAppends"), 0);
+  EXPECT_TRUE(run.IsThreadStuckIn(*built_.program, "rs1/LogRoller", "hbase.rs.roll_wal"));
+  EXPECT_TRUE(run.HasLogContaining("Failed to get sync result"));
+  EXPECT_TRUE(run.HasLogContaining("Region flush failed"));
+}
+
+// --- HBase-16144 (f16): the leaked replication lock ------------------------------
+
+TEST(Hbase16144, AbortWhileHoldingLockLeaksIt) {
+  const FailureCase* failure_case = FindCase("hb-16144");
+  BuiltCase built = BuildCase(*failure_case);
+  interp::RunResult run = RunWith(built, 4, *failure_case);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(failure_case->oracle(*built.program, run));
+  // The ZooKeeper-side lock is still owned by the dead rs1.
+  EXPECT_EQ(run.NodeVar(*built.program, "zk", "lockHolder"), 1);
+}
+
+TEST(Hbase16144, CleanRunReleasesAndRs2Claims) {
+  const FailureCase* failure_case = FindCase("hb-16144");
+  BuiltCase built = BuildCase(*failure_case);
+  interp::RunResult run =
+      RunOnce(*built.program, built.failure_cluster, failure_case->failure_seed);
+  EXPECT_TRUE(run.HasLogContaining("Replication source finished cleanly"));
+  EXPECT_TRUE(run.HasLogContaining("Claimed replication queue"));
+  EXPECT_EQ(run.NodeVar(*built.program, "zk", "lockHolder"), 2);
+}
+
+// --- HBase-20583 (f15): stale resubmission corrupts the split checksum ------------
+
+TEST(Hbase20583, NaturalTransientAloneIsRecovered) {
+  const FailureCase* failure_case = FindCase("hb-20583");
+  BuiltCase built = BuildCase(*failure_case);
+  interp::RunResult run =
+      RunOnce(*built.program, built.failure_cluster, failure_case->failure_seed);
+  // One natural split failure happens and is resubmitted correctly.
+  EXPECT_GE(run.CountLogContaining("Split task failed, resubmitting"), 1);
+  EXPECT_TRUE(run.HasLogContaining("All split tasks completed"));
+  EXPECT_EQ(run.NodeVar(*built.program, "master", "splitSum"), 21);
+}
+
+TEST(Hbase20583, InjectedSecondFailureResubmitsWrongTask) {
+  const FailureCase* failure_case = FindCase("hb-20583");
+  BuiltCase built = BuildCase(*failure_case);
+  interp::RunResult run =
+      RunWith(built, built.ground_truth.occurrence, *failure_case);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(failure_case->oracle(*built.program, run));
+  EXPECT_NE(run.NodeVar(*built.program, "master", "splitSum"), 21);
+}
+
+// --- ZooKeeper-3157 (f2): only the registration packet matters --------------------
+
+TEST(Zk3157, PingPacketLossIsTolerated) {
+  const FailureCase* failure_case = FindCase("zk-3157");
+  BuiltCase built = BuildCase(*failure_case);
+  // Occurrence 2 is an ordinary ping: the connection is re-established and
+  // the watch still fires.
+  interp::RunResult run = RunWith(built, 2, *failure_case);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_FALSE(failure_case->oracle(*built.program, run));
+  EXPECT_TRUE(run.HasLogContaining("Watch fired, client done"));
+}
+
+TEST(Zk3157, RegistrationPacketLossLosesTheWatch) {
+  const FailureCase* failure_case = FindCase("zk-3157");
+  BuiltCase built = BuildCase(*failure_case);
+  interp::RunResult run = RunWith(built, built.ground_truth.occurrence, *failure_case);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(failure_case->oracle(*built.program, run));
+  EXPECT_EQ(run.NodeVar(*built.program, "zk2", "watchRegistered"), 0);
+}
+
+// --- Kafka-9374 (f19): one blocked connector disables the worker -------------------
+
+TEST(Ka9374, DroppedMetadataResponseParksTheHerderForever) {
+  const FailureCase* failure_case = FindCase("ka-9374");
+  BuiltCase built = BuildCase(*failure_case);
+  interp::RunResult run = RunWith(built, built.ground_truth.occurrence, *failure_case);
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(run.IsThreadStuckIn(*built.program, "connect/Herder",
+                                  "kafka.connect.start_connector"));
+  // The queued connectors behind the blocked one never start.
+  EXPECT_LT(run.NodeVar(*built.program, "connect", "connectorsStarted"), 4);
+}
+
+// --- Cassandra-6415 (f22): the deeper root cause ----------------------------------
+
+TEST(Ca6415, DeeperColumnFamilyFaultAlsoHangsTheRepair) {
+  const FailureCase* failure_case = FindCase("ca-6415");
+  BuiltCase built = BuildCase(*failure_case);
+  // Inject at the earlier cf-creation site on a remote replica instead of
+  // the documented snapshot site: the oracle is still satisfied (§8.2).
+  interp::InjectionCandidate deeper;
+  deeper.site = FindSiteByName(*built.program, "cas.cf.create");
+  deeper.occurrence = 2;  // the cas2 replica's creation
+  deeper.type = built.program->FindException("IOException");
+  interp::RunResult run = RunOnce(*built.program, built.failure_cluster,
+                                  failure_case->failure_seed, {deeper});
+  ASSERT_TRUE(run.injected.has_value());
+  EXPECT_TRUE(failure_case->oracle(*built.program, run));
+  EXPECT_TRUE(run.HasLogContaining("No such column family, ignoring request"));
+}
+
+}  // namespace
+}  // namespace anduril::systems

@@ -1,0 +1,148 @@
+// Integration tests over the 22-case failure registry: every case must
+// satisfy the paper's problem-statement invariants (§2) and be reproducible
+// by the full feedback algorithm with a deterministic reproduction script.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/explorer/explorer.h"
+#include "src/interp/log_entry.h"
+#include "src/logdiff/parser.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+class CaseTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const FailureCase& Case() const {
+    const FailureCase* failure_case = FindCase(GetParam());
+    EXPECT_NE(failure_case, nullptr);
+    return *failure_case;
+  }
+};
+
+TEST_P(CaseTest, RegistryMetadataIsComplete) {
+  const FailureCase& failure_case = Case();
+  EXPECT_FALSE(failure_case.id.empty());
+  EXPECT_FALSE(failure_case.title.empty());
+  EXPECT_FALSE(failure_case.root_site.empty());
+  EXPECT_FALSE(failure_case.system.empty());
+  EXPECT_TRUE(failure_case.build != nullptr);
+  EXPECT_TRUE(failure_case.workload != nullptr);
+  EXPECT_TRUE(failure_case.oracle != nullptr);
+}
+
+// BuildCase itself CHECKs the two core invariants: the workload alone does
+// NOT satisfy the oracle, and the ground-truth injection DOES.
+TEST_P(CaseTest, GroundTruthInvariantsHold) {
+  BuiltCase built = BuildCase(Case());
+  EXPECT_FALSE(built.failure_log_text.empty());
+  EXPECT_NE(built.ground_truth.site, ir::kInvalidId);
+  EXPECT_GE(built.ground_truth.occurrence, 1);
+}
+
+TEST_P(CaseTest, FailureLogParsesAndHasMultipleThreads) {
+  BuiltCase built = BuildCase(Case());
+  logdiff::ParsedLog log = logdiff::ParseLogFile(built.failure_log_text);
+  EXPECT_GT(log.lines.size(), 5u);
+  std::set<std::string> threads;
+  for (const logdiff::ParsedLine& line : log.lines) {
+    threads.insert(line.thread);
+  }
+  EXPECT_GE(threads.size(), 2u) << "production logs should be multi-threaded";
+}
+
+TEST_P(CaseTest, FaultSpaceIsNontrivial) {
+  BuiltCase built = BuildCase(Case());
+  // Systems must have a realistic amount of dead-weight fault sites and the
+  // workload must exercise many dynamic instances (paper Table 1 shape).
+  EXPECT_GE(built.program->fault_sites().size(), 100u);
+  interp::RunResult normal =
+      RunOnce(*built.program, built.cluster, Case().explore_seed);
+  EXPECT_GE(normal.trace.size(), 50u);
+  EXPECT_FALSE(Case().oracle(*built.program, normal));
+}
+
+TEST_P(CaseTest, FullFeedbackReproducesAndScriptReplays) {
+  BuiltCase built = BuildCase(Case());
+  explorer::ExplorerOptions options;
+  options.max_rounds = 1000;
+  explorer::Explorer ex(built.spec, options);
+  auto strategy = explorer::MakeFullFeedbackStrategy();
+  explorer::ExploreResult result = ex.Explore(strategy.get());
+  ASSERT_TRUE(result.reproduced) << Case().id;
+  ASSERT_TRUE(result.script.has_value());
+  EXPECT_TRUE(explorer::Explorer::Replay(built.spec, *result.script)) << Case().id;
+}
+
+TEST_P(CaseTest, ObservablesIncludeDiscriminativeMessages) {
+  BuiltCase built = BuildCase(Case());
+  explorer::ExplorerOptions options;
+  explorer::Explorer ex(built.spec, options);
+  EXPECT_GE(ex.context().observables().size(), 1u);
+  EXPECT_GE(ex.context().candidates().size(), 5u)
+      << "the fault space should hold multiple plausible candidates";
+}
+
+std::vector<std::string> AllCaseIds() {
+  std::vector<std::string> ids;
+  for (const FailureCase& failure_case : AllCases()) {
+    ids.push_back(failure_case.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, CaseTest, ::testing::ValuesIn(AllCaseIds()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Registry, HasExactly22Cases) { EXPECT_EQ(AllCases().size(), 22u); }
+
+TEST(Registry, PaperIdsAreF1ToF22) {
+  std::set<std::string> ids;
+  for (const FailureCase& failure_case : AllCases()) {
+    ids.insert(failure_case.paper_id);
+  }
+  EXPECT_EQ(ids.size(), 22u);
+  EXPECT_TRUE(ids.contains("f1"));
+  EXPECT_TRUE(ids.contains("f22"));
+}
+
+TEST(Registry, FiveSystemsCovered) {
+  std::set<std::string> systems;
+  for (const FailureCase& failure_case : AllCases()) {
+    systems.insert(failure_case.system);
+  }
+  EXPECT_EQ(systems, (std::set<std::string>{"zookeeper", "hdfs", "hbase", "kafka",
+                                            "cassandra"}));
+}
+
+TEST(Registry, LookupByEitherId) {
+  EXPECT_NE(FindCase("zk-2247"), nullptr);
+  EXPECT_NE(FindCase("f17"), nullptr);
+  EXPECT_EQ(FindCase("nope"), nullptr);
+  EXPECT_EQ(FindCase("f17")->id, "hb-25905");
+}
+
+TEST(Registry, SitesResolveUniquely) {
+  for (const FailureCase& failure_case : AllCases()) {
+    ir::Program program;
+    RegisterStandardExceptions(&program);
+    failure_case.build(&program);
+    program.Finalize();
+    EXPECT_NE(FindSiteByName(program, failure_case.root_site), ir::kInvalidId)
+        << failure_case.id;
+  }
+}
+
+}  // namespace
+}  // namespace anduril::systems

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace anduril {
+namespace {
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitNLimitsPieces) {
+  EXPECT_EQ(SplitN("a|b|c|d", '|', 2), (std::vector<std::string>{"a", "b|c|d"}));
+  EXPECT_EQ(SplitN("a|b", '|', 5), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitN("abc", '|', 3), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  std::vector<std::string> pieces{"x", "", "yz"};
+  EXPECT_EQ(Split(Join(pieces, ";"), ';'), pieces);
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("abcdef", "def"));
+  EXPECT_FALSE(EndsWith("ef", "def"));
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_FALSE(Contains("abcdef", "xyz"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a{}b{}c", "{}", "#"), "a#b#c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping, left to right
+  EXPECT_EQ(ReplaceAll("none", "xx", "y"), "none");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%05d", 7), "00007");
+  // Long outputs are not truncated.
+  std::string long_arg(500, 'a');
+  EXPECT_EQ(StrFormat("%s", long_arg.c_str()).size(), 500u);
+}
+
+TEST(Strings, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(-1234567), "-1,234,567");
+}
+
+// --- rng ------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t value = rng.NextInRange(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextBoolEdges) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(17);
+  int buckets[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[rng.NextBelow(10)];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+// --- check ------------------------------------------------------------------------
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ ANDURIL_CHECK(1 == 2) << "boom"; }, "boom");
+}
+
+TEST(CheckDeathTest, ComparisonMacros) {
+  EXPECT_DEATH({ ANDURIL_CHECK_EQ(1, 2); }, "ANDURIL_CHECK failed");
+  EXPECT_DEATH({ ANDURIL_CHECK_LT(3, 2); }, "ANDURIL_CHECK failed");
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  ANDURIL_CHECK(true);
+  ANDURIL_CHECK_EQ(2, 2);
+  ANDURIL_CHECK_GE(3, 2);
+}
+
+// --- stopwatch ------------------------------------------------------------------------
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch stopwatch;
+  int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += i;
+  }
+  ASSERT_NE(sink, 0);
+  EXPECT_GT(stopwatch.ElapsedNanos(), 0);
+  EXPECT_GE(stopwatch.ElapsedSeconds(), 0.0);
+}
+
+TEST(Stopwatch, ResetRestartsClock) {
+  Stopwatch stopwatch;
+  int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink += i;
+  }
+  ASSERT_NE(sink, 0);
+  int64_t before = stopwatch.ElapsedNanos();
+  stopwatch.Reset();
+  EXPECT_LT(stopwatch.ElapsedNanos(), before + 1000000000);
+}
+
+}  // namespace
+}  // namespace anduril

@@ -1,0 +1,177 @@
+// anduril_case — command-line driver for the failure-case registry.
+//
+//   anduril_case list
+//       All 22 cases with system and title.
+//   anduril_case info <case>
+//       Context details: observables, causal graph size, candidates.
+//   anduril_case run <case> [strategy] [max_rounds]
+//       Explore with a strategy (default "full") and print the per-round
+//       trace plus the reproduction script.
+//   anduril_case replay <case> <occurrence> <seed>
+//       Inject the case's ground-truth site at a chosen occurrence/seed and
+//       dump the resulting log — the tool for studying a scenario's timing
+//       window.
+//   anduril_case graph <case> [max_nodes]
+//       Emit the causal graph in Graphviz DOT.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/analysis/graph_export.h"
+#include "src/explorer/explorer.h"
+#include "src/interp/log_entry.h"
+#include "src/systems/common.h"
+
+namespace anduril {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: anduril_case list\n"
+               "       anduril_case info <case>\n"
+               "       anduril_case run <case> [strategy] [max_rounds]\n"
+               "       anduril_case replay <case> <occurrence> <seed>\n"
+               "       anduril_case graph <case> [max_nodes]\n");
+  return 2;
+}
+
+int List() {
+  for (const systems::FailureCase& failure_case : systems::AllCases()) {
+    std::printf("%-10s %-5s %-10s %s\n", failure_case.id.c_str(),
+                failure_case.paper_id.c_str(), failure_case.system.c_str(),
+                failure_case.title.c_str());
+  }
+  return 0;
+}
+
+const systems::FailureCase* Lookup(const std::string& id) {
+  const systems::FailureCase* failure_case = systems::FindCase(id);
+  if (failure_case == nullptr) {
+    std::fprintf(stderr, "unknown case '%s' (try: anduril_case list)\n", id.c_str());
+  }
+  return failure_case;
+}
+
+int Info(const std::string& id) {
+  const systems::FailureCase* failure_case = Lookup(id);
+  if (failure_case == nullptr) {
+    return 1;
+  }
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  explorer::Explorer ex(built.spec, explorer::ExplorerOptions{});
+  const explorer::ExplorerContext& context = ex.context();
+  std::printf("%s (%s): %s\n", failure_case->id.c_str(), failure_case->paper_id.c_str(),
+              failure_case->title.c_str());
+  std::printf("program: %zu methods, %zu stmts, %zu fault sites (%zu injectable)\n",
+              built.program->method_count(), built.program->TotalStmtCount(),
+              built.program->fault_sites().size(),
+              context.all_injectable_sites().size());
+  std::printf("failure log: %zu lines; normal log: %zu lines\n",
+              context.failure_log().lines.size(), context.normal_log().lines.size());
+  std::printf("causal graph: %zu nodes, %lld edges, %zu candidates\n",
+              context.graph().node_count(),
+              static_cast<long long>(context.graph().stats().edges),
+              context.candidates().size());
+  std::printf("ground truth: %s, %s at occurrence %lld\n",
+              built.program->fault_site(built.ground_truth.site).name.c_str(),
+              built.program->exception_type(built.ground_truth.type).name.c_str(),
+              static_cast<long long>(built.ground_truth.occurrence));
+  std::printf("relevant observables (%zu):\n", context.observables().size());
+  for (const explorer::ObservableInfo& observable : context.observables()) {
+    std::printf("  %s\n", observable.key.substr(0, 110).c_str());
+  }
+  return 0;
+}
+
+int RunCase(const std::string& id, const std::string& strategy_name, int max_rounds) {
+  const systems::FailureCase* failure_case = Lookup(id);
+  if (failure_case == nullptr) {
+    return 1;
+  }
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  explorer::ExplorerOptions options;
+  options.max_rounds = max_rounds;
+  options.track_site = built.ground_truth.site;
+  explorer::Explorer ex(built.spec, options);
+  auto strategy = explorer::MakeStrategy(strategy_name);
+  explorer::ExploreResult result = ex.Explore(strategy.get());
+  for (const explorer::RoundRecord& record : result.records) {
+    std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d%s\n", record.round,
+                record.window_size, record.injected ? 1 : 0, record.tracked_rank,
+                record.present_observables, record.success ? "  <- reproduced" : "");
+  }
+  if (!result.reproduced) {
+    std::printf("NOT reproduced within %d rounds\n", max_rounds);
+    return 1;
+  }
+  std::printf("reproduced in %d rounds (%.2fs)\nscript: %s\n", result.rounds,
+              result.total_seconds, result.script->ToText(*built.program).c_str());
+  return 0;
+}
+
+int Replay(const std::string& id, int64_t occurrence, uint64_t seed) {
+  const systems::FailureCase* failure_case = Lookup(id);
+  if (failure_case == nullptr) {
+    return 1;
+  }
+  systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+  auto candidate = built.ground_truth;
+  candidate.occurrence = occurrence;
+  interp::RunResult run =
+      systems::RunOnce(*built.program, built.failure_cluster, seed, {candidate});
+  std::printf("injected=%d oracle=%d\n%s", run.injected.has_value() ? 1 : 0,
+              failure_case->oracle(*built.program, run) ? 1 : 0,
+              interp::FormatLogFile(run.log).c_str());
+  for (const interp::ThreadSummary& thread : run.threads) {
+    if (thread.state != interp::ThreadEndState::kFinished) {
+      std::printf("thread %s/%s ended %s\n", thread.node.c_str(), thread.name.c_str(),
+                  thread.state == interp::ThreadEndState::kBlocked ? "BLOCKED" : "DEAD");
+    }
+  }
+  return 0;
+}
+
+int Graph(const std::string& id, size_t max_nodes) {
+  const systems::FailureCase* failure_case = Lookup(id);
+  if (failure_case == nullptr) {
+    return 1;
+  }
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  explorer::Explorer ex(built.spec, explorer::ExplorerOptions{});
+  std::fputs(analysis::ExportDot(*built.program, ex.context().graph(), max_nodes).c_str(),
+             stdout);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "list") {
+    return List();
+  }
+  if (argc < 3) {
+    return Usage();
+  }
+  std::string id = argv[2];
+  if (command == "info") {
+    return Info(id);
+  }
+  if (command == "run") {
+    return RunCase(id, argc > 3 ? argv[3] : "full", argc > 4 ? std::atoi(argv[4]) : 1500);
+  }
+  if (command == "replay" && argc >= 5) {
+    return Replay(id, std::atoll(argv[3]), std::strtoull(argv[4], nullptr, 10));
+  }
+  if (command == "graph") {
+    return Graph(id, argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 0);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace anduril
+
+int main(int argc, char** argv) { return anduril::Main(argc, argv); }
