@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/anduril_bench_util.dir/bench_util.cc.o.d"
+  "libanduril_bench_util.a"
+  "libanduril_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rank_trajectory.dir/bench_fig6_rank_trajectory.cc.o"
+  "CMakeFiles/bench_fig6_rank_trajectory.dir/bench_fig6_rank_trajectory.cc.o.d"
+  "bench_fig6_rank_trajectory"
+  "bench_fig6_rank_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rank_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fault_space.dir/bench_table1_fault_space.cc.o"
+  "CMakeFiles/bench_table1_fault_space.dir/bench_table1_fault_space.cc.o.d"
+  "bench_table1_fault_space"
+  "bench_table1_fault_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fault_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_stacktrace.dir/bench_table5_stacktrace.cc.o"
+  "CMakeFiles/bench_table5_stacktrace.dir/bench_table5_stacktrace.cc.o.d"
+  "bench_table5_stacktrace"
+  "bench_table5_stacktrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_stacktrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_new_root_causes.dir/bench_table6_new_root_causes.cc.o"
+  "CMakeFiles/bench_table6_new_root_causes.dir/bench_table6_new_root_causes.cc.o.d"
+  "bench_table6_new_root_causes"
+  "bench_table6_new_root_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_new_root_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

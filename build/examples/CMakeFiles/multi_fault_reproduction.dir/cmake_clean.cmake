@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_fault_reproduction.dir/multi_fault_reproduction.cpp.o"
+  "CMakeFiles/multi_fault_reproduction.dir/multi_fault_reproduction.cpp.o.d"
+  "multi_fault_reproduction"
+  "multi_fault_reproduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_fault_reproduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

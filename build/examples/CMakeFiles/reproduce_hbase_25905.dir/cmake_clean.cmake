@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_hbase_25905.dir/reproduce_hbase_25905.cpp.o"
+  "CMakeFiles/reproduce_hbase_25905.dir/reproduce_hbase_25905.cpp.o.d"
+  "reproduce_hbase_25905"
+  "reproduce_hbase_25905.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_hbase_25905.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

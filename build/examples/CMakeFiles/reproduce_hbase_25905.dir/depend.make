@@ -1,0 +1,2 @@
+# Empty dependencies file for reproduce_hbase_25905.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/causal_graph.cc" "src/analysis/CMakeFiles/anduril_analysis.dir/causal_graph.cc.o" "gcc" "src/analysis/CMakeFiles/anduril_analysis.dir/causal_graph.cc.o.d"
+  "/root/repo/src/analysis/exception_flow.cc" "src/analysis/CMakeFiles/anduril_analysis.dir/exception_flow.cc.o" "gcc" "src/analysis/CMakeFiles/anduril_analysis.dir/exception_flow.cc.o.d"
+  "/root/repo/src/analysis/graph_export.cc" "src/analysis/CMakeFiles/anduril_analysis.dir/graph_export.cc.o" "gcc" "src/analysis/CMakeFiles/anduril_analysis.dir/graph_export.cc.o.d"
+  "/root/repo/src/analysis/indexes.cc" "src/analysis/CMakeFiles/anduril_analysis.dir/indexes.cc.o" "gcc" "src/analysis/CMakeFiles/anduril_analysis.dir/indexes.cc.o.d"
+  "/root/repo/src/analysis/observable_map.cc" "src/analysis/CMakeFiles/anduril_analysis.dir/observable_map.cc.o" "gcc" "src/analysis/CMakeFiles/anduril_analysis.dir/observable_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/anduril_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdiff/CMakeFiles/anduril_logdiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anduril_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_analysis.dir/causal_graph.cc.o"
+  "CMakeFiles/anduril_analysis.dir/causal_graph.cc.o.d"
+  "CMakeFiles/anduril_analysis.dir/exception_flow.cc.o"
+  "CMakeFiles/anduril_analysis.dir/exception_flow.cc.o.d"
+  "CMakeFiles/anduril_analysis.dir/graph_export.cc.o"
+  "CMakeFiles/anduril_analysis.dir/graph_export.cc.o.d"
+  "CMakeFiles/anduril_analysis.dir/indexes.cc.o"
+  "CMakeFiles/anduril_analysis.dir/indexes.cc.o.d"
+  "CMakeFiles/anduril_analysis.dir/observable_map.cc.o"
+  "CMakeFiles/anduril_analysis.dir/observable_map.cc.o.d"
+  "libanduril_analysis.a"
+  "libanduril_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

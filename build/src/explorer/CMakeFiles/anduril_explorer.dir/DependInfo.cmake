@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explorer/context.cc" "src/explorer/CMakeFiles/anduril_explorer.dir/context.cc.o" "gcc" "src/explorer/CMakeFiles/anduril_explorer.dir/context.cc.o.d"
+  "/root/repo/src/explorer/explorer.cc" "src/explorer/CMakeFiles/anduril_explorer.dir/explorer.cc.o" "gcc" "src/explorer/CMakeFiles/anduril_explorer.dir/explorer.cc.o.d"
+  "/root/repo/src/explorer/iterative.cc" "src/explorer/CMakeFiles/anduril_explorer.dir/iterative.cc.o" "gcc" "src/explorer/CMakeFiles/anduril_explorer.dir/iterative.cc.o.d"
+  "/root/repo/src/explorer/strategies/full_feedback.cc" "src/explorer/CMakeFiles/anduril_explorer.dir/strategies/full_feedback.cc.o" "gcc" "src/explorer/CMakeFiles/anduril_explorer.dir/strategies/full_feedback.cc.o.d"
+  "/root/repo/src/explorer/strategies/list_strategies.cc" "src/explorer/CMakeFiles/anduril_explorer.dir/strategies/list_strategies.cc.o" "gcc" "src/explorer/CMakeFiles/anduril_explorer.dir/strategies/list_strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/anduril_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/anduril_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdiff/CMakeFiles/anduril_logdiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/anduril_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anduril_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

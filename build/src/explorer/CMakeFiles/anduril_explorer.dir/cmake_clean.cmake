@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_explorer.dir/context.cc.o"
+  "CMakeFiles/anduril_explorer.dir/context.cc.o.d"
+  "CMakeFiles/anduril_explorer.dir/explorer.cc.o"
+  "CMakeFiles/anduril_explorer.dir/explorer.cc.o.d"
+  "CMakeFiles/anduril_explorer.dir/iterative.cc.o"
+  "CMakeFiles/anduril_explorer.dir/iterative.cc.o.d"
+  "CMakeFiles/anduril_explorer.dir/strategies/full_feedback.cc.o"
+  "CMakeFiles/anduril_explorer.dir/strategies/full_feedback.cc.o.d"
+  "CMakeFiles/anduril_explorer.dir/strategies/list_strategies.cc.o"
+  "CMakeFiles/anduril_explorer.dir/strategies/list_strategies.cc.o.d"
+  "libanduril_explorer.a"
+  "libanduril_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/fault_runtime.cc" "src/interp/CMakeFiles/anduril_interp.dir/fault_runtime.cc.o" "gcc" "src/interp/CMakeFiles/anduril_interp.dir/fault_runtime.cc.o.d"
+  "/root/repo/src/interp/log_entry.cc" "src/interp/CMakeFiles/anduril_interp.dir/log_entry.cc.o" "gcc" "src/interp/CMakeFiles/anduril_interp.dir/log_entry.cc.o.d"
+  "/root/repo/src/interp/run_result.cc" "src/interp/CMakeFiles/anduril_interp.dir/run_result.cc.o" "gcc" "src/interp/CMakeFiles/anduril_interp.dir/run_result.cc.o.d"
+  "/root/repo/src/interp/simulator.cc" "src/interp/CMakeFiles/anduril_interp.dir/simulator.cc.o" "gcc" "src/interp/CMakeFiles/anduril_interp.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/anduril_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anduril_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_interp.dir/fault_runtime.cc.o"
+  "CMakeFiles/anduril_interp.dir/fault_runtime.cc.o.d"
+  "CMakeFiles/anduril_interp.dir/log_entry.cc.o"
+  "CMakeFiles/anduril_interp.dir/log_entry.cc.o.d"
+  "CMakeFiles/anduril_interp.dir/run_result.cc.o"
+  "CMakeFiles/anduril_interp.dir/run_result.cc.o.d"
+  "CMakeFiles/anduril_interp.dir/simulator.cc.o"
+  "CMakeFiles/anduril_interp.dir/simulator.cc.o.d"
+  "libanduril_interp.a"
+  "libanduril_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

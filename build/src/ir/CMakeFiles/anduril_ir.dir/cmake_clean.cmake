@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_ir.dir/builder.cc.o"
+  "CMakeFiles/anduril_ir.dir/builder.cc.o.d"
+  "CMakeFiles/anduril_ir.dir/program.cc.o"
+  "CMakeFiles/anduril_ir.dir/program.cc.o.d"
+  "CMakeFiles/anduril_ir.dir/stmt.cc.o"
+  "CMakeFiles/anduril_ir.dir/stmt.cc.o.d"
+  "libanduril_ir.a"
+  "libanduril_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logdiff/compare.cc" "src/logdiff/CMakeFiles/anduril_logdiff.dir/compare.cc.o" "gcc" "src/logdiff/CMakeFiles/anduril_logdiff.dir/compare.cc.o.d"
+  "/root/repo/src/logdiff/myers.cc" "src/logdiff/CMakeFiles/anduril_logdiff.dir/myers.cc.o" "gcc" "src/logdiff/CMakeFiles/anduril_logdiff.dir/myers.cc.o.d"
+  "/root/repo/src/logdiff/parser.cc" "src/logdiff/CMakeFiles/anduril_logdiff.dir/parser.cc.o" "gcc" "src/logdiff/CMakeFiles/anduril_logdiff.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anduril_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_logdiff.dir/compare.cc.o"
+  "CMakeFiles/anduril_logdiff.dir/compare.cc.o.d"
+  "CMakeFiles/anduril_logdiff.dir/myers.cc.o"
+  "CMakeFiles/anduril_logdiff.dir/myers.cc.o.d"
+  "CMakeFiles/anduril_logdiff.dir/parser.cc.o"
+  "CMakeFiles/anduril_logdiff.dir/parser.cc.o.d"
+  "libanduril_logdiff.a"
+  "libanduril_logdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_logdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanduril_logdiff.a"
+)

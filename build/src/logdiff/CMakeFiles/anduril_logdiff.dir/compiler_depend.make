@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anduril_logdiff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for anduril_logdiff.
+# This may be replaced when dependencies are built.

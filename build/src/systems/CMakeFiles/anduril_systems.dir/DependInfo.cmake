@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/cassandra.cc" "src/systems/CMakeFiles/anduril_systems.dir/cassandra.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/cassandra.cc.o.d"
+  "/root/repo/src/systems/cassandra_extras.cc" "src/systems/CMakeFiles/anduril_systems.dir/cassandra_extras.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/cassandra_extras.cc.o.d"
+  "/root/repo/src/systems/common.cc" "src/systems/CMakeFiles/anduril_systems.dir/common.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/common.cc.o.d"
+  "/root/repo/src/systems/hbase.cc" "src/systems/CMakeFiles/anduril_systems.dir/hbase.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/hbase.cc.o.d"
+  "/root/repo/src/systems/hbase_extras.cc" "src/systems/CMakeFiles/anduril_systems.dir/hbase_extras.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/hbase_extras.cc.o.d"
+  "/root/repo/src/systems/hdfs.cc" "src/systems/CMakeFiles/anduril_systems.dir/hdfs.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/hdfs.cc.o.d"
+  "/root/repo/src/systems/hdfs_extras.cc" "src/systems/CMakeFiles/anduril_systems.dir/hdfs_extras.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/hdfs_extras.cc.o.d"
+  "/root/repo/src/systems/kafka.cc" "src/systems/CMakeFiles/anduril_systems.dir/kafka.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/kafka.cc.o.d"
+  "/root/repo/src/systems/kafka_extras.cc" "src/systems/CMakeFiles/anduril_systems.dir/kafka_extras.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/kafka_extras.cc.o.d"
+  "/root/repo/src/systems/zookeeper.cc" "src/systems/CMakeFiles/anduril_systems.dir/zookeeper.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/zookeeper.cc.o.d"
+  "/root/repo/src/systems/zookeeper_extras.cc" "src/systems/CMakeFiles/anduril_systems.dir/zookeeper_extras.cc.o" "gcc" "src/systems/CMakeFiles/anduril_systems.dir/zookeeper_extras.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explorer/CMakeFiles/anduril_explorer.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/anduril_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/anduril_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anduril_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/anduril_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/logdiff/CMakeFiles/anduril_logdiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_systems.dir/cassandra.cc.o"
+  "CMakeFiles/anduril_systems.dir/cassandra.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/cassandra_extras.cc.o"
+  "CMakeFiles/anduril_systems.dir/cassandra_extras.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/common.cc.o"
+  "CMakeFiles/anduril_systems.dir/common.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/hbase.cc.o"
+  "CMakeFiles/anduril_systems.dir/hbase.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/hbase_extras.cc.o"
+  "CMakeFiles/anduril_systems.dir/hbase_extras.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/hdfs.cc.o"
+  "CMakeFiles/anduril_systems.dir/hdfs.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/hdfs_extras.cc.o"
+  "CMakeFiles/anduril_systems.dir/hdfs_extras.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/kafka.cc.o"
+  "CMakeFiles/anduril_systems.dir/kafka.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/kafka_extras.cc.o"
+  "CMakeFiles/anduril_systems.dir/kafka_extras.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/zookeeper.cc.o"
+  "CMakeFiles/anduril_systems.dir/zookeeper.cc.o.d"
+  "CMakeFiles/anduril_systems.dir/zookeeper_extras.cc.o"
+  "CMakeFiles/anduril_systems.dir/zookeeper_extras.cc.o.d"
+  "libanduril_systems.a"
+  "libanduril_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_util.dir/check.cc.o"
+  "CMakeFiles/anduril_util.dir/check.cc.o.d"
+  "CMakeFiles/anduril_util.dir/rng.cc.o"
+  "CMakeFiles/anduril_util.dir/rng.cc.o.d"
+  "CMakeFiles/anduril_util.dir/strings.cc.o"
+  "CMakeFiles/anduril_util.dir/strings.cc.o.d"
+  "libanduril_util.a"
+  "libanduril_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

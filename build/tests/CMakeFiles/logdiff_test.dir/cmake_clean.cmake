@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logdiff_test.dir/logdiff_test.cc.o"
+  "CMakeFiles/logdiff_test.dir/logdiff_test.cc.o.d"
+  "logdiff_test"
+  "logdiff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logdiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_behavior_test.dir/scenario_behavior_test.cc.o"
+  "CMakeFiles/scenario_behavior_test.dir/scenario_behavior_test.cc.o.d"
+  "scenario_behavior_test"
+  "scenario_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

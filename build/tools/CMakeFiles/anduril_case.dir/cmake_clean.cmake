@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anduril_case.dir/anduril_case.cc.o"
+  "CMakeFiles/anduril_case.dir/anduril_case.cc.o.d"
+  "anduril_case"
+  "anduril_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anduril_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
