@@ -43,6 +43,11 @@ struct ObservableInfo {
   std::vector<int64_t> failure_positions;  // log clocks in the failure log
 };
 
+// Immutable after construction: every member is filled by the constructor
+// and only read afterwards, so a `shared_ptr<const ExplorerContext>` is safe
+// to share across explorer phases and across threads without locking (the
+// explorer's shared analysis cache). Keep it that way — no lazy caches, no
+// mutable members.
 class ExplorerContext {
  public:
   // Runs the fault-free workload, diffs logs, builds the causal graph, and

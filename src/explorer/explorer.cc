@@ -1,13 +1,16 @@
 #include "src/explorer/explorer.h"
 
 #include <algorithm>
-
+#include <future>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "src/interp/simulator.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace anduril::explorer {
 
@@ -18,8 +21,143 @@ T Median(std::vector<T> values) {
   if (values.empty()) {
     return T{};
   }
-  std::sort(values.begin(), values.end());
-  return values[values.size() / 2];
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(mid), values.end());
+  T upper = values[mid];
+  if (values.size() % 2 != 0) {
+    return upper;
+  }
+  T lower = *std::max_element(values.begin(), values.begin() + static_cast<ptrdiff_t>(mid));
+  return lower + (upper - lower) / 2;
+}
+
+// One simulation of a round: its own runtime + simulator (nothing shared
+// mutable), so any number of these execute concurrently over the same const
+// Program / ClusterSpec.
+struct RepRun {
+  interp::RunResult run;
+  uint64_t seed = 0;
+  bool success = false;  // oracle holds AND the window injection fired
+};
+
+RepRun ExecuteOne(const ExperimentSpec& spec,
+                  const std::vector<interp::InjectionCandidate>& window, uint64_t seed) {
+  RepRun rep;
+  rep.seed = seed;
+  interp::FaultRuntime runtime(spec.program);
+  runtime.SetWindow(window);
+  runtime.SetPinned(spec.pinned_faults);
+  interp::Simulator simulator(spec.program, spec.cluster, seed, &runtime);
+  rep.run = simulator.Run();
+  rep.success = spec.oracle(*spec.program, rep.run) && rep.run.injected.has_value();
+  return rep;
+}
+
+// The work items of one round, in priority order: index `i` must win over
+// index `j` whenever i < j and both succeed, regardless of which thread
+// finishes first — that is what makes the parallel engine's result identical
+// to the serial loop's.
+struct RoundPlan {
+  // Each item: the window to arm and the seed to run with.
+  std::vector<std::pair<std::vector<interp::InjectionCandidate>, uint64_t>> items;
+};
+
+RoundPlan PlanRound(const ExperimentSpec& spec, const ExplorerOptions& options, int round,
+                    const std::vector<interp::InjectionCandidate>& window) {
+  RoundPlan plan;
+  int repetitions = std::max(1, options.runs_per_round);
+  auto seed_of = [&](int rep) {
+    return spec.base_seed + static_cast<uint64_t>(round) * static_cast<uint64_t>(repetitions) +
+           static_cast<uint64_t>(rep);
+  };
+  if (options.parallel_candidates && window.size() > 1) {
+    // Speculative window evaluation: candidate-major so that the first
+    // success in plan order is the success of the highest-ranked candidate.
+    for (const interp::InjectionCandidate& candidate : window) {
+      for (int rep = 0; rep < repetitions; ++rep) {
+        plan.items.emplace_back(std::vector<interp::InjectionCandidate>{candidate},
+                                seed_of(rep));
+      }
+    }
+  } else {
+    for (int rep = 0; rep < repetitions; ++rep) {
+      plan.items.emplace_back(window, seed_of(rep));
+    }
+  }
+  return plan;
+}
+
+// Executes the plan. Serial mode stops at the first success (items after it
+// are never needed: a successful round skips feedback digestion, and on an
+// unsuccessful round everything executed anyway). Parallel mode runs every
+// item and lets the caller select by plan order, which yields the same
+// selection.
+std::vector<RepRun> ExecutePlan(const ExperimentSpec& spec, const RoundPlan& plan,
+                                ThreadPool* pool) {
+  std::vector<RepRun> executed;
+  if (pool != nullptr && plan.items.size() > 1) {
+    std::vector<std::future<RepRun>> futures;
+    futures.reserve(plan.items.size());
+    for (const auto& [window, seed] : plan.items) {
+      futures.push_back(pool->Submit(
+          [&spec, &window, seed = seed]() { return ExecuteOne(spec, window, seed); }));
+    }
+    executed.reserve(futures.size());
+    for (std::future<RepRun>& future : futures) {
+      executed.push_back(future.get());
+    }
+  } else {
+    for (const auto& [window, seed] : plan.items) {
+      executed.push_back(ExecuteOne(spec, window, seed));
+      if (executed.back().success) {
+        break;
+      }
+    }
+  }
+  return executed;
+}
+
+// Parses one run's log into its set of sanitized message keys. Offloaded to
+// the pool when a round produced several logs.
+std::unordered_set<std::string> KeysOfRun(const interp::RunResult& run) {
+  std::unordered_set<std::string> keys;
+  logdiff::ParsedLog log = logdiff::ParseLogFile(interp::FormatLogFile(run.log));
+  for (const logdiff::ParsedLine& line : log.lines) {
+    keys.insert(line.key);
+  }
+  return keys;
+}
+
+std::unordered_set<std::string> CombinedKeys(const std::vector<RepRun>& executed,
+                                             ThreadPool* pool) {
+  std::unordered_set<std::string> combined;
+  if (pool != nullptr && executed.size() > 1) {
+    std::vector<std::future<std::unordered_set<std::string>>> futures;
+    futures.reserve(executed.size());
+    for (const RepRun& rep : executed) {
+      futures.push_back(pool->Submit([&rep]() { return KeysOfRun(rep.run); }));
+    }
+    for (auto& future : futures) {
+      combined.merge(future.get());
+    }
+  } else {
+    for (const RepRun& rep : executed) {
+      combined.merge(KeysOfRun(rep.run));
+    }
+  }
+  return combined;
+}
+
+// Present relevant observables, in the context's (deterministic) order.
+std::vector<std::string> PresentKeys(const ExplorerContext& context,
+                                     const std::unordered_set<std::string>& run_keys) {
+  std::vector<std::string> present;
+  for (const ObservableInfo& observable : context.observables()) {
+    if (run_keys.contains(observable.key)) {
+      present.push_back(observable.key);
+    }
+  }
+  return present;
 }
 
 }  // namespace
@@ -33,7 +171,13 @@ std::string ReproductionScript::ToText(const ir::Program& program) const {
 
 Explorer::Explorer(const ExperimentSpec& spec, const ExplorerOptions& options)
     : spec_(&spec), options_(options) {
-  context_ = std::make_unique<ExplorerContext>(spec, options);
+  context_ = std::make_shared<const ExplorerContext>(spec, options);
+}
+
+Explorer::Explorer(const ExperimentSpec& spec, const ExplorerOptions& options,
+                   std::shared_ptr<const ExplorerContext> context)
+    : spec_(&spec), options_(options), context_(std::move(context)) {
+  ANDURIL_CHECK(context_ != nullptr);
 }
 
 ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
@@ -42,6 +186,12 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
   result.init_seconds = context_->init_seconds();
 
   strategy->Initialize(*context_);
+
+  std::optional<ThreadPool> pool_storage;
+  if (options_.num_threads > 1) {
+    pool_storage.emplace(options_.num_threads);
+  }
+  ThreadPool* pool = pool_storage ? &*pool_storage : nullptr;
 
   std::vector<int64_t> injection_requests;
   std::vector<double> decision_latencies;
@@ -63,37 +213,27 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
                               ? strategy->RankOfSite(options_.track_site)
                               : -1;
 
-    // Execute the round: one run by default; with runs_per_round > 1 the
-    // seeds differ per repetition and the observable feedback is combined
-    // (the paper's §6 remedy for probabilistically-missing log messages).
-    int repetitions = std::max(1, options_.runs_per_round);
+    // Execute the round. One run by default; runs_per_round > 1 adds
+    // repetitions with distinct seeds whose observable feedback is combined
+    // (the paper's §6 remedy for probabilistically-missing log messages);
+    // parallel_candidates fans the window out into single-candidate runs.
+    // All of it lands on the thread pool when num_threads > 1, and the
+    // selected run is always the first success in plan order, so the
+    // outcome matches the serial engine exactly.
     Stopwatch run_timer;
-    interp::RunResult run;
-    uint64_t seed = 0;
-    std::vector<interp::RunResult> repeats;
-    for (int rep = 0; rep < repetitions; ++rep) {
-      uint64_t rep_seed = spec_->base_seed +
-                          static_cast<uint64_t>(round) * static_cast<uint64_t>(repetitions) +
-                          static_cast<uint64_t>(rep);
-      interp::FaultRuntime runtime(context_->spec().program);
-      runtime.SetWindow(window);
-      runtime.SetPinned(spec_->pinned_faults);
-      interp::Simulator simulator(context_->spec().program, context_->spec().cluster,
-                                  rep_seed, &runtime);
-      interp::RunResult rep_run = simulator.Run();
-      bool rep_success = spec_->oracle(*spec_->program, rep_run) &&
-                         rep_run.injected.has_value();
-      if (rep == 0 || rep_success) {
-        run = std::move(rep_run);
-        seed = rep_seed;
-        if (rep_success) {
-          break;
-        }
-      } else {
-        repeats.push_back(std::move(rep_run));
+    RoundPlan plan = PlanRound(*spec_, options_, round, window);
+    std::vector<RepRun> executed = ExecutePlan(*spec_, plan, pool);
+    record.run_seconds = run_timer.ElapsedSeconds();
+
+    const RepRun* selected = &executed.front();
+    for (const RepRun& rep : executed) {
+      if (rep.success) {
+        selected = &rep;
+        break;
       }
     }
-    record.run_seconds = run_timer.ElapsedSeconds();
+    const interp::RunResult& run = selected->run;
+
     record.injected = run.injected.has_value();
     if (run.injected.has_value()) {
       record.candidate = *run.injected;
@@ -111,6 +251,12 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
     record.success = success;
 
     if (success && run.injected.has_value()) {
+      if (strategy->WantsLogFeedback()) {
+        // The successful round's observable count matters too: the iterative
+        // multi-fault mode ranks rounds by it when picking a fault to pin.
+        record.present_observables =
+            static_cast<int>(PresentKeys(*context_, KeysOfRun(run)).size());
+      }
       record.decide_seconds = decide_seconds;
       result.records.push_back(record);
       result.reproduced = true;
@@ -119,34 +265,48 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
       script.site = run.injected->site;
       script.occurrence = run.injected->occurrence;
       script.type = run.injected->type;
-      script.seed = seed;
+      script.seed = selected->seed;
       result.script = script;
       break;
     }
 
-    // Feedback digestion.
+    // Feedback digestion: combined logs across every run of the round (§6).
     Stopwatch feedback_timer;
     RoundOutcome outcome;
     outcome.round = round;
-    outcome.injected = run.injected;
+    if (options_.parallel_candidates && window.size() > 1) {
+      // Speculative mode: every run that fired reports its instance, in
+      // candidate-rank order, so the strategy retires all of them at once.
+      for (const RepRun& rep : executed) {
+        if (!rep.run.injected.has_value()) {
+          continue;
+        }
+        const interp::InjectionCandidate& fired = *rep.run.injected;
+        if (outcome.injected == fired ||
+            std::find(outcome.also_injected.begin(), outcome.also_injected.end(), fired) !=
+                outcome.also_injected.end()) {
+          continue;
+        }
+        if (!outcome.injected.has_value()) {
+          outcome.injected = fired;
+        } else {
+          outcome.also_injected.push_back(fired);
+        }
+      }
+      // Let the round record reflect the round's real injection activity
+      // (the iterative mode pins record.candidate of the best round).
+      if (!record.injected && outcome.injected.has_value()) {
+        record.injected = true;
+        record.candidate = *outcome.injected;
+      }
+    } else {
+      // Repetition mode reports only the selected run's injection: the
+      // serial engine never sees the others, and parity with it is the
+      // determinism contract.
+      outcome.injected = run.injected;
+    }
     if (strategy->WantsLogFeedback()) {
-      std::unordered_set<std::string> run_keys;
-      auto collect = [&](const interp::RunResult& result_run) {
-        logdiff::ParsedLog run_log =
-            logdiff::ParseLogFile(interp::FormatLogFile(result_run.log));
-        for (const logdiff::ParsedLine& line : run_log.lines) {
-          run_keys.insert(line.key);
-        }
-      };
-      collect(run);
-      for (const interp::RunResult& extra : repeats) {
-        collect(extra);  // combined logs across repetitions (§6)
-      }
-      for (const ObservableInfo& observable : context_->observables()) {
-        if (run_keys.contains(observable.key)) {
-          outcome.present_keys.push_back(observable.key);
-        }
-      }
+      outcome.present_keys = PresentKeys(*context_, CombinedKeys(executed, pool));
       record.present_observables = static_cast<int>(outcome.present_keys.size());
     }
     strategy->OnRound(outcome);

@@ -66,10 +66,22 @@ class Explorer {
  public:
   Explorer(const ExperimentSpec& spec, const ExplorerOptions& options);
 
+  // Reuses a previously built analysis context (the shared analysis cache):
+  // the static causal graph, distance matrix, and timeline are immutable
+  // after construction, so phases of an iterative search — or several
+  // explorers across threads — can share one context instead of re-running
+  // the whole static analysis. The runs themselves still use `spec` (oracle,
+  // pinned faults, base seed), which may differ from the spec the context
+  // was built from, as long as it describes the same program and cluster.
+  Explorer(const ExperimentSpec& spec, const ExplorerOptions& options,
+           std::shared_ptr<const ExplorerContext> context);
+
   // Runs the search with the given strategy.
   ExploreResult Explore(InjectionStrategy* strategy);
 
   const ExplorerContext& context() const { return *context_; }
+  // Handle for sharing the analysis with another Explorer.
+  std::shared_ptr<const ExplorerContext> shared_context() const { return context_; }
 
   // Replays a reproduction script; returns true if the oracle holds (used by
   // tests to verify determinism of the emitted script). Honors the spec's
@@ -79,7 +91,7 @@ class Explorer {
  private:
   const ExperimentSpec* spec_;
   ExplorerOptions options_;
-  std::unique_ptr<ExplorerContext> context_;
+  std::shared_ptr<const ExplorerContext> context_;
 };
 
 }  // namespace anduril::explorer

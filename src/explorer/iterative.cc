@@ -8,9 +8,20 @@ IterativeResult IterativeExplorer::Explore(int max_faults) {
   ANDURIL_CHECK_GE(max_faults, 1);
   IterativeResult result;
 
+  // Shared analysis cache: the static analysis (fault-free run, causal
+  // graph, distance matrix, timeline) is computed once in the first phase
+  // and reused by every later phase. Pinning a fault changes the *runs* of a
+  // phase, not the program or the production failure log the analysis is
+  // derived from; the feedback loop absorbs the now-expected observables of
+  // the pinned fault by deprioritizing them round over round.
+  std::shared_ptr<const ExplorerContext> analysis_cache;
+
   for (int phase = 0; phase < max_faults; ++phase) {
     ++result.phases;
-    Explorer explorer(spec_, options_);
+    if (analysis_cache == nullptr) {
+      analysis_cache = std::make_shared<const ExplorerContext>(spec_, options_);
+    }
+    Explorer explorer(spec_, options_, analysis_cache);
     auto strategy = MakeFullFeedbackStrategy();
     ExploreResult search = explorer.Explore(strategy.get());
     result.total_rounds += search.rounds;

@@ -11,6 +11,12 @@
 // pins the most-promising injected instance (the one whose combined run log
 // contained the most relevant observables) into the experiment's
 // pinned_faults and restarts the search, up to `max_faults` pinned faults.
+//
+// All phases share one immutable ExplorerContext (the shared analysis
+// cache): the causal graph, distance matrix, and timeline are computed once
+// in the first phase and reused, instead of re-running the static analysis
+// per phase. The feedback loop absorbs the pinned fault's now-expected
+// observables by deprioritizing them.
 
 #ifndef ANDURIL_SRC_EXPLORER_ITERATIVE_H_
 #define ANDURIL_SRC_EXPLORER_ITERATIVE_H_

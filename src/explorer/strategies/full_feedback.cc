@@ -46,6 +46,9 @@ class FeedbackStrategyBase : public InjectionStrategy {
   void OnRound(const RoundOutcome& outcome) override {
     if (outcome.injected.has_value()) {
       MarkTried(&tried_, *outcome.injected);
+      for (const interp::InjectionCandidate& extra : outcome.also_injected) {
+        MarkTried(&tried_, extra);  // parallel-candidates: all fired instances
+      }
     } else {
       window_size_ *= 2;
     }

@@ -10,6 +10,11 @@
 // (§5.2.5 flexible priority window): the first candidate whose (site,
 // occurrence) is reached gets injected, even if it is not the top-priority
 // one. A run injects at most one fault (single-root-cause scope, §2).
+//
+// Thread compatibility: the runtime reads the Program through a const
+// pointer and keeps all per-run state (occurrence counters, trace) in its
+// own members, so one runtime per concurrent simulation over a shared
+// Program is safe. A single FaultRuntime instance serves one run at a time.
 
 #ifndef ANDURIL_SRC_INTERP_FAULT_RUNTIME_H_
 #define ANDURIL_SRC_INTERP_FAULT_RUNTIME_H_

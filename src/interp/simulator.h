@@ -10,6 +10,13 @@
 // Determinism: a run is a pure function of (program, cluster spec, seed,
 // injection window). This is what lets a successful search end with a script
 // that deterministically reproduces the failure (§3 step 4.a).
+//
+// Thread compatibility: a Simulator only *reads* the Program and ClusterSpec
+// it is given (both held by const pointer; neither has lazy caches or other
+// hidden mutation) and keeps all run state in its own members. Distinct
+// (FaultRuntime, Simulator) pairs over the same shared Program/ClusterSpec
+// may therefore run concurrently — the property the parallel exploration
+// engine fans out on. A single Simulator instance is not thread-safe.
 
 #ifndef ANDURIL_SRC_INTERP_SIMULATOR_H_
 #define ANDURIL_SRC_INTERP_SIMULATOR_H_

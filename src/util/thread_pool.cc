@@ -1,0 +1,78 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anduril {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_bound) : queue_bound_(queue_bound) {
+  int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  // request_stop wakes idle workers via the stop_token; workers still drain
+  // the queue before exiting so futures of accepted tasks always complete.
+  for (std::jthread& worker : workers_) {
+    worker.request_stop();
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+  // jthread joins on destruction (workers_ is the last member destroyed).
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_bound_ > 0) {
+    space_available_.wait(lock,
+                          [this] { return shutting_down_ || queue_.size() < queue_bound_; });
+  }
+  if (shutting_down_) {
+    throw std::runtime_error("ThreadPool::Submit after shutdown");
+  }
+  queue_.push_back(std::move(fn));
+  ++in_flight_;
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      space_available_.notify_one();
+    }
+    task();  // packaged_task captures exceptions into its future
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace anduril

@@ -1,0 +1,83 @@
+// Fixed-size thread pool used by the parallel exploration engine.
+//
+// Design goals, in order:
+//   1. Determinism support: the pool never reorders *results* — callers
+//      submit tasks that return futures, and merge logic is written against
+//      submission order, so a pool of any size yields the same outcome as a
+//      serial loop (the explorer's headline invariant).
+//   2. Bounded memory: the task queue has a configurable bound; Submit
+//      blocks (backpressure) instead of growing the queue without limit.
+//   3. Clean shutdown: destruction drains already-queued tasks, then joins.
+//      std::jthread's stop_token wakes idle workers; tasks submitted after
+//      shutdown began are rejected by throwing std::runtime_error.
+//
+// Exceptions thrown by a task propagate through the returned future
+// (std::packaged_task semantics), never into the worker loop.
+
+#ifndef ANDURIL_SRC_UTIL_THREAD_POOL_H_
+#define ANDURIL_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace anduril {
+
+class ThreadPool {
+ public:
+  // `num_threads` workers (clamped to >= 1). `queue_bound` caps the number
+  // of not-yet-started tasks; 0 means unbounded.
+  explicit ThreadPool(int num_threads, size_t queue_bound = 0);
+
+  // Drains queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Number of tasks accepted but not yet finished.
+  size_t pending() const;
+
+  // Schedules `fn` and returns a future for its result. Blocks while the
+  // queue is at its bound. Throws std::runtime_error after shutdown began.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  // Blocks until every accepted task has finished. New submissions stay
+  // allowed; Wait returns once the pool is momentarily idle.
+  void Wait();
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop(std::stop_token stop);
+
+  mutable std::mutex mu_;
+  std::condition_variable_any work_available_;
+  std::condition_variable_any space_available_;
+  std::condition_variable_any all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t queue_bound_ = 0;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::jthread> workers_;  // last member: joins before state dies
+};
+
+}  // namespace anduril
+
+#endif  // ANDURIL_SRC_UTIL_THREAD_POOL_H_

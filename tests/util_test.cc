@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace anduril {
 namespace {
@@ -194,6 +201,81 @@ TEST(Stopwatch, ResetRestartsClock) {
   int64_t before = stopwatch.ElapsedNanos();
   stopwatch.Reset();
   EXPECT_LT(stopwatch.ElapsedNanos(), before + 1000000000);
+}
+
+// --- thread pool -------------------------------------------------------------
+
+TEST(ThreadPool, SubmitAndWaitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+  pool.Wait();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> future =
+      pool.Submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 41 + 1; }).get(), 42);
+}
+
+TEST(ThreadPool, DestructionDrainsPendingTasks) {
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([&completed] {
+        ++completed;
+      }));
+    }
+    // Destruction must run every accepted task so no future is abandoned.
+  }
+  EXPECT_EQ(completed.load(), 32);
+  for (auto& future : futures) {
+    future.get();  // would throw broken_promise if a task were dropped
+  }
+}
+
+TEST(ThreadPool, WaitBlocksUntilIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 24; ++i) {
+    pool.Submit([&completed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++completed;
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 24);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackpressure) {
+  ThreadPool pool(1, /*queue_bound=*/2);
+  std::atomic<int> completed{0};
+  // More tasks than the bound: Submit blocks instead of rejecting, and every
+  // task still completes exactly once.
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&completed] { ++completed; });
+  }
+  pool.Wait();
+  EXPECT_EQ(completed.load(), 16);
 }
 
 }  // namespace
