@@ -102,11 +102,10 @@ void BM_InjectionDecision(benchmark::State& state) {
   const ir::FaultSite& site = built.program->fault_site(built.ground_truth.site);
   const ir::Stmt& stmt =
       built.program->method(site.location.method).stmt(site.location.stmt);
-  bool injected = false;
   int64_t clock = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        runtime.OnExternalCall(built.ground_truth.site, stmt, clock++, 0, 0, &injected));
+        runtime.OnExternalCall(built.ground_truth.site, stmt, clock++, 0, 0));
   }
 }
 BENCHMARK(BM_InjectionDecision);

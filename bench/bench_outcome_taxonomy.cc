@@ -1,0 +1,54 @@
+// Outcome taxonomy of the hardened exploration runtime: per-case round
+// outcome counts (completed / crashed / hung / budget-exceeded), transient
+// retry counts, and round wall-clock extremes.
+//
+// The exception-rooted cases run over the stock candidate space (their
+// rounds all complete); the crash/stall-rooted cases run with
+// crash_stall_candidates enabled, so their searches visit node-crash and
+// stall candidates and the crashed/hung columns fill in.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/util/strings.h"
+
+namespace anduril::bench {
+namespace {
+
+void PrintCaseRow(const systems::FailureCase& failure_case) {
+  CaseRun run = RunCase(failure_case, "full");
+  const explorer::ExperimentRecord& experiment = run.experiment;
+  int total = experiment.total_rounds();
+  PrintRow({failure_case.id, RoundsCell(run), std::to_string(experiment.completed_rounds),
+            std::to_string(experiment.crashed_rounds), std::to_string(experiment.hung_rounds),
+            std::to_string(experiment.budget_exceeded_rounds),
+            std::to_string(experiment.transient_retries),
+            total > 0 ? StrFormat("%.1f%%", 100.0 * (experiment.crashed_rounds +
+                                                     experiment.hung_rounds) /
+                                                total)
+                      : "-",
+            StrFormat("%.2fms", experiment.max_round_wall_seconds * 1e3)},
+           {12, 8, 10, 8, 6, 8, 8, 10, 10});
+}
+
+int Main() {
+  std::printf("Round outcome taxonomy (strategy: full feedback)\n\n");
+  PrintRow({"case", "rounds", "completed", "crashed", "hung", "budget", "retries",
+            "fault-rate", "max-round"},
+           {12, 8, 10, 8, 6, 8, 8, 10, 10});
+  for (const systems::FailureCase& failure_case : systems::AllCases()) {
+    if (failure_case.id == "zk-2247" || failure_case.id == "hd-4233" ||
+        failure_case.id == "hb-18137" || failure_case.id == "ka-12508") {
+      PrintCaseRow(failure_case);
+    }
+  }
+  for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
+    PrintCaseRow(failure_case);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

@@ -103,6 +103,22 @@ int Main() {
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   unsigned hardware = std::thread::hardware_concurrency();
 
+  if (hardware <= 1) {
+    // A single-core (or unknown-core) host cannot measure a meaningful
+    // thread-scaling ratio: every "speedup" would be noise around 1.0.
+    // Emit a machine-readable skip marker instead of junk numbers.
+    std::printf("hardware_concurrency = %u: single-core host, skipping speedup "
+                "measurements\n",
+                hardware);
+    FILE* json = std::fopen("BENCH_parallel.json", "w");
+    ANDURIL_CHECK(json != nullptr);
+    std::fprintf(json, "{\n  \"hardware_concurrency\": %u,\n  \"skipped\": true\n}\n",
+                 hardware);
+    std::fclose(json);
+    std::printf("Wrote BENCH_parallel.json (skipped)\n");
+    return 0;
+  }
+
   std::printf("Parallel exploration engine: serial vs N-thread wall clock\n");
   std::printf("hardware_concurrency = %u\n\n", hardware);
   PrintRow({"Case", "Mode", "Threads", "Seconds", "Rounds", "Speedup"},

@@ -14,6 +14,10 @@ CaseRun RunCase(const systems::FailureCase& failure_case, const std::string& str
   options.initial_window = initial_window;
   options.feedback_adjustment = adjustment;
   options.track_site = built.ground_truth.site;
+  // Crash/stall-rooted cases need the extended candidate space; the stock
+  // Table 5 cases keep the original exception-only space.
+  options.crash_stall_candidates =
+      failure_case.root_kind != interp::FaultKind::kException;
 
   explorer::Explorer ex(built.spec, options);
   auto strat = explorer::MakeStrategy(strategy);
@@ -29,6 +33,7 @@ CaseRun RunCase(const systems::FailureCase& failure_case, const std::string& str
   run.median_round_init_seconds = result.median_round_init_seconds;
   run.median_workload_seconds = result.median_workload_seconds;
   run.script = result.script;
+  run.experiment = result.experiment;
   for (const explorer::RoundRecord& record : result.records) {
     run.rank_trajectory.push_back(record.tracked_rank);
   }

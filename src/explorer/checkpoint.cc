@@ -1,0 +1,270 @@
+#include "src/explorer/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/json.h"
+#include "src/util/strings.h"
+
+namespace anduril::explorer {
+namespace {
+
+std::string U64ToString(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+uint64_t U64FromJson(const JsonValue* value) {
+  if (value == nullptr) {
+    return 0;
+  }
+  if (value->type() == JsonValue::Type::kString) {
+    return std::strtoull(value->as_string().c_str(), nullptr, 10);
+  }
+  return static_cast<uint64_t>(value->as_int());
+}
+
+JsonValue CandidateToJson(const interp::InjectionCandidate& candidate) {
+  JsonValue object = JsonValue::Object();
+  object.Set("site", JsonValue::Int(candidate.site));
+  object.Set("occurrence", JsonValue::Int(candidate.occurrence));
+  object.Set("type", JsonValue::Int(candidate.type));
+  object.Set("kind", JsonValue::Str(interp::FaultKindName(candidate.kind)));
+  return object;
+}
+
+bool CandidateFromJson(const JsonValue& value, interp::InjectionCandidate* out,
+                       std::string* error) {
+  if (value.type() != JsonValue::Type::kObject) {
+    *error = "candidate is not an object";
+    return false;
+  }
+  out->site = static_cast<ir::FaultSiteId>(
+      value.Find("site") ? value.Find("site")->as_int(ir::kInvalidId) : ir::kInvalidId);
+  out->occurrence = value.Find("occurrence") ? value.Find("occurrence")->as_int() : 0;
+  out->type = static_cast<ir::ExceptionTypeId>(
+      value.Find("type") ? value.Find("type")->as_int(ir::kInvalidId) : ir::kInvalidId);
+  const std::string& kind =
+      value.Find("kind") ? value.Find("kind")->as_string() : std::string("exception");
+  if (kind == "exception") {
+    out->kind = interp::FaultKind::kException;
+  } else if (kind == "crash") {
+    out->kind = interp::FaultKind::kCrash;
+  } else if (kind == "stall") {
+    out->kind = interp::FaultKind::kStall;
+  } else {
+    *error = "unknown fault kind \"" + kind + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t ProgramFingerprint(const ir::Program& program) {
+  // FNV-1a over the fault-site and exception-type names, in id order.
+  uint64_t hash = 1469598103934665603ull;
+  auto mix = [&hash](const std::string& text) {
+    for (unsigned char c : text) {
+      hash ^= c;
+      hash *= 1099511628211ull;
+    }
+    hash ^= 0xFF;
+    hash *= 1099511628211ull;
+  };
+  for (const ir::FaultSite& site : program.fault_sites()) {
+    mix(site.name);
+  }
+  for (size_t i = 0; i < program.exception_type_count(); ++i) {
+    mix(program.exception_type(static_cast<ir::ExceptionTypeId>(i)).name);
+  }
+  return hash;
+}
+
+std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint) {
+  JsonValue root = JsonValue::Object();
+  root.Set("version", JsonValue::Int(checkpoint.version));
+  root.Set("program_fingerprint", JsonValue::Str(U64ToString(checkpoint.program_fingerprint)));
+  root.Set("base_seed", JsonValue::Str(U64ToString(checkpoint.base_seed)));
+  root.Set("rounds_completed", JsonValue::Int(checkpoint.rounds_completed));
+  root.Set("retry_rng_draws", JsonValue::Str(U64ToString(checkpoint.retry_rng_draws)));
+
+  JsonValue experiment = JsonValue::Object();
+  experiment.Set("completed_rounds", JsonValue::Int(checkpoint.experiment.completed_rounds));
+  experiment.Set("crashed_rounds", JsonValue::Int(checkpoint.experiment.crashed_rounds));
+  experiment.Set("hung_rounds", JsonValue::Int(checkpoint.experiment.hung_rounds));
+  experiment.Set("budget_exceeded_rounds",
+                 JsonValue::Int(checkpoint.experiment.budget_exceeded_rounds));
+  experiment.Set("transient_retries", JsonValue::Int(checkpoint.experiment.transient_retries));
+  experiment.Set("total_run_wall_seconds",
+                 JsonValue::Double(checkpoint.experiment.total_run_wall_seconds));
+  experiment.Set("max_round_wall_seconds",
+                 JsonValue::Double(checkpoint.experiment.max_round_wall_seconds));
+  root.Set("experiment", std::move(experiment));
+
+  JsonValue pinned = JsonValue::Array();
+  for (const interp::InjectionCandidate& candidate : checkpoint.pinned) {
+    pinned.Append(CandidateToJson(candidate));
+  }
+  root.Set("pinned", std::move(pinned));
+
+  JsonValue strategy = JsonValue::Object();
+  strategy.Set("window_size", JsonValue::Int(checkpoint.strategy.window_size));
+  strategy.Set("exhausted", JsonValue::Bool(checkpoint.strategy.exhausted));
+  JsonValue priorities = JsonValue::Array();
+  for (int64_t priority : checkpoint.strategy.observable_priorities) {
+    priorities.Append(JsonValue::Int(priority));
+  }
+  strategy.Set("observable_priorities", std::move(priorities));
+  JsonValue tried = JsonValue::Array();
+  for (const interp::InjectionCandidate& candidate : checkpoint.strategy.tried) {
+    tried.Append(CandidateToJson(candidate));
+  }
+  strategy.Set("tried", std::move(tried));
+  JsonValue demotions = JsonValue::Array();
+  for (const StrategyCheckpoint::Demotion& demotion : checkpoint.strategy.demotions) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("candidate", CandidateToJson(demotion.candidate));
+    entry.Set("count", JsonValue::Int(demotion.count));
+    demotions.Append(std::move(entry));
+  }
+  strategy.Set("demotions", std::move(demotions));
+  root.Set("strategy", std::move(strategy));
+
+  return root.Dump();
+}
+
+bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string* error) {
+  std::string parse_error;
+  JsonValue root = JsonValue::Parse(text, &parse_error);
+  if (!parse_error.empty()) {
+    *error = "checkpoint parse error: " + parse_error;
+    return false;
+  }
+  if (root.type() != JsonValue::Type::kObject) {
+    *error = "checkpoint is not a JSON object";
+    return false;
+  }
+  const JsonValue* version = root.Find("version");
+  if (version == nullptr) {
+    *error = "checkpoint has no version field";
+    return false;
+  }
+  if (version->as_int() != kCheckpointVersion) {
+    *error = StrFormat("unsupported checkpoint version %lld (expected %d)",
+                       static_cast<long long>(version->as_int()), kCheckpointVersion);
+    return false;
+  }
+  out->version = static_cast<int>(version->as_int());
+  out->program_fingerprint = U64FromJson(root.Find("program_fingerprint"));
+  out->base_seed = U64FromJson(root.Find("base_seed"));
+  out->rounds_completed =
+      root.Find("rounds_completed") ? static_cast<int>(root.Find("rounds_completed")->as_int())
+                                    : 0;
+  out->retry_rng_draws = U64FromJson(root.Find("retry_rng_draws"));
+
+  if (const JsonValue* experiment = root.Find("experiment"); experiment != nullptr) {
+    auto get_int = [&](const char* key) {
+      const JsonValue* value = experiment->Find(key);
+      return value ? static_cast<int>(value->as_int()) : 0;
+    };
+    out->experiment.completed_rounds = get_int("completed_rounds");
+    out->experiment.crashed_rounds = get_int("crashed_rounds");
+    out->experiment.hung_rounds = get_int("hung_rounds");
+    out->experiment.budget_exceeded_rounds = get_int("budget_exceeded_rounds");
+    out->experiment.transient_retries = get_int("transient_retries");
+    const JsonValue* total = experiment->Find("total_run_wall_seconds");
+    out->experiment.total_run_wall_seconds = total ? total->as_double() : 0;
+    const JsonValue* max_round = experiment->Find("max_round_wall_seconds");
+    out->experiment.max_round_wall_seconds = max_round ? max_round->as_double() : 0;
+  }
+
+  out->pinned.clear();
+  if (const JsonValue* pinned = root.Find("pinned"); pinned != nullptr) {
+    for (const JsonValue& entry : pinned->items()) {
+      interp::InjectionCandidate candidate;
+      if (!CandidateFromJson(entry, &candidate, error)) {
+        return false;
+      }
+      out->pinned.push_back(candidate);
+    }
+  }
+
+  const JsonValue* strategy = root.Find("strategy");
+  if (strategy == nullptr || strategy->type() != JsonValue::Type::kObject) {
+    *error = "checkpoint has no strategy object";
+    return false;
+  }
+  out->strategy.window_size =
+      strategy->Find("window_size") ? static_cast<int>(strategy->Find("window_size")->as_int())
+                                    : 0;
+  out->strategy.exhausted =
+      strategy->Find("exhausted") != nullptr && strategy->Find("exhausted")->as_bool();
+  out->strategy.observable_priorities.clear();
+  if (const JsonValue* priorities = strategy->Find("observable_priorities");
+      priorities != nullptr) {
+    for (const JsonValue& entry : priorities->items()) {
+      out->strategy.observable_priorities.push_back(entry.as_int());
+    }
+  }
+  out->strategy.tried.clear();
+  if (const JsonValue* tried = strategy->Find("tried"); tried != nullptr) {
+    for (const JsonValue& entry : tried->items()) {
+      interp::InjectionCandidate candidate;
+      if (!CandidateFromJson(entry, &candidate, error)) {
+        return false;
+      }
+      out->strategy.tried.push_back(candidate);
+    }
+  }
+  out->strategy.demotions.clear();
+  if (const JsonValue* demotions = strategy->Find("demotions"); demotions != nullptr) {
+    for (const JsonValue& entry : demotions->items()) {
+      StrategyCheckpoint::Demotion demotion;
+      const JsonValue* candidate = entry.Find("candidate");
+      if (candidate == nullptr || !CandidateFromJson(*candidate, &demotion.candidate, error)) {
+        if (error->empty()) {
+          *error = "demotion entry has no candidate";
+        }
+        return false;
+      }
+      demotion.count = entry.Find("count") ? static_cast<int>(entry.Find("count")->as_int()) : 0;
+      out->strategy.demotions.push_back(demotion);
+    }
+  }
+  error->clear();
+  return true;
+}
+
+bool SaveCheckpointFile(const std::string& path, const SearchCheckpoint& checkpoint) {
+  // Write to a temp file and rename so a kill mid-write never leaves a
+  // truncated checkpoint behind.
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return false;
+    }
+    out << SerializeCheckpoint(checkpoint);
+    if (!out.flush()) {
+      return false;
+    }
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool LoadCheckpointFile(const std::string& path, SearchCheckpoint* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open checkpoint file " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCheckpoint(buffer.str(), out, error);
+}
+
+}  // namespace anduril::explorer

@@ -1,0 +1,69 @@
+// Versioned search checkpoints: serialize the Explorer's mutable search
+// state after every round so a killed exploration can resume exactly where
+// it stopped. The invariant (enforced by tests): a search resumed from a
+// round-N checkpoint emits the byte-identical ReproductionScript — and the
+// same total round count — as the uninterrupted search at the same seed.
+//
+// The format is JSON with a version field:
+//
+//   {
+//     "version": 1,
+//     "program_fingerprint": "<hex>",   // guards against program drift
+//     "base_seed": "<u64 as string>",   // strings: no 2^53 precision loss
+//     "rounds_completed": N,
+//     "retry_rng_draws": "<u64 as string>",
+//     "experiment": { per-outcome round counts, retries, wall-clock },
+//     "pinned": [ {site, occurrence, type, kind}, ... ],
+//     "strategy": {
+//       "window_size": k, "exhausted": bool,
+//       "observable_priorities": [ ... ],   // context observable order
+//       "tried": [ {site, occurrence, type, kind}, ... ],
+//       "demotions": [ {candidate: {...}, count}, ... ]
+//     }
+//   }
+//
+// Candidate identity uses numeric ids, which are deterministic functions of
+// the program build; the fingerprint rejects checkpoints from a different
+// program.
+
+#ifndef ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
+#define ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/explorer/experiment.h"
+#include "src/explorer/strategy.h"
+#include "src/ir/program.h"
+
+namespace anduril::explorer {
+
+inline constexpr int kCheckpointVersion = 1;
+
+struct SearchCheckpoint {
+  int version = kCheckpointVersion;
+  uint64_t program_fingerprint = 0;
+  uint64_t base_seed = 0;
+  int rounds_completed = 0;
+  // Jitter draws consumed by the retry backoff so far (stream position).
+  uint64_t retry_rng_draws = 0;
+  ExperimentRecord experiment;
+  std::vector<interp::InjectionCandidate> pinned;
+  StrategyCheckpoint strategy;
+};
+
+// Stable fingerprint of the program shape (fault sites, exception types):
+// enough to catch "this checkpoint came from a different build of the
+// scenario" without hashing the whole IR.
+uint64_t ProgramFingerprint(const ir::Program& program);
+
+std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint);
+// Returns false (and fills *error) on malformed input or version mismatch.
+bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string* error);
+
+bool SaveCheckpointFile(const std::string& path, const SearchCheckpoint& checkpoint);
+bool LoadCheckpointFile(const std::string& path, SearchCheckpoint* out, std::string* error);
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_CHECKPOINT_H_

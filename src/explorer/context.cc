@@ -1,5 +1,7 @@
 #include "src/explorer/context.h"
 
+#include <unordered_set>
+
 #include "src/analysis/observable_map.h"
 #include "src/interp/simulator.h"
 #include "src/util/check.h"
@@ -54,6 +56,25 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
       continue;
     }
     candidates_.push_back(FaultCandidate{source.site, source.type, source.node});
+  }
+  // Crash/stall kinds (opt-in): one candidate of each per causal fault site,
+  // appended after all exception candidates so that at equal priority the
+  // cheaper-to-diagnose exception fault is tried first. They reuse the
+  // site's exception node for causal distances — a crash or stall at a call
+  // perturbs the same downstream paths the thrown exception would.
+  if (options.crash_stall_candidates) {
+    std::unordered_set<ir::FaultSiteId> sites_seen;
+    size_t exception_candidates = candidates_.size();
+    for (size_t c = 0; c < exception_candidates; ++c) {
+      const FaultCandidate& base = candidates_[c];
+      if (!sites_seen.insert(base.site).second) {
+        continue;
+      }
+      candidates_.push_back(
+          FaultCandidate{base.site, base.type, base.node, interp::FaultKind::kCrash});
+      candidates_.push_back(
+          FaultCandidate{base.site, base.type, base.node, interp::FaultKind::kStall});
+    }
   }
 
   // Step 5: precompute L_{i,k} (the §7 optimization: distances are queried

@@ -24,12 +24,25 @@ namespace anduril::explorer {
 
 // A static fault candidate: an injectable fault site plus the exception type
 // that links it into the causal graph (§5.2.2's f_i is "the exception type
-// and its location in the code").
+// and its location in the code"). `kind` extends f_i beyond exceptions:
+// crash/stall candidates (enumerated only when the options opt in) reuse the
+// site's exception node for causal ranking, but arm a fault that halts the
+// node / wedges the call instead of throwing `type`.
 struct FaultCandidate {
   ir::FaultSiteId site = ir::kInvalidId;
   ir::ExceptionTypeId type = ir::kInvalidId;
   analysis::CausalNodeId node = -1;  // its external-exception node
+  interp::FaultKind kind = interp::FaultKind::kException;
 };
+
+// The injection candidate armed for `candidate` at a dynamic occurrence:
+// crash/stall kinds carry no exception type.
+inline interp::InjectionCandidate Arm(const FaultCandidate& candidate, int64_t occurrence) {
+  return interp::InjectionCandidate{
+      candidate.site, occurrence,
+      candidate.kind == interp::FaultKind::kException ? candidate.type : ir::kInvalidId,
+      candidate.kind};
+}
 
 // A dynamic instance of a fault site observed in the fault-free run, with
 // its position scaled onto the failure-log timeline (§5.2.3).

@@ -68,6 +68,40 @@ struct ExplorerOptions {
   // rounds; a different (still deterministic) search mode, not a
   // bit-identical replacement for the serial window semantics.
   bool parallel_candidates = false;
+  // Also enumerate crash and stall fault candidates (one of each per causal
+  // fault site) alongside the exception candidates. Off by default: the
+  // extra kinds triple the candidate space and change search trajectories,
+  // so only scenarios that need them (crash/stall-only failures) opt in.
+  bool crash_stall_candidates = false;
+  // Transient-round retry policy: a round whose runs were killed by the host
+  // wall-clock watchdog (environmental slowness, not a fault-induced
+  // outcome) is re-executed up to max_run_retries times with bounded
+  // exponential backoff + jitter between attempts. Crashed/hung/completed
+  // rounds are deterministic outcomes and are never retried.
+  int max_run_retries = 2;
+  int64_t retry_initial_delay_ms = 5;
+  int64_t retry_max_delay_ms = 250;
+  // A candidate whose run ends hung (stall fired, oracle unsatisfied) is
+  // *demoted* — re-ranked behind fresh candidates — rather than retired;
+  // after this many demotions it is retired for good.
+  int hang_demotions_before_retirement = 2;
+};
+
+// Robustness accounting for one exploration: how rounds ended, how often
+// transient rounds were retried, and the wall-clock spent running workloads.
+// Feeds the hang/crash/retry-rate columns of EXPERIMENTS.md.
+struct ExperimentRecord {
+  int completed_rounds = 0;
+  int crashed_rounds = 0;
+  int hung_rounds = 0;
+  int budget_exceeded_rounds = 0;
+  int transient_retries = 0;
+  double total_run_wall_seconds = 0;
+  double max_round_wall_seconds = 0;
+
+  int total_rounds() const {
+    return completed_rounds + crashed_rounds + hung_rounds + budget_exceeded_rounds;
+  }
 };
 
 }  // namespace anduril::explorer

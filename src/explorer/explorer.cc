@@ -1,12 +1,15 @@
 #include "src/explorer/explorer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "src/interp/simulator.h"
+#include "src/util/backoff.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
 #include "src/util/strings.h"
@@ -160,9 +163,45 @@ std::vector<std::string> PresentKeys(const ExplorerContext& context,
   return present;
 }
 
+// A round is *transient* when the watchdog killed any of its runs: the host
+// was too slow, not the fault too severe. Deterministic outcomes (crashed,
+// hung, completed, simulated-time/step budgets) re-occur on retry by
+// construction, so only wall-clock kills are worth retrying.
+bool AnyWallBudgetKill(const std::vector<RepRun>& executed) {
+  for (const RepRun& rep : executed) {
+    if (rep.run.hit_wall_budget) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CountOutcome(ExperimentRecord* record, interp::RunOutcome outcome) {
+  switch (outcome) {
+    case interp::RunOutcome::kCompleted:
+      ++record->completed_rounds;
+      break;
+    case interp::RunOutcome::kCrashed:
+      ++record->crashed_rounds;
+      break;
+    case interp::RunOutcome::kHung:
+      ++record->hung_rounds;
+      break;
+    case interp::RunOutcome::kBudgetExceeded:
+      ++record->budget_exceeded_rounds;
+      break;
+  }
+}
+
 }  // namespace
 
 std::string ReproductionScript::ToText(const ir::Program& program) const {
+  if (kind != interp::FaultKind::kException) {
+    return StrFormat("inject %s of %s at occurrence %lld with seed %llu",
+                     interp::FaultKindName(kind), program.fault_site(site).name.c_str(),
+                     static_cast<long long>(occurrence),
+                     static_cast<unsigned long long>(seed));
+  }
   return StrFormat("inject %s of type %s at occurrence %lld with seed %llu",
                    program.fault_site(site).name.c_str(),
                    program.exception_type(type).name.c_str(),
@@ -181,11 +220,38 @@ Explorer::Explorer(const ExperimentSpec& spec, const ExplorerOptions& options,
 }
 
 ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
+  return Explore(strategy, CheckpointConfig{});
+}
+
+ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointConfig& checkpoint) {
   Stopwatch total_timer;
   ExploreResult result;
   result.init_seconds = context_->init_seconds();
 
   strategy->Initialize(*context_);
+
+  // Backoff for transient (wall-budget-killed) rounds. Its jitter RNG is
+  // seeded off base_seed so the delay *stream* is deterministic; checkpoints
+  // record the draw count so a resumed search continues the same stream.
+  ExponentialBackoff::Options backoff_options;
+  backoff_options.initial_delay_ms = options_.retry_initial_delay_ms;
+  backoff_options.max_delay_ms = options_.retry_max_delay_ms;
+  backoff_options.max_retries = options_.max_run_retries;
+  ExponentialBackoff retry_backoff(backoff_options, spec_->base_seed ^ 0x9e3779b97f4a7c15ull);
+
+  int first_round = 1;
+  if (checkpoint.resume != nullptr) {
+    const SearchCheckpoint& snap = *checkpoint.resume;
+    ANDURIL_CHECK(snap.version == kCheckpointVersion);
+    ANDURIL_CHECK(snap.program_fingerprint == ProgramFingerprint(*spec_->program));
+    ANDURIL_CHECK(snap.base_seed == spec_->base_seed);
+    ANDURIL_CHECK(snap.pinned == spec_->pinned_faults);
+    ANDURIL_CHECK(strategy->RestoreState(snap.strategy));
+    retry_backoff.FastForward(snap.retry_rng_draws);
+    result.experiment = snap.experiment;
+    result.rounds = snap.rounds_completed;
+    first_round = snap.rounds_completed + 1;
+  }
 
   std::optional<ThreadPool> pool_storage;
   if (options_.num_threads > 1) {
@@ -198,7 +264,7 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
   std::vector<double> round_inits;
   std::vector<double> workload_times;
 
-  for (int round = 1; round <= options_.max_rounds; ++round) {
+  for (int round = first_round; round <= options_.max_rounds; ++round) {
     Stopwatch decide_timer;
     std::vector<interp::InjectionCandidate> window = strategy->NextWindow();
     double decide_seconds = decide_timer.ElapsedSeconds();
@@ -223,7 +289,21 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
     Stopwatch run_timer;
     RoundPlan plan = PlanRound(*spec_, options_, round, window);
     std::vector<RepRun> executed = ExecutePlan(*spec_, plan, pool);
+    // Transient-failure retry: when the watchdog wall budget killed a run
+    // the round's feedback is an artifact of host load, not of the fault.
+    // Back off (bounded exponential + jitter) and re-execute the identical
+    // plan; deterministic outcomes are never retried.
+    while (AnyWallBudgetKill(executed) && retry_backoff.ShouldRetry()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(retry_backoff.NextDelayMs()));
+      ++record.retries;
+      ++result.experiment.transient_retries;
+      executed = ExecutePlan(*spec_, plan, pool);
+    }
+    retry_backoff.Reset();
     record.run_seconds = run_timer.ElapsedSeconds();
+    result.experiment.total_run_wall_seconds += record.run_seconds;
+    result.experiment.max_round_wall_seconds =
+        std::max(result.experiment.max_round_wall_seconds, record.run_seconds);
 
     const RepRun* selected = &executed.front();
     for (const RepRun& rep : executed) {
@@ -233,6 +313,9 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
       }
     }
     const interp::RunResult& run = selected->run;
+
+    record.outcome = run.outcome;
+    CountOutcome(&result.experiment, run.outcome);
 
     record.injected = run.injected.has_value();
     if (run.injected.has_value()) {
@@ -265,15 +348,31 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
       script.site = run.injected->site;
       script.occurrence = run.injected->occurrence;
       script.type = run.injected->type;
+      script.kind = run.injected->kind;
       script.seed = selected->seed;
       result.script = script;
       break;
     }
 
     // Feedback digestion: combined logs across every run of the round (§6).
+    // Partial logs from crashed and watchdog-killed runs participate too —
+    // a truncated log still carries every observable emitted before the
+    // crash, which is exactly the feedback Algorithm 2 wants.
     Stopwatch feedback_timer;
     RoundOutcome outcome;
     outcome.round = round;
+    outcome.outcome = run.outcome;
+    // Window candidates whose (site, occurrence) a pinned fault claimed
+    // first: report them so the strategy retires them instead of re-arming
+    // the same doomed instance forever.
+    for (const RepRun& rep : executed) {
+      for (const interp::InjectionCandidate& candidate : rep.run.preempted_window) {
+        if (std::find(outcome.preempted.begin(), outcome.preempted.end(), candidate) ==
+            outcome.preempted.end()) {
+          outcome.preempted.push_back(candidate);
+        }
+      }
+    }
     if (options_.parallel_candidates && window.size() > 1) {
       // Speculative mode: every run that fired reports its instance, in
       // candidate-rank order, so the strategy retires all of them at once.
@@ -314,6 +413,18 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
     round_inits.push_back(record.decide_seconds);
     result.records.push_back(record);
     result.rounds = round;
+
+    if (!checkpoint.path.empty()) {
+      SearchCheckpoint snap;
+      snap.program_fingerprint = ProgramFingerprint(*spec_->program);
+      snap.base_seed = spec_->base_seed;
+      snap.rounds_completed = round;
+      snap.retry_rng_draws = retry_backoff.draws();
+      snap.experiment = result.experiment;
+      snap.pinned = spec_->pinned_faults;
+      ANDURIL_CHECK(strategy->SaveState(&snap.strategy));
+      ANDURIL_CHECK(SaveCheckpointFile(checkpoint.path, snap));
+    }
   }
 
   result.total_seconds = total_timer.ElapsedSeconds() + context_->init_seconds();
@@ -333,7 +444,8 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
 bool Explorer::Replay(const ExperimentSpec& spec, const ReproductionScript& script) {
   interp::FaultRuntime runtime(spec.program);
   runtime.SetPinned(spec.pinned_faults);
-  runtime.SetWindow({interp::InjectionCandidate{script.site, script.occurrence, script.type}});
+  runtime.SetWindow({interp::InjectionCandidate{script.site, script.occurrence, script.type,
+                                                script.kind}});
   interp::Simulator simulator(spec.program, spec.cluster, script.seed, &runtime);
   interp::RunResult run = simulator.Run();
   return spec.oracle(*spec.program, run) && run.injected.has_value();

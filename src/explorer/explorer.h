@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/explorer/checkpoint.h"
 #include "src/explorer/context.h"
 #include "src/explorer/experiment.h"
 #include "src/explorer/strategy.h"
@@ -35,13 +36,18 @@ struct RoundRecord {
   int present_observables = -1;
   int64_t injection_requests = 0;
   int64_t decision_nanos = 0;  // runtime hook latency, cumulative
+  // How the round's selected run ended, and how many transient retries the
+  // round burned before settling on that outcome.
+  interp::RunOutcome outcome = interp::RunOutcome::kCompleted;
+  int retries = 0;
 };
 
 // A deterministic recipe for re-triggering the failure (§3 step 4.a).
 struct ReproductionScript {
   ir::FaultSiteId site = ir::kInvalidId;
   int64_t occurrence = 0;
-  ir::ExceptionTypeId type = ir::kInvalidId;
+  ir::ExceptionTypeId type = ir::kInvalidId;  // kInvalidId for crash/stall
+  interp::FaultKind kind = interp::FaultKind::kException;
   uint64_t seed = 0;
 
   std::string ToText(const ir::Program& program) const;
@@ -54,12 +60,24 @@ struct ExploreResult {
   double init_seconds = 0;
   std::optional<ReproductionScript> script;
   std::vector<RoundRecord> records;
+  // Outcome taxonomy / retry / wall-clock accounting across the search. On a
+  // resumed search this includes the rounds executed before the checkpoint.
+  ExperimentRecord experiment;
 
   // Aggregates for the performance tables.
   int64_t median_injection_requests = 0;
   double mean_decision_nanos = 0;
   double median_round_init_seconds = 0;
   double median_workload_seconds = 0;
+};
+
+// Checkpoint/resume wiring for a search. With a non-empty `path` the
+// explorer serializes a SearchCheckpoint there after every finished round
+// (atomically, via rename). With `resume` set it restores that state before
+// the first round and continues from rounds_completed + 1.
+struct CheckpointConfig {
+  std::string path;
+  const SearchCheckpoint* resume = nullptr;
 };
 
 class Explorer {
@@ -78,6 +96,10 @@ class Explorer {
 
   // Runs the search with the given strategy.
   ExploreResult Explore(InjectionStrategy* strategy);
+  // Same, with checkpointing and/or resume. Checkpointing requires a
+  // strategy that implements SaveState (the feedback family does; the list
+  // baselines do not).
+  ExploreResult Explore(InjectionStrategy* strategy, const CheckpointConfig& checkpoint);
 
   const ExplorerContext& context() const { return *context_; }
   // Handle for sharing the analysis with another Explorer.

@@ -56,6 +56,7 @@ IterativeResult IterativeExplorer::Explore(int max_faults) {
     pinned.site = best->candidate.site;
     pinned.occurrence = best->candidate.occurrence;
     pinned.type = best->candidate.type;
+    pinned.kind = best->candidate.kind;
     pinned.seed = spec_.base_seed;
     result.faults.push_back(pinned);
   }
@@ -71,7 +72,7 @@ bool IterativeExplorer::Replay(ExperimentSpec spec, const IterativeResult& resul
   for (size_t i = 0; i + 1 < result.faults.size(); ++i) {
     const ReproductionScript& fault = result.faults[i];
     spec.pinned_faults.push_back(
-        interp::InjectionCandidate{fault.site, fault.occurrence, fault.type});
+        interp::InjectionCandidate{fault.site, fault.occurrence, fault.type, fault.kind});
   }
   return Explorer::Replay(spec, result.faults.back());
 }

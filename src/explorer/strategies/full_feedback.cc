@@ -11,6 +11,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
+#include <unordered_map>
 
 #include "src/explorer/strategies/strategy_util.h"
 #include "src/util/check.h"
@@ -35,6 +37,10 @@ namespace {
 
 constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
 
+// Added to the stage-2 temporal distance per demotion: large enough to push
+// a demoted instance behind every fresh one, small enough to never overflow.
+constexpr int64_t kDemotionPenalty = 1'000'000;
+
 class FeedbackStrategyBase : public InjectionStrategy {
  public:
   void Initialize(const ExplorerContext& context) override {
@@ -44,8 +50,21 @@ class FeedbackStrategyBase : public InjectionStrategy {
   }
 
   void OnRound(const RoundOutcome& outcome) override {
+    for (const interp::InjectionCandidate& preempted : outcome.preempted) {
+      MarkTried(&tried_, preempted);  // claimed by a pinned fault; never fires
+    }
     if (outcome.injected.has_value()) {
-      MarkTried(&tried_, *outcome.injected);
+      if (outcome.outcome == interp::RunOutcome::kHung) {
+        // The armed candidate wedged the run without reproducing the
+        // failure. Demote it — a hang often means "right site, wrong
+        // instance" — and only retire it after repeated hangs.
+        int& count = demotions_[KeyOf(*outcome.injected)];
+        if (++count > context_->options().hang_demotions_before_retirement) {
+          MarkTried(&tried_, *outcome.injected);
+        }
+      } else {
+        MarkTried(&tried_, *outcome.injected);
+      }
       for (const interp::InjectionCandidate& extra : outcome.also_injected) {
         MarkTried(&tried_, extra);  // parallel-candidates: all fired instances
       }
@@ -53,6 +72,52 @@ class FeedbackStrategyBase : public InjectionStrategy {
       window_size_ *= 2;
     }
     feedback_.Digest(outcome.present_keys, context_->options().feedback_adjustment);
+  }
+
+  bool SaveState(StrategyCheckpoint* out) const override {
+    out->window_size = window_size_;
+    out->exhausted = exhausted_;
+    out->observable_priorities = feedback_.priorities();
+    out->tried.clear();
+    for (const TriedKey& key : tried_) {
+      out->tried.push_back(
+          interp::InjectionCandidate{key.site, key.occurrence, key.type, key.kind});
+    }
+    out->demotions.clear();
+    for (const auto& [key, count] : demotions_) {
+      out->demotions.push_back(StrategyCheckpoint::Demotion{
+          interp::InjectionCandidate{key.site, key.occurrence, key.type, key.kind}, count});
+    }
+    // Hash-set iteration order is arbitrary; sort for byte-stable files.
+    auto order = [](const interp::InjectionCandidate& a, const interp::InjectionCandidate& b) {
+      return std::tie(a.site, a.occurrence, a.type, a.kind) <
+             std::tie(b.site, b.occurrence, b.type, b.kind);
+    };
+    std::sort(out->tried.begin(), out->tried.end(), order);
+    std::sort(out->demotions.begin(), out->demotions.end(),
+              [&](const StrategyCheckpoint::Demotion& a, const StrategyCheckpoint::Demotion& b) {
+                return order(a.candidate, b.candidate);
+              });
+    return true;
+  }
+
+  bool RestoreState(const StrategyCheckpoint& state) override {
+    if (context_ == nullptr ||
+        state.observable_priorities.size() != context_->observables().size()) {
+      return false;
+    }
+    window_size_ = state.window_size;
+    exhausted_ = state.exhausted;
+    feedback_.SetPriorities(state.observable_priorities);
+    tried_.clear();
+    for (const interp::InjectionCandidate& candidate : state.tried) {
+      MarkTried(&tried_, candidate);
+    }
+    demotions_.clear();
+    for (const StrategyCheckpoint::Demotion& demotion : state.demotions) {
+      demotions_[KeyOf(demotion.candidate)] = demotion.count;
+    }
+    return true;
   }
 
   bool WantsLogFeedback() const override { return true; }
@@ -100,9 +165,17 @@ class FeedbackStrategyBase : public InjectionStrategy {
     return order;
   }
 
+  // Demotion count per hung candidate (see OnRound); consulted as a stage-2
+  // ranking penalty so demoted instances sort behind fresh ones.
+  int64_t DemotionPenalty(const interp::InjectionCandidate& armed) const {
+    auto it = demotions_.find(KeyOf(armed));
+    return it == demotions_.end() ? 0 : kDemotionPenalty * it->second;
+  }
+
   const ExplorerContext* context_ = nullptr;
   FeedbackState feedback_;
   TriedSet tried_;
+  std::unordered_map<TriedKey, int, TriedKeyHash> demotions_;
   int window_size_ = 10;
   bool exhausted_ = false;
   mutable std::vector<size_t> last_site_order_;
@@ -152,7 +225,7 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
       int64_t best_distance = 0;
       for (size_t j = 0; j < instances.size(); ++j) {
         const InstanceEstimate& instance = instances[j];
-        interp::InjectionCandidate armed{candidate.site, instance.occurrence, candidate.type};
+        interp::InjectionCandidate armed = Arm(candidate, instance.occurrence);
         if (WasTried(tried_, armed)) {
           continue;
         }
@@ -160,14 +233,14 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
         int64_t distance = order_temporal_
                                ? OrderTemporalDistance(instances, j, positions)
                                : TemporalDistance(instance, positions);
+        distance += DemotionPenalty(armed);
         if (best == nullptr || distance < best_distance) {
           best = &instance;
           best_distance = distance;
         }
       }
       if (best != nullptr) {
-        window.push_back(
-            interp::InjectionCandidate{candidate.site, best->occurrence, candidate.type});
+        window.push_back(Arm(candidate, best->occurrence));
       }
     }
     if (!any_untried && window.empty()) {
@@ -176,9 +249,7 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
       for (size_t index : order) {
         const FaultCandidate& candidate = context_->candidates()[index];
         for (const InstanceEstimate& instance : context_->InstancesOf(candidate.site)) {
-          interp::InjectionCandidate armed{candidate.site, instance.occurrence,
-                                           candidate.type};
-          if (!WasTried(tried_, armed)) {
+          if (!WasTried(tried_, Arm(candidate, instance.occurrence))) {
             exhausted_ = false;
             break;
           }
@@ -277,11 +348,11 @@ class MultiplyFeedbackStrategy : public FeedbackStrategyBase {
       const auto& positions =
           context_->observables()[best_observable[index]].failure_positions;
       for (const InstanceEstimate& instance : context_->InstancesOf(candidate.site)) {
-        interp::InjectionCandidate armed{candidate.site, instance.occurrence, candidate.type};
+        interp::InjectionCandidate armed = Arm(candidate, instance.occurrence);
         if (WasTried(tried_, armed)) {
           continue;
         }
-        int64_t t = TemporalDistance(instance, positions);
+        int64_t t = TemporalDistance(instance, positions) + DemotionPenalty(armed);
         // +1 on both factors avoids the degenerate zero product; the flat
         // combination is still what Table 2 shows to be inferior to the
         // two-level selection.
@@ -329,8 +400,7 @@ class SiteFeedbackStrategy : public FeedbackStrategyBase {
       const auto& instances = context_->InstancesOf(candidate.site);
       size_t limit = std::min<size_t>(instances.size(), 3);
       for (size_t j = 0; j < limit; ++j) {
-        interp::InjectionCandidate armed{candidate.site, instances[j].occurrence,
-                                         candidate.type};
+        interp::InjectionCandidate armed = Arm(candidate, instances[j].occurrence);
         if (!WasTried(tried_, armed)) {
           any_untried = true;
           window.push_back(armed);

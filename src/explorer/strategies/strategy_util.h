@@ -39,6 +39,10 @@ class FeedbackState {
 
   int64_t priority(size_t observable) const { return priorities_[observable]; }
 
+  // Checkpoint support: the raw priority vector, in observable order.
+  const std::vector<int64_t>& priorities() const { return priorities_; }
+  void SetPriorities(std::vector<int64_t> priorities) { priorities_ = std::move(priorities); }
+
  private:
   const ExplorerContext* context_ = nullptr;
   std::vector<int64_t> priorities_;
@@ -50,6 +54,7 @@ struct TriedKey {
   ir::FaultSiteId site;
   int64_t occurrence;
   ir::ExceptionTypeId type;
+  interp::FaultKind kind = interp::FaultKind::kException;
 
   friend bool operator==(const TriedKey&, const TriedKey&) = default;
 };
@@ -59,18 +64,23 @@ struct TriedKeyHash {
     size_t h = static_cast<size_t>(key.site);
     h = h * 1000003u + static_cast<size_t>(key.occurrence);
     h = h * 1000003u + static_cast<size_t>(key.type + 1);
+    h = h * 1000003u + static_cast<size_t>(key.kind);
     return h;
   }
 };
 
 using TriedSet = std::unordered_set<TriedKey, TriedKeyHash>;
 
+inline TriedKey KeyOf(const interp::InjectionCandidate& candidate) {
+  return TriedKey{candidate.site, candidate.occurrence, candidate.type, candidate.kind};
+}
+
 inline bool WasTried(const TriedSet& tried, const interp::InjectionCandidate& candidate) {
-  return tried.contains(TriedKey{candidate.site, candidate.occurrence, candidate.type});
+  return tried.contains(KeyOf(candidate));
 }
 
 inline void MarkTried(TriedSet* tried, const interp::InjectionCandidate& candidate) {
-  tried->insert(TriedKey{candidate.site, candidate.occurrence, candidate.type});
+  tried->insert(KeyOf(candidate));
 }
 
 // A strategy driven by a fixed, precomputed candidate list.
@@ -105,6 +115,9 @@ class ListStrategy : public InjectionStrategy {
   }
 
   void OnRound(const RoundOutcome& outcome) override {
+    for (const interp::InjectionCandidate& preempted : outcome.preempted) {
+      MarkTried(&tried_, preempted);  // claimed by a pinned fault; never fires
+    }
     if (outcome.injected.has_value()) {
       MarkTried(&tried_, *outcome.injected);
       for (const interp::InjectionCandidate& extra : outcome.also_injected) {

@@ -16,6 +16,7 @@
 
 #include "src/explorer/context.h"
 #include "src/interp/fault_runtime.h"
+#include "src/interp/run_result.h"
 #include "src/logdiff/compare.h"
 
 namespace anduril::explorer {
@@ -34,6 +35,32 @@ struct RoundOutcome {
   // unsuccessful run get deprioritized; the still-missing ones are the clues
   // worth chasing.
   std::vector<std::string> present_keys;
+  // How the round's selected run ended. Feedback strategies demote (rather
+  // than retire) the armed candidate when the run hung: a hang often means
+  // "right site, wrong instance", so it goes to the back of the queue
+  // instead of out of it.
+  interp::RunOutcome outcome = interp::RunOutcome::kCompleted;
+  // Window candidates whose instance was claimed by a pinned fault this
+  // round (fired once by the pin, never double-injected). Strategies retire
+  // them: re-arming would pre-empt forever.
+  std::vector<interp::InjectionCandidate> preempted;
+};
+
+// Serializable snapshot of a strategy's mutable search state, for the
+// explorer's checkpoint files. Candidate identity uses the same numeric ids
+// as the in-memory structures; the checkpoint header's program fingerprint
+// guards against resuming over a different program build.
+struct StrategyCheckpoint {
+  int window_size = 0;
+  bool exhausted = false;
+  // Priority value per observable, in context observable order.
+  std::vector<int64_t> observable_priorities;
+  std::vector<interp::InjectionCandidate> tried;
+  struct Demotion {
+    interp::InjectionCandidate candidate;
+    int count = 0;
+  };
+  std::vector<Demotion> demotions;
 };
 
 class InjectionStrategy {
@@ -61,6 +88,13 @@ class InjectionStrategy {
   // Rank (1-based) of `site` in the strategy's current candidate ordering,
   // or -1 if unranked. Used only for Fig. 6 reporting.
   virtual int RankOfSite(ir::FaultSiteId /*site*/) const { return -1; }
+
+  // Checkpoint support. SaveState snapshots the strategy's mutable search
+  // state; RestoreState (called after Initialize) re-installs a snapshot.
+  // Both return false when the strategy does not support serialization (the
+  // default) — the explorer refuses to checkpoint such a search.
+  virtual bool SaveState(StrategyCheckpoint* /*out*/) const { return false; }
+  virtual bool RestoreState(const StrategyCheckpoint& /*state*/) { return false; }
 };
 
 // Factory helpers (definitions in strategies/*.cc).

@@ -40,6 +40,12 @@ struct ClusterSpec {
   int64_t time_limit_ms = 120'000;
   // Hard cap on interpreted statements, as a runaway-loop backstop.
   int64_t step_limit = 20'000'000;
+  // Host wall-clock budget per run, enforced cooperatively by the
+  // simulator's watchdog (checked at every event and every few thousand
+  // steps). 0 = unlimited. A normal run takes well under a millisecond, so
+  // the default only trips when a run is genuinely wedged; the explorer
+  // classifies such runs as transient and retries them.
+  int64_t wall_budget_ms = 10'000;
 
   void AddNode(const std::string& name) { nodes.push_back(name); }
   void AddTask(const std::string& node, const std::string& thread, ir::MethodId method,

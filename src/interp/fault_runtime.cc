@@ -6,57 +6,87 @@
 
 namespace anduril::interp {
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kException:
+      return "exception";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
 void FaultRuntime::BeginRun() {
   occurrences_.clear();
   trace_.clear();
   injected_.reset();
+  preempted_window_.clear();
   injection_requests_ = 0;
   decision_nanos_ = 0;
 }
 
-ir::ExceptionTypeId FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
-                                                 int64_t log_clock, int64_t time_ms,
-                                                 int32_t thread_id, bool* injected) {
+FaultAction FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
+                                         int64_t log_clock, int64_t time_ms,
+                                         int32_t thread_id) {
   auto start = std::chrono::steady_clock::now();
-  *injected = false;
   ++injection_requests_;
   int64_t occurrence = ++occurrences_[site];
   if (tracing_) {
     trace_.push_back(FaultInstanceEvent{site, occurrence, log_clock, time_ms, thread_id});
   }
 
-  ir::ExceptionTypeId result = ir::kInvalidId;
+  FaultAction action;
+  bool fired = false;
   // Pinned faults (iterative multi-fault mode) fire unconditionally and do
-  // not consume the window's single injection.
+  // not consume the window's single injection. A dynamic instance fires at
+  // most once: if a window candidate names the same (site, occurrence) as a
+  // pinned fault, the pinned fault wins and the window candidate is recorded
+  // as pre-empted — not fired a second time, not left armed forever.
   for (const InjectionCandidate& pinned : pinned_) {
     if (pinned.site == site && pinned.occurrence == occurrence) {
-      result = pinned.type;
+      action.kind = pinned.kind;
+      action.exception = pinned.kind == FaultKind::kException ? pinned.type : ir::kInvalidId;
+      action.fired = pinned.kind != FaultKind::kException;
+      fired = true;
+      if (!injected_.has_value()) {
+        for (const InjectionCandidate& candidate : window_) {
+          if (candidate.site == site && candidate.occurrence == occurrence) {
+            preempted_window_.push_back(candidate);
+            break;
+          }
+        }
+      }
       break;
     }
   }
   // Window injection: first candidate instance reached fires (§5.2.5). At
   // most one injection per run.
-  if (result == ir::kInvalidId && !injected_.has_value()) {
+  if (!fired && !injected_.has_value()) {
     for (const InjectionCandidate& candidate : window_) {
       if (candidate.site == site && candidate.occurrence == occurrence) {
         injected_ = candidate;
-        *injected = true;
-        result = candidate.type;
+        action.kind = candidate.kind;
+        action.exception =
+            candidate.kind == FaultKind::kException ? candidate.type : ir::kInvalidId;
+        action.fired = candidate.kind != FaultKind::kException;
+        action.injected = true;
+        fired = true;
         break;
       }
     }
   }
   // Natural transient failure (deterministic, present in fault-free runs
   // too): models handled errors that make production logs noisy.
-  if (result == ir::kInvalidId && stmt.transient_every_n > 0 &&
-      occurrence % stmt.transient_every_n == 0) {
-    result = stmt.throwable_types.front();
+  if (!fired && stmt.transient_every_n > 0 && occurrence % stmt.transient_every_n == 0) {
+    action.exception = stmt.throwable_types.front();
   }
   decision_nanos_ +=
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
                                                            start)
           .count();
-  return result;
+  return action;
 }
 
 }  // namespace anduril::interp

@@ -30,14 +30,40 @@
 
 namespace anduril::interp {
 
-// One candidate dynamic fault instance: inject `type` at the `occurrence`-th
-// (1-based) execution of `site`.
+// What a fault does when it fires at a dynamic instance.
+//
+//   kException — the external call throws `type` (the original model).
+//   kCrash     — the whole node halts at the call: every thread on it stops,
+//                queued and in-flight work is discarded, and the per-thread
+//                log is truncated at the crash point.
+//   kStall     — the call blocks forever; the thread wedges until the run's
+//                budget expires (a hang, not a death).
+enum class FaultKind : uint8_t { kException, kCrash, kStall };
+
+const char* FaultKindName(FaultKind kind);
+
+// One candidate dynamic fault instance: inject a fault of `kind` at the
+// `occurrence`-th (1-based) execution of `site`. `type` is the exception to
+// throw for kException and kInvalidId for crash/stall kinds.
 struct InjectionCandidate {
   ir::FaultSiteId site = ir::kInvalidId;
   int64_t occurrence = 0;
   ir::ExceptionTypeId type = ir::kInvalidId;
+  FaultKind kind = FaultKind::kException;
 
   friend bool operator==(const InjectionCandidate&, const InjectionCandidate&) = default;
+};
+
+// The runtime's decision for one external-call execution.
+struct FaultAction {
+  FaultKind kind = FaultKind::kException;
+  // Exception to throw (injected, pinned, or natural transient); kInvalidId
+  // means no exception. Only meaningful when kind == kException.
+  ir::ExceptionTypeId exception = ir::kInvalidId;
+  // True when a crash/stall fault fired at this call.
+  bool fired = false;
+  // True only for a *window* injection (not pinned, not natural transient).
+  bool injected = false;
 };
 
 // A traced execution of a fault site.
@@ -67,12 +93,10 @@ class FaultRuntime {
   void set_tracing(bool enabled) { tracing_ = enabled; }
 
   // Called by the interpreter right before an external call executes.
-  // Returns the exception type to throw (injected or natural transient), or
-  // kInvalidId to proceed normally. `*injected` is set to true only for a
-  // window injection (not for natural transients).
-  ir::ExceptionTypeId OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
-                                     int64_t log_clock, int64_t time_ms, int32_t thread_id,
-                                     bool* injected);
+  // Returns the action to take: throw an exception (injected, pinned, or
+  // natural transient), crash the node, stall the call, or proceed normally.
+  FaultAction OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt, int64_t log_clock,
+                             int64_t time_ms, int32_t thread_id);
 
   // Resets per-run state (occurrence counters, trace, request count) while
   // keeping the window configuration.
@@ -92,6 +116,11 @@ class FaultRuntime {
   }
   // Cumulative time spent inside injection decisions, for Table 4 latency.
   int64_t decision_nanos() const { return decision_nanos_; }
+  // Window candidates whose (site, occurrence) was claimed by a pinned fault
+  // this run. The pinned fault fires (once — never a double injection); the
+  // pre-empted window candidate is reported here so the search can retire it
+  // instead of re-arming it forever.
+  const std::vector<InjectionCandidate>& preempted_window() const { return preempted_window_; }
 
  private:
   const ir::Program* program_;
@@ -102,6 +131,7 @@ class FaultRuntime {
   std::unordered_map<ir::FaultSiteId, int64_t> occurrences_;
   std::vector<FaultInstanceEvent> trace_;
   std::optional<InjectionCandidate> injected_;
+  std::vector<InjectionCandidate> preempted_window_;
   int64_t injection_requests_ = 0;
   int64_t decision_nanos_ = 0;
 };

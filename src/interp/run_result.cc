@@ -4,6 +4,20 @@
 
 namespace anduril::interp {
 
+const char* RunOutcomeName(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kCrashed:
+      return "crashed";
+    case RunOutcome::kHung:
+      return "hung";
+    case RunOutcome::kBudgetExceeded:
+      return "budget-exceeded";
+  }
+  return "unknown";
+}
+
 bool RunResult::HasLogContaining(const std::string& needle) const {
   for (const LogEntry& entry : log) {
     if (Contains(entry.message, needle)) {
@@ -59,6 +73,15 @@ bool RunResult::DidThreadDie(const std::string& name_substr) const {
   for (const ThreadSummary& thread : threads) {
     if (thread.state == ThreadEndState::kDied &&
         Contains(thread.node + "/" + thread.name, name_substr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RunResult::DidNodeCrash(const std::string& node) const {
+  for (const std::string& crashed : crashed_nodes) {
+    if (crashed == node) {
       return true;
     }
   }

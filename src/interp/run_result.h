@@ -19,9 +19,19 @@ namespace anduril::interp {
 
 enum class ThreadEndState : uint8_t {
   kFinished,  // idle, no queued tasks
-  kBlocked,   // still waiting on a condition / future / sleep
+  kBlocked,   // still waiting on a condition / future / sleep / stall fault
   kDied,      // killed by an uncaught exception
+  kCrashed,   // halted by a node crash fault
 };
+
+// How a run ended, in decreasing severity: a crash fault halted a node, a
+// stall fault left an external call wedged past the end of the run, a run
+// budget (simulated-time, step, or host wall-clock) expired, or the run
+// drained all events and completed cleanly. Threads blocked in ordinary
+// awaits/sleeps at run end do not make a run kHung — only a stall fault does.
+enum class RunOutcome : uint8_t { kCompleted, kCrashed, kHung, kBudgetExceeded };
+
+const char* RunOutcomeName(RunOutcome outcome);
 
 struct ThreadSummary {
   std::string node;
@@ -44,9 +54,19 @@ struct RunResult {
   int64_t end_time_ms = 0;
   bool hit_time_limit = false;
   bool hit_step_limit = false;
+  // The watchdog killed the run because the host wall-clock budget expired.
+  // Unlike the simulated-time and step limits this depends on the machine,
+  // so the explorer treats it as transient and retries.
+  bool hit_wall_budget = false;
+  RunOutcome outcome = RunOutcome::kCompleted;
+  // Nodes halted by a crash fault, in crash order.
+  std::vector<std::string> crashed_nodes;
   int64_t injection_requests = 0;
   int64_t decision_nanos = 0;
   std::optional<InjectionCandidate> injected;
+  // Window candidates pre-empted by a pinned fault at the same instance (see
+  // FaultRuntime::preempted_window).
+  std::vector<InjectionCandidate> preempted_window;
 
   // --- Oracle helpers --------------------------------------------------------
   bool HasLogContaining(const std::string& needle) const;
@@ -59,6 +79,8 @@ struct RunResult {
   bool IsThreadStuckIn(const ir::Program& program, const std::string& name_substr,
                        const std::string& method) const;
   bool DidThreadDie(const std::string& name_substr) const;
+  // True if a crash fault halted `node` during the run.
+  bool DidNodeCrash(const std::string& node) const;
   // Final value of a node variable (0 if unset).
   int64_t NodeVar(const ir::Program& program, const std::string& node,
                   const std::string& var) const;

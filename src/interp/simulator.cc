@@ -57,6 +57,15 @@ Simulator::Thread* Simulator::GetThread(int32_t node, const std::string& name) {
   thread->id = static_cast<int32_t>(threads_.size());
   thread->node = node;
   thread->name = name;
+  for (int32_t crashed : crashed_node_indices_) {
+    if (crashed == node) {
+      // A handler spawned on an already-crashed node (e.g. by a message sent
+      // from a live node) is born dead; deliveries to it are dropped.
+      thread->state = Thread::State::kDead;
+      thread->crashed = true;
+      break;
+    }
+  }
   thread_index_[key] = thread->id;
   threads_.push_back(std::move(thread));
   return threads_.back().get();
@@ -421,17 +430,29 @@ Simulator::StepResult Simulator::ExecStmt(Thread* thread, ir::MethodId method_id
     case ir::StmtKind::kExternalCall: {
       ir::FaultSiteId site = program_->FaultSiteAt(ir::GlobalStmt{method_id, stmt_id});
       ANDURIL_CHECK_NE(site, ir::kInvalidId);
-      bool injected = false;
-      ir::ExceptionTypeId thrown = fault_runtime_->OnExternalCall(
-          site, stmt, static_cast<int64_t>(log_.size()), now_, thread->id, &injected);
-      if (thrown == ir::kInvalidId) {
+      FaultAction action = fault_runtime_->OnExternalCall(
+          site, stmt, static_cast<int64_t>(log_.size()), now_, thread->id);
+      if (action.fired && action.kind == FaultKind::kCrash) {
+        // The node halts at this call. No log line, no exception: the
+        // per-thread log is simply truncated here, like a killed process.
+        CrashNode(thread->node);
+        return StepResult::kDied;
+      }
+      if (action.fired && action.kind == FaultKind::kStall) {
+        // The call never returns. No wake event is scheduled, so the thread
+        // stays wedged until the run's budget expires.
+        BlockThread(thread, Thread::BlockKind::kStall, ir::GlobalStmt{method_id, stmt_id});
+        stall_fired_ = true;
+        return StepResult::kBlocked;
+      }
+      if (action.exception == ir::kInvalidId) {
         return StepResult::kContinue;
       }
       ExcValue exc;
-      exc.type = thrown;
+      exc.type = action.exception;
       exc.origin = ir::GlobalStmt{method_id, stmt_id};
       exc.origin_site = site;
-      exc.injected = injected;
+      exc.injected = action.injected;
       switch (Raise(thread, std::move(exc))) {
         case RaiseResult::kHandled:
           return StepResult::kContinue;
@@ -596,6 +617,9 @@ void Simulator::RunThread(Thread* thread) {
       hit_step_limit_ = true;
       return;
     }
+    if ((steps_ & 2047) == 0 && WallBudgetExceeded()) {
+      return;
+    }
     switch (Step(thread)) {
       case StepResult::kContinue:
         break;
@@ -698,15 +722,48 @@ void Simulator::ProcessWake(const Event& event) {
       RunThread(thread);
       return;
 
+    case Thread::BlockKind::kStall:
+      return;  // a stalled call never wakes
+
     case Thread::BlockKind::kNone:
       ANDURIL_UNREACHABLE();
   }
+}
+
+void Simulator::CrashNode(int32_t node) {
+  crashed_node_indices_.push_back(node);
+  for (auto& thread : threads_) {
+    if (thread->node != node || thread->state == Thread::State::kDead) {
+      continue;
+    }
+    thread->state = Thread::State::kDead;
+    thread->crashed = true;
+    thread->block_kind = Thread::BlockKind::kNone;
+    ++thread->epoch;  // pending wakes/timers for this thread go stale
+    thread->queue.clear();
+    thread->stack.clear();
+  }
+}
+
+bool Simulator::WallBudgetExceeded() {
+  if (!wall_limited_ || hit_wall_budget_) {
+    return hit_wall_budget_;
+  }
+  if (std::chrono::steady_clock::now() >= wall_deadline_) {
+    hit_wall_budget_ = true;
+  }
+  return hit_wall_budget_;
 }
 
 RunResult Simulator::Run() {
   ANDURIL_CHECK(!ran_) << "Simulator::Run may be called once";
   ran_ = true;
   fault_runtime_->BeginRun();
+  wall_limited_ = spec_->wall_budget_ms > 0;
+  if (wall_limited_) {
+    wall_deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(spec_->wall_budget_ms);
+  }
 
   for (const InitialTask& task : spec_->tasks) {
     Thread* thread = GetThread(NodeIndex(task.node), task.thread);
@@ -718,11 +775,14 @@ RunResult Simulator::Run() {
     PushEvent(event);
   }
 
-  while (!events_.empty() && !hit_step_limit_) {
+  while (!events_.empty() && !hit_step_limit_ && !hit_wall_budget_) {
     Event event = events_.top();
     events_.pop();
     if (event.time > spec_->time_limit_ms) {
       hit_time_limit_ = true;
+      break;
+    }
+    if ((++events_processed_ & 255) == 0 && WallBudgetExceeded()) {
       break;
     }
     now_ = event.time;
@@ -751,15 +811,31 @@ RunResult Simulator::Run() {
   result.end_time_ms = now_;
   result.hit_time_limit = hit_time_limit_;
   result.hit_step_limit = hit_step_limit_;
+  result.hit_wall_budget = hit_wall_budget_;
   result.injection_requests = fault_runtime_->injection_requests();
   result.decision_nanos = fault_runtime_->decision_nanos();
   result.injected = fault_runtime_->injected();
+  result.preempted_window = fault_runtime_->preempted_window();
+  for (int32_t node : crashed_node_indices_) {
+    result.crashed_nodes.push_back(node_names_[static_cast<size_t>(node)]);
+  }
+  if (!crashed_node_indices_.empty()) {
+    result.outcome = RunOutcome::kCrashed;
+  } else if (stall_fired_) {
+    result.outcome = RunOutcome::kHung;
+  } else if (hit_wall_budget_ || hit_step_limit_ || hit_time_limit_) {
+    result.outcome = RunOutcome::kBudgetExceeded;
+  } else {
+    result.outcome = RunOutcome::kCompleted;
+  }
 
   for (const auto& thread : threads_) {
     ThreadSummary summary;
     summary.node = node_names_[static_cast<size_t>(thread->node)];
     summary.name = thread->name;
-    if (thread->state == Thread::State::kDead) {
+    if (thread->crashed) {
+      summary.state = ThreadEndState::kCrashed;
+    } else if (thread->state == Thread::State::kDead) {
       summary.state = ThreadEndState::kDied;
       summary.death_exception = thread->death_exception;
     } else if (thread->state == Thread::State::kBlocked) {

@@ -21,6 +21,7 @@
 #ifndef ANDURIL_SRC_INTERP_SIMULATOR_H_
 #define ANDURIL_SRC_INTERP_SIMULATOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -92,8 +93,9 @@ class Simulator {
 
     enum class State : uint8_t { kIdle, kBlocked, kDead };
     State state = State::kIdle;
+    bool crashed = false;  // dead because its node crashed, not an exception
 
-    enum class BlockKind : uint8_t { kNone, kAwait, kFuture, kSleep };
+    enum class BlockKind : uint8_t { kNone, kAwait, kFuture, kSleep, kStall };
     BlockKind block_kind = BlockKind::kNone;
     ir::GlobalStmt blocked_at;
     uint64_t epoch = 0;  // stale-wakeup guard
@@ -147,6 +149,13 @@ class Simulator {
                       const std::string& message, ir::MethodId uncaught_method);
   std::string DescribeException(const ExcValue& exc) const;
   void PushEvent(Event event);
+  // Halts every thread on `node`: clears queues and stacks, bumps epochs so
+  // pending wakes go stale. In-flight messages to the node are dropped by
+  // the dead-thread check in the event loop.
+  void CrashNode(int32_t node);
+  // Watchdog: true once the host wall-clock budget is spent. Polled at every
+  // event and every few thousand interpreter steps.
+  bool WallBudgetExceeded();
   void BlockThread(Thread* thread, Thread::BlockKind kind, ir::GlobalStmt at);
   void UnblockThread(Thread* thread);
   void WakeWaitersOf(int32_t node, ir::VarId var);
@@ -180,6 +189,12 @@ class Simulator {
 
   bool hit_time_limit_ = false;
   bool hit_step_limit_ = false;
+  bool hit_wall_budget_ = false;
+  bool stall_fired_ = false;
+  std::vector<int32_t> crashed_node_indices_;
+  bool wall_limited_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_;
+  uint64_t events_processed_ = 0;
   bool ran_ = false;
 };
 

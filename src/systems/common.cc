@@ -125,9 +125,14 @@ BuiltCase BuildCase(const FailureCase& failure_case, bool verify) {
   // Resolve the ground truth.
   built.ground_truth.site = FindSiteByName(*built.program, failure_case.root_site);
   built.ground_truth.occurrence = failure_case.root_occurrence;
-  built.ground_truth.type = built.program->FindException(failure_case.root_exception);
-  ANDURIL_CHECK_NE(built.ground_truth.type, ir::kInvalidId)
-      << "unknown exception " << failure_case.root_exception;
+  built.ground_truth.kind = failure_case.root_kind;
+  if (failure_case.root_kind == interp::FaultKind::kException) {
+    built.ground_truth.type = built.program->FindException(failure_case.root_exception);
+    ANDURIL_CHECK_NE(built.ground_truth.type, ir::kInvalidId)
+        << "unknown exception " << failure_case.root_exception;
+  } else {
+    built.ground_truth.type = ir::kInvalidId;
+  }
 
   // The workload alone must not satisfy the oracle (§2: the failure is
   // fault-induced).
@@ -170,10 +175,22 @@ const std::vector<FailureCase>& AllCases() {
   return *cases;
 }
 
+const std::vector<FailureCase>& CrashStallCases() {
+  static const std::vector<FailureCase>* cases = [] {
+    auto* all = new std::vector<FailureCase>();
+    RegisterZooKeeperCrashCases(all);
+    RegisterHdfsStallCases(all);
+    return all;
+  }();
+  return *cases;
+}
+
 const FailureCase* FindCase(const std::string& id) {
-  for (const FailureCase& failure_case : AllCases()) {
-    if (failure_case.id == id || failure_case.paper_id == id) {
-      return &failure_case;
+  for (const std::vector<FailureCase>* registry : {&AllCases(), &CrashStallCases()}) {
+    for (const FailureCase& failure_case : *registry) {
+      if (failure_case.id == id || failure_case.paper_id == id) {
+        return &failure_case;
+      }
     }
   }
   return nullptr;

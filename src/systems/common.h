@@ -33,10 +33,13 @@ struct FailureCase {
   std::string injected_fault;  // exception type name, as in Table 5
 
   // Ground truth root cause. The site is referenced by its ExternalCall
-  // site_name (unique per scenario); occurrence is 1-based.
+  // site_name (unique per scenario); occurrence is 1-based. For kCrash/kStall
+  // root kinds root_exception is empty: the fault is the node halting or the
+  // call wedging, not a thrown exception.
   std::string root_site;
   std::string root_exception;
   int64_t root_occurrence = 1;
+  interp::FaultKind root_kind = interp::FaultKind::kException;
 
   uint64_t failure_seed = 9001;  // "production" run seed
   uint64_t explore_seed = 1;     // base seed for exploration runs
@@ -107,7 +110,14 @@ void AddColdModule(ir::Program* program, const std::string& prefix, int methods,
 // All 22 evaluated failure cases, f1..f22.
 const std::vector<FailureCase>& AllCases();
 
-// Lookup by id ("zk-2247") or paper id ("f1"). Returns nullptr if unknown.
+// Failure cases whose root cause is a crash or stall fault rather than a
+// thrown exception (kept out of AllCases: the paper's Table 5 set stays
+// exactly 22). Searches over these need
+// ExplorerOptions::crash_stall_candidates = true.
+const std::vector<FailureCase>& CrashStallCases();
+
+// Lookup by id ("zk-2247") or paper id ("f1") across AllCases and
+// CrashStallCases. Returns nullptr if unknown.
 const FailureCase* FindCase(const std::string& id);
 
 // Per-system registration functions (defined in the system modules).
@@ -116,6 +126,9 @@ void RegisterHdfsCases(std::vector<FailureCase>* cases);
 void RegisterHBaseCases(std::vector<FailureCase>* cases);
 void RegisterKafkaCases(std::vector<FailureCase>* cases);
 void RegisterCassandraCases(std::vector<FailureCase>* cases);
+// Crash/stall-rooted scenarios (defined in the system extras modules).
+void RegisterZooKeeperCrashCases(std::vector<FailureCase>* cases);
+void RegisterHdfsStallCases(std::vector<FailureCase>* cases);
 
 }  // namespace anduril::systems
 

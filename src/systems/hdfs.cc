@@ -614,6 +614,54 @@ void RegisterHd15032(std::vector<FailureCase>* cases) {
   cases->push_back(std::move(c));
 }
 
+// --- Stall-rooted scenario ---------------------------------------------------
+
+void RegisterHdStall1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-stall-1";
+  c.paper_id = "s1";
+  c.system = "hdfs";
+  c.title = "Wedged block flush leaves the write pipeline unresponsive";
+  c.injected_fault = "stall";
+  c.root_site = "hdfs.dn.flush_block";
+  c.root_occurrence = 4;
+  c.root_kind = interp::FaultKind::kStall;
+  c.build = [](Program* p) {
+    BuildHdfsBase(p);
+    // Pipeline monitor on the namenode: once the client pump settles, every
+    // allocated block must have been acked. An IOException at the flush site
+    // is tolerated (WARN + pipeline recovery), so an exception merely logs
+    // recovery noise — only a flush that never returns wedges the datanode's
+    // write_block handler and silently starves the ack counter.
+    MethodBuilder b(p, "hdfs.nn.pipeline_monitor");
+    b.Sleep(900);
+    b.If(
+        b.LtVar("acksReceived", "blocksAllocated"),
+        [&] {
+          b.Log(LogLevel::kError, "hdfs.namenode",
+                "Write pipeline unresponsive, {} of {} blocks acked",
+                {b.V("acksReceived"), b.V("blocksAllocated")});
+        },
+        [&] {
+          b.Log(LogLevel::kInfo, "hdfs.namenode", "Write pipeline healthy, {} blocks acked",
+                {b.V("acksReceived")});
+        });
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("nn", "PipelineMonitor", p->FindMethod("hdfs.nn.pipeline_monitor"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    // The datanode handler must be *stuck inside* write_block: an injected
+    // exception leaves no blocked thread (pipeline recovery runs instead),
+    // and a datanode crash leaves crashed threads, not blocked ones.
+    return run.HasLogContaining(ir::LogLevel::kError, "Write pipeline unresponsive") &&
+           run.IsThreadStuckIn(prog, "dn1/write_block", "hdfs.dn.write_block");
+  };
+  cases->push_back(std::move(c));
+}
+
 }  // namespace
 
 void RegisterHdfsCases(std::vector<FailureCase>* cases) {
@@ -624,6 +672,10 @@ void RegisterHdfsCases(std::vector<FailureCase>* cases) {
   RegisterHd16332(cases);
   RegisterHd14333(cases);
   RegisterHd15032(cases);
+}
+
+void RegisterHdfsStallCases(std::vector<FailureCase>* cases) {
+  RegisterHdStall1(cases);
 }
 
 }  // namespace anduril::systems

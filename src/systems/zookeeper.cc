@@ -417,6 +417,63 @@ void RegisterZk3006(std::vector<FailureCase>* cases) {
   cases->push_back(std::move(c));
 }
 
+// --- Crash-rooted scenario ---------------------------------------------------
+
+void RegisterZkCrash1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-crash-1";
+  c.paper_id = "c1";
+  c.system = "zookeeper";
+  c.title = "Follower crash mid-flush silently degrades the commit quorum";
+  c.injected_fault = "crash";
+  c.root_site = "zk.snap.flush";
+  c.root_occurrence = 5;
+  c.root_kind = interp::FaultKind::kCrash;
+  c.build = [](Program* p) {
+    BuildZooKeeperBase(p);
+    // Quorum monitor on the leader: after the workload settles, every commit
+    // must have been acknowledged by both followers. An IOException at the
+    // flush site is tolerated (WARN, the ack is still sent), so only a
+    // follower halting mid-flush can starve this check while the leader
+    // keeps committing.
+    MethodBuilder b(p, "zk.leader.quorum_monitor");
+    b.Sleep(900);
+    // expectedAcks = 2 * committed (one ack per follower per commit), built
+    // by repeated addition: the IR has no var*const expression.
+    b.Assign("qmCursor", Expr::Const(0));
+    b.While(b.LtVar("qmCursor", "committed"), [&] {
+      b.Assign("qmCursor", b.Plus("qmCursor", 1));
+      b.Assign("expectedAcks", b.Plus("expectedAcks", 2));
+    });
+    b.If(
+        b.LtVar("acks", "expectedAcks"),
+        [&] {
+          b.Log(LogLevel::kError, "zk.quorum",
+                "Quorum degraded, only {} of {} follower acks received",
+                {b.V("acks"), b.V("expectedAcks")});
+        },
+        [&] {
+          b.Log(LogLevel::kInfo, "zk.quorum", "Quorum healthy, {} follower acks",
+                {b.V("acks")});
+        });
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, /*with_requests=*/true);
+    cluster.AddTask("zk1", "QuorumMonitor", p->FindMethod("zk.leader.quorum_monitor"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    // Clients were served (the leader never noticed), yet the quorum is
+    // short on acks — and no commit handler is merely wedged, which rules
+    // out the stall-fault alternative: a crashed follower leaves no blocked
+    // thread behind.
+    return run.HasLogContaining(ir::LogLevel::kError, "Quorum degraded") &&
+           run.HasLogContaining("All requests acknowledged") &&
+           !run.IsThreadStuck("commit");
+  };
+  cases->push_back(std::move(c));
+}
+
 }  // namespace
 
 void RegisterZooKeeperCases(std::vector<FailureCase>* cases) {
@@ -424,6 +481,10 @@ void RegisterZooKeeperCases(std::vector<FailureCase>* cases) {
   RegisterZk3157(cases);
   RegisterZk4203(cases);
   RegisterZk3006(cases);
+}
+
+void RegisterZooKeeperCrashCases(std::vector<FailureCase>* cases) {
+  RegisterZkCrash1(cases);
 }
 
 }  // namespace anduril::systems

@@ -1,0 +1,28 @@
+#include "src/util/backoff.h"
+
+#include <algorithm>
+
+namespace anduril {
+
+int64_t ExponentialBackoff::NextDelayMs() {
+  double base = static_cast<double>(options_.initial_delay_ms);
+  for (int i = 0; i < attempt_; ++i) {
+    base *= options_.multiplier;
+  }
+  base = std::min(base, static_cast<double>(options_.max_delay_ms));
+  ++attempt_;
+  // Jitter in [-jitter, +jitter] * base, from the deterministic stream.
+  double spread = rng_.NextDouble() * 2.0 - 1.0;
+  ++draws_;
+  int64_t delay = static_cast<int64_t>(base * (1.0 + options_.jitter * spread));
+  return std::max<int64_t>(delay, 0);
+}
+
+void ExponentialBackoff::FastForward(uint64_t draws) {
+  for (uint64_t i = 0; i < draws; ++i) {
+    rng_.NextDouble();
+  }
+  draws_ += draws;
+}
+
+}  // namespace anduril

@@ -1,0 +1,419 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace anduril {
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+
+  bool Literal(const char* literal) {
+    size_t len = std::char_traits<char>::length(literal);
+    if (text.compare(pos, len, literal) == 0) {
+      pos += len;
+      return true;
+    }
+    return Fail(std::string("expected ") + literal);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos >= text.size()) {
+          break;
+        }
+        char esc = text[pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              return Fail("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            // Checkpoints only ever contain ASCII; encode BMP code points
+            // as UTF-8 without surrogate-pair handling.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos >= text.size()) {
+      return Fail("unexpected end of input");
+    }
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      *out = JsonValue::Object();
+      SkipSpace();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        SkipSpace();
+        if (!ParseString(&key)) {
+          return false;
+        }
+        if (!Consume(':')) {
+          return false;
+        }
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->Set(key, std::move(value));
+        SkipSpace();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      *out = JsonValue::Array();
+      SkipSpace();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) {
+          return false;
+        }
+        out->Append(std::move(value));
+        SkipSpace();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      std::string value;
+      if (!ParseString(&value)) {
+        return false;
+      }
+      *out = JsonValue::Str(std::move(value));
+      return true;
+    }
+    if (c == 't') {
+      if (!Literal("true")) return false;
+      *out = JsonValue::Bool(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) return false;
+      *out = JsonValue::Bool(false);
+      return true;
+    }
+    if (c == 'n') {
+      if (!Literal("null")) return false;
+      *out = JsonValue::Null();
+      return true;
+    }
+    // Number: integer when it round-trips as int64 with no '.', 'e', 'E'.
+    size_t start = pos;
+    if (c == '-') ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      char d = text[pos];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++pos;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
+        is_double = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) {
+      return Fail("unexpected character");
+    }
+    std::string token = text.substr(start, pos - start);
+    if (!is_double) {
+      *out = JsonValue::Int(std::strtoll(token.c_str(), nullptr, 10));
+    } else {
+      *out = JsonValue::Double(std::strtod(token.c_str(), nullptr));
+    }
+    return true;
+  }
+};
+
+void EscapeInto(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.type_ = Type::kDouble;
+  v.double_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+JsonValue JsonValue::Parse(const std::string& text, std::string* error) {
+  Parser parser{text};
+  JsonValue value;
+  if (!parser.ParseValue(&value)) {
+    if (error != nullptr) {
+      *error = parser.error;
+    }
+    return JsonValue();
+  }
+  parser.SkipSpace();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing content at offset " + std::to_string(parser.pos);
+    }
+    return JsonValue();
+  }
+  if (error != nullptr) {
+    error->clear();
+  }
+  return value;
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+int64_t JsonValue::as_int(int64_t fallback) const {
+  if (type_ == Type::kInt) {
+    return int_;
+  }
+  if (type_ == Type::kDouble) {
+    return static_cast<int64_t>(double_);
+  }
+  return fallback;
+}
+
+double JsonValue::as_double(double fallback) const {
+  if (type_ == Type::kDouble) {
+    return double_;
+  }
+  if (type_ == Type::kInt) {
+    return static_cast<double>(int_);
+  }
+  return fallback;
+}
+
+const std::string& JsonValue::as_string() const {
+  static const std::string kEmpty;
+  return type_ == Type::kString ? string_ : kEmpty;
+}
+
+void JsonValue::Append(JsonValue value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  type_ = Type::kObject;
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out, int depth) const {
+  auto indent = [out](int n) { out->append(static_cast<size_t>(n) * 2, ' '); };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Type::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      *out += buf;
+      return;
+    }
+    case Type::kString:
+      EscapeInto(string_, out);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        indent(depth + 1);
+        items_[i].DumpTo(out, depth + 1);
+        *out += i + 1 < items_.size() ? ",\n" : "\n";
+      }
+      indent(depth);
+      *out += "]";
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        indent(depth + 1);
+        EscapeInto(members_[i].first, out);
+        *out += ": ";
+        members_[i].second.DumpTo(out, depth + 1);
+        *out += i + 1 < members_.size() ? ",\n" : "\n";
+      }
+      indent(depth);
+      *out += "}";
+      return;
+    }
+  }
+}
+
+}  // namespace anduril

@@ -1,0 +1,68 @@
+// Minimal JSON value type with a parser and serializer, for the explorer's
+// checkpoint files. Supports objects, arrays, strings (with the standard
+// escapes), 64-bit integers, doubles, booleans, and null — deliberately no
+// more. Object keys keep insertion order so serialization is byte-stable.
+
+#ifndef ANDURIL_SRC_UTIL_JSON_H_
+#define ANDURIL_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anduril {
+
+class JsonValue {
+ public:
+  enum class Type : uint8_t { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Int(int64_t value);
+  static JsonValue Double(double value);
+  static JsonValue Str(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  // Parses `text`; returns a kNull value and sets *error on failure.
+  static JsonValue Parse(const std::string& text, std::string* error);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool(bool fallback = false) const;
+  int64_t as_int(int64_t fallback = 0) const;
+  double as_double(double fallback = 0.0) const;
+  const std::string& as_string() const;
+
+  // --- Arrays ----------------------------------------------------------------
+  void Append(JsonValue value);
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // --- Objects ---------------------------------------------------------------
+  void Set(const std::string& key, JsonValue value);
+  // Returns nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  // Serializes with 2-space indentation and a trailing newline at top level.
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace anduril
+
+#endif  // ANDURIL_SRC_UTIL_JSON_H_

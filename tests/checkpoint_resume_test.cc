@@ -1,0 +1,257 @@
+// Checkpoint/resume invariant and the crash/stall scenario registry.
+//
+// The central contract under test: a search killed after any round and
+// resumed from its checkpoint file emits the byte-identical
+// ReproductionScript — and the same total round count — as the
+// uninterrupted search at the same seed, at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/explorer/checkpoint.h"
+#include "src/explorer/explorer.h"
+#include "src/explorer/strategy.h"
+#include "src/systems/common.h"
+
+namespace anduril::explorer {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+ExplorerOptions OptionsFor(const systems::FailureCase& failure_case, int threads) {
+  ExplorerOptions options;
+  options.num_threads = threads;
+  options.crash_stall_candidates =
+      failure_case.root_kind != interp::FaultKind::kException;
+  return options;
+}
+
+ExploreResult RunSearch(const systems::BuiltCase& built, const ExplorerOptions& options,
+                        const CheckpointConfig& checkpoint = {}) {
+  Explorer explorer(built.spec, options);
+  std::unique_ptr<InjectionStrategy> strategy = MakeFullFeedbackStrategy();
+  return explorer.Explore(strategy.get(), checkpoint);
+}
+
+// --- serialization round-trip ---------------------------------------------------
+
+TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
+  SearchCheckpoint snap;
+  snap.program_fingerprint = 0xdeadbeefcafef00dull;
+  snap.base_seed = (1ull << 63) + 17;  // exercises the >2^53 string encoding
+  snap.rounds_completed = 42;
+  snap.retry_rng_draws = 7;
+  snap.experiment.completed_rounds = 30;
+  snap.experiment.crashed_rounds = 6;
+  snap.experiment.hung_rounds = 5;
+  snap.experiment.budget_exceeded_rounds = 1;
+  snap.experiment.transient_retries = 3;
+  snap.experiment.total_run_wall_seconds = 1.25;
+  snap.experiment.max_round_wall_seconds = 0.5;
+  snap.pinned.push_back(interp::InjectionCandidate{3, 9, 2, interp::FaultKind::kException});
+  snap.pinned.push_back(
+      interp::InjectionCandidate{5, 1, ir::kInvalidId, interp::FaultKind::kCrash});
+  snap.strategy.window_size = 20;
+  snap.strategy.exhausted = false;
+  snap.strategy.observable_priorities = {4, 0, -2, 100};
+  snap.strategy.tried.push_back(
+      interp::InjectionCandidate{1, 2, 3, interp::FaultKind::kException});
+  snap.strategy.tried.push_back(
+      interp::InjectionCandidate{8, 4, ir::kInvalidId, interp::FaultKind::kStall});
+  snap.strategy.demotions.push_back(
+      {interp::InjectionCandidate{8, 4, ir::kInvalidId, interp::FaultKind::kStall}, 2});
+
+  std::string text = SerializeCheckpoint(snap);
+  SearchCheckpoint parsed;
+  std::string error;
+  ASSERT_TRUE(ParseCheckpoint(text, &parsed, &error)) << error;
+
+  EXPECT_EQ(parsed.version, kCheckpointVersion);
+  EXPECT_EQ(parsed.program_fingerprint, snap.program_fingerprint);
+  EXPECT_EQ(parsed.base_seed, snap.base_seed);
+  EXPECT_EQ(parsed.rounds_completed, snap.rounds_completed);
+  EXPECT_EQ(parsed.retry_rng_draws, snap.retry_rng_draws);
+  EXPECT_EQ(parsed.experiment.completed_rounds, snap.experiment.completed_rounds);
+  EXPECT_EQ(parsed.experiment.crashed_rounds, snap.experiment.crashed_rounds);
+  EXPECT_EQ(parsed.experiment.hung_rounds, snap.experiment.hung_rounds);
+  EXPECT_EQ(parsed.experiment.budget_exceeded_rounds,
+            snap.experiment.budget_exceeded_rounds);
+  EXPECT_EQ(parsed.experiment.transient_retries, snap.experiment.transient_retries);
+  EXPECT_DOUBLE_EQ(parsed.experiment.total_run_wall_seconds,
+                   snap.experiment.total_run_wall_seconds);
+  EXPECT_EQ(parsed.pinned, snap.pinned);
+  EXPECT_EQ(parsed.strategy.window_size, snap.strategy.window_size);
+  EXPECT_EQ(parsed.strategy.exhausted, snap.strategy.exhausted);
+  EXPECT_EQ(parsed.strategy.observable_priorities, snap.strategy.observable_priorities);
+  EXPECT_EQ(parsed.strategy.tried, snap.strategy.tried);
+  ASSERT_EQ(parsed.strategy.demotions.size(), 1u);
+  EXPECT_EQ(parsed.strategy.demotions[0].candidate, snap.strategy.demotions[0].candidate);
+  EXPECT_EQ(parsed.strategy.demotions[0].count, snap.strategy.demotions[0].count);
+
+  // Serialization is canonical: re-serializing the parse is byte-identical.
+  EXPECT_EQ(SerializeCheckpoint(parsed), text);
+}
+
+TEST(CheckpointTest, ParseRejectsMalformedAndWrongVersion) {
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint("not json at all", &out, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseCheckpoint("{\"version\": 999}", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointTest, SaveAndLoadFileRoundTrip) {
+  SearchCheckpoint snap;
+  snap.program_fingerprint = 123;
+  snap.base_seed = 456;
+  snap.rounds_completed = 3;
+  std::string path = TempPath("save_load_roundtrip.json");
+  ASSERT_TRUE(SaveCheckpointFile(path, snap));
+  SearchCheckpoint loaded;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpointFile(path, &loaded, &error)) << error;
+  EXPECT_EQ(SerializeCheckpoint(loaded), SerializeCheckpoint(snap));
+  std::remove(path.c_str());
+}
+
+// --- kill-and-resume invariant --------------------------------------------------
+
+// Runs `case_id` uninterrupted, then again with the round budget cut short
+// and a checkpoint file, then resumes a fresh explorer from that file, and
+// asserts the resumed search is indistinguishable from the uninterrupted one.
+void ExpectResumeMatchesUninterrupted(const std::string& case_id, int threads) {
+  SCOPED_TRACE(case_id + " @" + std::to_string(threads) + " threads");
+  const systems::FailureCase* failure_case = systems::FindCase(case_id);
+  ASSERT_NE(failure_case, nullptr);
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  ExplorerOptions options = OptionsFor(*failure_case, threads);
+
+  ExploreResult baseline = RunSearch(built, options);
+  ASSERT_TRUE(baseline.reproduced);
+  ASSERT_TRUE(baseline.script.has_value());
+  ASSERT_GT(baseline.rounds, 1) << "need at least two rounds to interrupt between";
+
+  // Interrupted search: stop one round before success, checkpointing.
+  std::string path =
+      TempPath("resume_" + case_id + "_" + std::to_string(threads) + ".json");
+  ExplorerOptions truncated = options;
+  truncated.max_rounds = baseline.rounds - 1;
+  ExploreResult interrupted = RunSearch(built, truncated, CheckpointConfig{path, nullptr});
+  EXPECT_FALSE(interrupted.reproduced);
+
+  // Resume in a brand-new explorer + strategy, rebuilt from the file alone.
+  SearchCheckpoint snap;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpointFile(path, &snap, &error)) << error;
+  EXPECT_EQ(snap.rounds_completed, baseline.rounds - 1);
+  systems::BuiltCase rebuilt = systems::BuildCase(*failure_case);
+  Explorer resumed_explorer(rebuilt.spec, options);
+  std::unique_ptr<InjectionStrategy> strategy = MakeFullFeedbackStrategy();
+  ExploreResult resumed =
+      resumed_explorer.Explore(strategy.get(), CheckpointConfig{"", &snap});
+
+  ASSERT_TRUE(resumed.reproduced);
+  ASSERT_TRUE(resumed.script.has_value());
+  // Byte-identical script, identical seed, identical total round count.
+  EXPECT_EQ(resumed.script->ToText(*rebuilt.spec.program),
+            baseline.script->ToText(*built.spec.program));
+  EXPECT_EQ(resumed.script->seed, baseline.script->seed);
+  EXPECT_EQ(resumed.rounds, baseline.rounds);
+  // The resumed accounting includes the pre-checkpoint rounds.
+  EXPECT_EQ(resumed.experiment.total_rounds(), baseline.experiment.total_rounds());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResumeTest, Zk2247SerialResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("zk-2247", 1);
+}
+
+TEST(CheckpointResumeTest, Zk2247EightThreadResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("zk-2247", 8);
+}
+
+TEST(CheckpointResumeTest, Hd4233SerialResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("hd-4233", 1);
+}
+
+TEST(CheckpointResumeTest, Hd4233EightThreadResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("hd-4233", 8);
+}
+
+TEST(CheckpointResumeTest, CheckpointWrittenAfterEveryFinishedRound) {
+  const systems::FailureCase* failure_case = systems::FindCase("zk-2247");
+  ASSERT_NE(failure_case, nullptr);
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  ExplorerOptions options = OptionsFor(*failure_case, 1);
+  options.max_rounds = 2;
+  std::string path = TempPath("every_round.json");
+  RunSearch(built, options, CheckpointConfig{path, nullptr});
+  SearchCheckpoint snap;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpointFile(path, &snap, &error)) << error;
+  EXPECT_EQ(snap.rounds_completed, 2);
+  EXPECT_EQ(snap.program_fingerprint, ProgramFingerprint(*built.spec.program));
+  EXPECT_EQ(snap.base_seed, built.spec.base_seed);
+  std::remove(path.c_str());
+}
+
+// --- crash/stall scenario registry ---------------------------------------------
+
+TEST(CrashStallScenarioTest, RegistryIsSeparateFromTable5Set) {
+  EXPECT_EQ(systems::AllCases().size(), 22u);
+  ASSERT_GE(systems::CrashStallCases().size(), 2u);
+  bool has_crash = false;
+  bool has_stall = false;
+  for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
+    has_crash |= failure_case.root_kind == interp::FaultKind::kCrash;
+    has_stall |= failure_case.root_kind == interp::FaultKind::kStall;
+    // Reachable through FindCase like every other case.
+    EXPECT_EQ(systems::FindCase(failure_case.id), &failure_case);
+  }
+  EXPECT_TRUE(has_crash);
+  EXPECT_TRUE(has_stall);
+}
+
+TEST(CrashStallScenarioTest, ScenariosReproduceAndReplayDeterministically) {
+  for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
+    SCOPED_TRACE(failure_case.id);
+    systems::BuiltCase built = systems::BuildCase(failure_case);
+    ExplorerOptions options = OptionsFor(failure_case, 1);
+    ASSERT_TRUE(options.crash_stall_candidates);
+    ExploreResult result = RunSearch(built, options);
+    ASSERT_TRUE(result.reproduced);
+    ASSERT_TRUE(result.script.has_value());
+    EXPECT_NE(result.script->kind, interp::FaultKind::kException)
+        << "reachable only via crash/stall by construction";
+    // The search visited crash and hang outcomes on the way.
+    EXPECT_GT(result.experiment.crashed_rounds, 0);
+    EXPECT_GT(result.experiment.hung_rounds, 0);
+    // The emitted script replays deterministically.
+    EXPECT_TRUE(Explorer::Replay(built.spec, *result.script));
+  }
+}
+
+TEST(CrashStallScenarioTest, ExceptionOnlySearchCannotReachCrashScenarios) {
+  // Without crash_stall_candidates the candidate space contains no crash or
+  // stall instances, so the oracle can never be satisfied.
+  for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
+    SCOPED_TRACE(failure_case.id);
+    systems::BuiltCase built = systems::BuildCase(failure_case);
+    ExplorerOptions options;
+    options.num_threads = 1;
+    options.crash_stall_candidates = false;
+    options.max_rounds = 150;  // bounded: this search is expected to fail
+    ExploreResult result = RunSearch(built, options);
+    EXPECT_FALSE(result.reproduced);
+  }
+}
+
+}  // namespace
+}  // namespace anduril::explorer

@@ -4,9 +4,11 @@
 //       All 22 cases with system and title.
 //   anduril_case info <case>
 //       Context details: observables, causal graph size, candidates.
-//   anduril_case run <case> [strategy] [max_rounds]
+//   anduril_case run <case> [strategy] [max_rounds] [--checkpoint=<path>] [--resume]
 //       Explore with a strategy (default "full") and print the per-round
-//       trace plus the reproduction script.
+//       trace plus the reproduction script. --checkpoint serializes the
+//       search state to <path> after every round; --resume restores it from
+//       there first (and continues from the next round).
 //   anduril_case replay <case> <occurrence> <seed>
 //       Inject the case's ground-truth site at a chosen occurrence/seed and
 //       dump the resulting log — the tool for studying a scenario's timing
@@ -17,6 +19,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/analysis/graph_export.h"
 #include "src/explorer/explorer.h"
@@ -27,12 +31,14 @@ namespace anduril {
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: anduril_case list\n"
-               "       anduril_case info <case>\n"
-               "       anduril_case run <case> [strategy] [max_rounds]\n"
-               "       anduril_case replay <case> <occurrence> <seed>\n"
-               "       anduril_case graph <case> [max_nodes]\n");
+  std::fprintf(
+      stderr,
+      "usage: anduril_case list\n"
+      "       anduril_case info <case>\n"
+      "       anduril_case run <case> [strategy] [max_rounds] [--checkpoint=<path>] "
+      "[--resume]\n"
+      "       anduril_case replay <case> <occurrence> <seed>\n"
+      "       anduril_case graph <case> [max_nodes]\n");
   return 2;
 }
 
@@ -41,6 +47,11 @@ int List() {
     std::printf("%-10s %-5s %-10s %s\n", failure_case.id.c_str(),
                 failure_case.paper_id.c_str(), failure_case.system.c_str(),
                 failure_case.title.c_str());
+  }
+  for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
+    std::printf("%-10s %-5s %-10s %s [%s]\n", failure_case.id.c_str(),
+                failure_case.paper_id.c_str(), failure_case.system.c_str(),
+                failure_case.title.c_str(), interp::FaultKindName(failure_case.root_kind));
   }
   return 0;
 }
@@ -75,7 +86,9 @@ int Info(const std::string& id) {
               context.candidates().size());
   std::printf("ground truth: %s, %s at occurrence %lld\n",
               built.program->fault_site(built.ground_truth.site).name.c_str(),
-              built.program->exception_type(built.ground_truth.type).name.c_str(),
+              built.ground_truth.kind == interp::FaultKind::kException
+                  ? built.program->exception_type(built.ground_truth.type).name.c_str()
+                  : interp::FaultKindName(built.ground_truth.kind),
               static_cast<long long>(built.ground_truth.occurrence));
   std::printf("relevant observables (%zu):\n", context.observables().size());
   for (const explorer::ObservableInfo& observable : context.observables()) {
@@ -84,7 +97,8 @@ int Info(const std::string& id) {
   return 0;
 }
 
-int RunCase(const std::string& id, const std::string& strategy_name, int max_rounds) {
+int RunCase(const std::string& id, const std::string& strategy_name, int max_rounds,
+            const std::string& checkpoint_path, bool resume) {
   const systems::FailureCase* failure_case = Lookup(id);
   if (failure_case == nullptr) {
     return 1;
@@ -93,14 +107,46 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
   explorer::ExplorerOptions options;
   options.max_rounds = max_rounds;
   options.track_site = built.ground_truth.site;
+  // Crash/stall-rooted cases are only reachable with the extended candidate
+  // space; exception-rooted cases keep the stock space.
+  options.crash_stall_candidates =
+      failure_case->root_kind != interp::FaultKind::kException;
   explorer::Explorer ex(built.spec, options);
   auto strategy = explorer::MakeStrategy(strategy_name);
-  explorer::ExploreResult result = ex.Explore(strategy.get());
-  for (const explorer::RoundRecord& record : result.records) {
-    std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d%s\n", record.round,
-                record.window_size, record.injected ? 1 : 0, record.tracked_rank,
-                record.present_observables, record.success ? "  <- reproduced" : "");
+
+  explorer::CheckpointConfig checkpoint;
+  checkpoint.path = checkpoint_path;
+  explorer::SearchCheckpoint resumed;
+  if (resume) {
+    if (checkpoint_path.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint=<path>\n");
+      return 2;
+    }
+    std::string error;
+    if (!explorer::LoadCheckpointFile(checkpoint_path, &resumed, &error)) {
+      std::fprintf(stderr, "cannot resume: %s\n", error.c_str());
+      return 1;
+    }
+    checkpoint.resume = &resumed;
+    std::printf("resuming from round %d (%s)\n", resumed.rounds_completed + 1,
+                checkpoint_path.c_str());
   }
+
+  explorer::ExploreResult result = ex.Explore(strategy.get(), checkpoint);
+  for (const explorer::RoundRecord& record : result.records) {
+    std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d outcome=%s%s%s\n",
+                record.round, record.window_size, record.injected ? 1 : 0,
+                record.tracked_rank, record.present_observables,
+                interp::RunOutcomeName(record.outcome),
+                record.retries > 0 ? "  (retried)" : "",
+                record.success ? "  <- reproduced" : "");
+  }
+  const explorer::ExperimentRecord& experiment = result.experiment;
+  std::printf(
+      "outcomes: %d completed, %d crashed, %d hung, %d budget-exceeded; %d transient "
+      "retries\n",
+      experiment.completed_rounds, experiment.crashed_rounds, experiment.hung_rounds,
+      experiment.budget_exceeded_rounds, experiment.transient_retries);
   if (!result.reproduced) {
     std::printf("NOT reproduced within %d rounds\n", max_rounds);
     return 1;
@@ -125,10 +171,13 @@ int Replay(const std::string& id, int64_t occurrence, uint64_t seed) {
               interp::FormatLogFile(run.log).c_str());
   for (const interp::ThreadSummary& thread : run.threads) {
     if (thread.state != interp::ThreadEndState::kFinished) {
-      std::printf("thread %s/%s ended %s\n", thread.node.c_str(), thread.name.c_str(),
-                  thread.state == interp::ThreadEndState::kBlocked ? "BLOCKED" : "DEAD");
+      const char* state = thread.state == interp::ThreadEndState::kBlocked  ? "BLOCKED"
+                          : thread.state == interp::ThreadEndState::kCrashed ? "CRASHED"
+                                                                              : "DEAD";
+      std::printf("thread %s/%s ended %s\n", thread.node.c_str(), thread.name.c_str(), state);
     }
   }
+  std::printf("run outcome: %s\n", interp::RunOutcomeName(run.outcome));
   return 0;
 }
 
@@ -145,28 +194,45 @@ int Graph(const std::string& id, size_t max_nodes) {
 }
 
 int Main(int argc, char** argv) {
-  if (argc < 2) {
+  // Split flag arguments (--checkpoint=<path>, --resume) from positionals.
+  std::vector<std::string> args;
+  std::string checkpoint_path;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpoint_path = arg.substr(std::string("--checkpoint=").size());
+    } else if (arg == "--resume") {
+      resume = true;
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (args.empty()) {
     return Usage();
   }
-  std::string command = argv[1];
+  const std::string& command = args[0];
   if (command == "list") {
     return List();
   }
-  if (argc < 3) {
+  if (args.size() < 2) {
     return Usage();
   }
-  std::string id = argv[2];
+  const std::string& id = args[1];
   if (command == "info") {
     return Info(id);
   }
   if (command == "run") {
-    return RunCase(id, argc > 3 ? argv[3] : "full", argc > 4 ? std::atoi(argv[4]) : 1500);
+    return RunCase(id, args.size() > 2 ? args[2] : "full",
+                   args.size() > 3 ? std::atoi(args[3].c_str()) : 1500, checkpoint_path,
+                   resume);
   }
-  if (command == "replay" && argc >= 5) {
-    return Replay(id, std::atoll(argv[3]), std::strtoull(argv[4], nullptr, 10));
+  if (command == "replay" && args.size() >= 4) {
+    return Replay(id, std::atoll(args[2].c_str()),
+                  std::strtoull(args[3].c_str(), nullptr, 10));
   }
   if (command == "graph") {
-    return Graph(id, argc > 3 ? static_cast<size_t>(std::atoll(argv[3])) : 0);
+    return Graph(id, args.size() > 2 ? static_cast<size_t>(std::atoll(args[2].c_str())) : 0);
   }
   return Usage();
 }
