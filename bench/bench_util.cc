@@ -14,10 +14,11 @@ CaseRun RunCase(const systems::FailureCase& failure_case, const std::string& str
   options.initial_window = initial_window;
   options.feedback_adjustment = adjustment;
   options.track_site = built.ground_truth.site;
-  // Crash/stall-rooted cases need the extended candidate space; the stock
-  // Table 5 cases keep the original exception-only space.
-  options.crash_stall_candidates =
-      failure_case.root_kind != interp::FaultKind::kException;
+  // Crash/stall- and network-rooted cases need their extended candidate
+  // spaces; the stock Table 5 cases keep the original exception-only space.
+  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
+                                   failure_case.root_kind == interp::FaultKind::kStall;
+  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
 
   explorer::Explorer ex(built.spec, options);
   auto strat = explorer::MakeStrategy(strategy);

@@ -55,6 +55,14 @@ bool CandidateFromJson(const JsonValue& value, interp::InjectionCandidate* out,
     out->kind = interp::FaultKind::kCrash;
   } else if (kind == "stall") {
     out->kind = interp::FaultKind::kStall;
+  } else if (kind == "drop") {
+    out->kind = interp::FaultKind::kDrop;
+  } else if (kind == "delay") {
+    out->kind = interp::FaultKind::kDelay;
+  } else if (kind == "duplicate") {
+    out->kind = interp::FaultKind::kDuplicate;
+  } else if (kind == "partition") {
+    out->kind = interp::FaultKind::kPartition;
   } else {
     *error = "unknown fault kind \"" + kind + "\"";
     return false;
@@ -92,12 +100,20 @@ std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint) {
   root.Set("rounds_completed", JsonValue::Int(checkpoint.rounds_completed));
   root.Set("retry_rng_draws", JsonValue::Str(U64ToString(checkpoint.retry_rng_draws)));
 
+  JsonValue network = JsonValue::Object();
+  network.Set("candidates", JsonValue::Bool(checkpoint.network_candidates));
+  network.Set("partition_heal_ms", JsonValue::Int(checkpoint.partition_heal_ms));
+  network.Set("network_delay_ms", JsonValue::Int(checkpoint.network_delay_ms));
+  root.Set("network", std::move(network));
+
   JsonValue experiment = JsonValue::Object();
   experiment.Set("completed_rounds", JsonValue::Int(checkpoint.experiment.completed_rounds));
   experiment.Set("crashed_rounds", JsonValue::Int(checkpoint.experiment.crashed_rounds));
   experiment.Set("hung_rounds", JsonValue::Int(checkpoint.experiment.hung_rounds));
   experiment.Set("budget_exceeded_rounds",
                  JsonValue::Int(checkpoint.experiment.budget_exceeded_rounds));
+  experiment.Set("partitioned_stuck_rounds",
+                 JsonValue::Int(checkpoint.experiment.partitioned_stuck_rounds));
   experiment.Set("transient_retries", JsonValue::Int(checkpoint.experiment.transient_retries));
   experiment.Set("total_run_wall_seconds",
                  JsonValue::Double(checkpoint.experiment.total_run_wall_seconds));
@@ -154,8 +170,11 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
     return false;
   }
   if (version->as_int() != kCheckpointVersion) {
-    *error = StrFormat("unsupported checkpoint version %lld (expected %d)",
-                       static_cast<long long>(version->as_int()), kCheckpointVersion);
+    *error = StrFormat(
+        "unsupported checkpoint version %lld (this build reads only version %d); "
+        "checkpoint files are not forward/backward compatible — delete the stale "
+        "checkpoint and restart the search from round 0",
+        static_cast<long long>(version->as_int()), kCheckpointVersion);
     return false;
   }
   out->version = static_cast<int>(version->as_int());
@@ -166,6 +185,18 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
                                     : 0;
   out->retry_rng_draws = U64FromJson(root.Find("retry_rng_draws"));
 
+  const JsonValue* network = root.Find("network");
+  if (network == nullptr || network->type() != JsonValue::Type::kObject) {
+    *error = "checkpoint has no network object (required since version 2)";
+    return false;
+  }
+  out->network_candidates =
+      network->Find("candidates") != nullptr && network->Find("candidates")->as_bool();
+  out->partition_heal_ms =
+      network->Find("partition_heal_ms") ? network->Find("partition_heal_ms")->as_int() : 0;
+  out->network_delay_ms =
+      network->Find("network_delay_ms") ? network->Find("network_delay_ms")->as_int() : 0;
+
   if (const JsonValue* experiment = root.Find("experiment"); experiment != nullptr) {
     auto get_int = [&](const char* key) {
       const JsonValue* value = experiment->Find(key);
@@ -175,6 +206,7 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
     out->experiment.crashed_rounds = get_int("crashed_rounds");
     out->experiment.hung_rounds = get_int("hung_rounds");
     out->experiment.budget_exceeded_rounds = get_int("budget_exceeded_rounds");
+    out->experiment.partitioned_stuck_rounds = get_int("partitioned_stuck_rounds");
     out->experiment.transient_retries = get_int("transient_retries");
     const JsonValue* total = experiment->Find("total_run_wall_seconds");
     out->experiment.total_run_wall_seconds = total ? total->as_double() : 0;

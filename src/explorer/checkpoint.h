@@ -7,12 +7,18 @@
 // The format is JSON with a version field:
 //
 //   {
-//     "version": 1,
+//     "version": 2,
 //     "program_fingerprint": "<hex>",   // guards against program drift
 //     "base_seed": "<u64 as string>",   // strings: no 2^53 precision loss
 //     "rounds_completed": N,
 //     "retry_rng_draws": "<u64 as string>",
-//     "experiment": { per-outcome round counts, retries, wall-clock },
+//     "experiment": { per-outcome round counts (incl. partitioned_stuck),
+//                     retries, wall-clock },
+//     "network": {                      // v2: network fault configuration
+//       "candidates": bool,             // ExplorerOptions::network_candidates
+//       "partition_heal_ms": N,         // ClusterSpec::partition_heal_ms
+//       "network_delay_ms": N           // ClusterSpec::network_delay_ms
+//     },
 //     "pinned": [ {site, occurrence, type, kind}, ... ],
 //     "strategy": {
 //       "window_size": k, "exhausted": bool,
@@ -24,7 +30,12 @@
 //
 // Candidate identity uses numeric ids, which are deterministic functions of
 // the program build; the fingerprint rejects checkpoints from a different
-// program.
+// program. Version history: v1 had no network block, no partitioned_stuck
+// count, and no drop/delay/duplicate/partition kind strings. v2 checkpoints
+// persist the network-fault configuration so a resumed search replays the
+// same candidate space (and partition/delay timing) byte-identically; v1
+// files are rejected with an actionable error rather than silently resumed
+// into a different search space.
 
 #ifndef ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
 #define ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
@@ -38,7 +49,7 @@
 
 namespace anduril::explorer {
 
-inline constexpr int kCheckpointVersion = 1;
+inline constexpr int kCheckpointVersion = 2;
 
 struct SearchCheckpoint {
   int version = kCheckpointVersion;
@@ -47,6 +58,13 @@ struct SearchCheckpoint {
   int rounds_completed = 0;
   // Jitter draws consumed by the retry backoff so far (stream position).
   uint64_t retry_rng_draws = 0;
+  // v2: network-fault configuration active when the checkpoint was written.
+  // Resume validates these against the live options/cluster — a mismatch
+  // would change the candidate space or message timing and silently break
+  // the byte-identical-resume invariant.
+  bool network_candidates = false;
+  int64_t partition_heal_ms = 0;
+  int64_t network_delay_ms = 0;
   ExperimentRecord experiment;
   std::vector<interp::InjectionCandidate> pinned;
   StrategyCheckpoint strategy;

@@ -76,6 +76,32 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
           FaultCandidate{base.site, base.type, base.node, interp::FaultKind::kStall});
     }
   }
+  // Network kinds (opt-in): every Send statement inside the causal graph is
+  // a message-layer fault site — its kLocation node entered the graph as a
+  // call site of a handler on some observable's backward slice, so the
+  // precomputed spatial distances L_{i,k} apply to it unchanged. One
+  // candidate per kind per send site, appended after the exception (and
+  // crash/stall) candidates.
+  if (options.network_candidates) {
+    for (analysis::CausalNodeId n = 0; n < static_cast<analysis::CausalNodeId>(graph_->node_count());
+         ++n) {
+      const analysis::CausalNode& node = graph_->node(n);
+      if (node.kind != analysis::CausalNodeKind::kLocation) {
+        continue;
+      }
+      const ir::Stmt& stmt = program.method(node.loc.method).stmt(node.loc.stmt);
+      if (stmt.kind != ir::StmtKind::kSend) {
+        continue;
+      }
+      ir::FaultSiteId site = program.FaultSiteAt(node.loc);
+      ANDURIL_CHECK_NE(site, ir::kInvalidId);
+      for (interp::FaultKind kind :
+           {interp::FaultKind::kDrop, interp::FaultKind::kDelay,
+            interp::FaultKind::kDuplicate, interp::FaultKind::kPartition}) {
+        candidates_.push_back(FaultCandidate{site, ir::kInvalidId, n, kind});
+      }
+    }
+  }
 
   // Step 5: precompute L_{i,k} (the §7 optimization: distances are queried
   // every round but computed once).

@@ -73,6 +73,12 @@ struct ExplorerOptions {
   // extra kinds triple the candidate space and change search trajectories,
   // so only scenarios that need them (crash/stall-only failures) opt in.
   bool crash_stall_candidates = false;
+  // Also enumerate network fault candidates (drop / delay / duplicate /
+  // partition, one of each per Send statement on the causal graph). Off by
+  // default for the same reason as crash_stall_candidates: four more
+  // candidates per send site widen the space and change search trajectories,
+  // so only scenarios rooted in message-layer faults opt in.
+  bool network_candidates = false;
   // Transient-round retry policy: a round whose runs were killed by the host
   // wall-clock watchdog (environmental slowness, not a fault-induced
   // outcome) is re-executed up to max_run_retries times with bounded
@@ -95,12 +101,14 @@ struct ExperimentRecord {
   int crashed_rounds = 0;
   int hung_rounds = 0;
   int budget_exceeded_rounds = 0;
+  int partitioned_stuck_rounds = 0;
   int transient_retries = 0;
   double total_run_wall_seconds = 0;
   double max_round_wall_seconds = 0;
 
   int total_rounds() const {
-    return completed_rounds + crashed_rounds + hung_rounds + budget_exceeded_rounds;
+    return completed_rounds + crashed_rounds + hung_rounds + budget_exceeded_rounds +
+           partitioned_stuck_rounds;
   }
 };
 

@@ -190,6 +190,9 @@ void CountOutcome(ExperimentRecord* record, interp::RunOutcome outcome) {
     case interp::RunOutcome::kBudgetExceeded:
       ++record->budget_exceeded_rounds;
       break;
+    case interp::RunOutcome::kPartitionedStuck:
+      ++record->partitioned_stuck_rounds;
+      break;
   }
 }
 
@@ -246,6 +249,11 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     ANDURIL_CHECK(snap.program_fingerprint == ProgramFingerprint(*spec_->program));
     ANDURIL_CHECK(snap.base_seed == spec_->base_seed);
     ANDURIL_CHECK(snap.pinned == spec_->pinned_faults);
+    // A network-config mismatch changes the candidate space or message
+    // timing — resuming would diverge from the uninterrupted search.
+    ANDURIL_CHECK(snap.network_candidates == options_.network_candidates);
+    ANDURIL_CHECK(snap.partition_heal_ms == spec_->cluster->partition_heal_ms);
+    ANDURIL_CHECK(snap.network_delay_ms == spec_->cluster->network_delay_ms);
     ANDURIL_CHECK(strategy->RestoreState(snap.strategy));
     retry_backoff.FastForward(snap.retry_rng_draws);
     result.experiment = snap.experiment;
@@ -278,6 +286,11 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     record.tracked_rank = options_.track_site != ir::kInvalidId
                               ? strategy->RankOfSite(options_.track_site)
                               : -1;
+    for (const interp::InjectionCandidate& candidate : window) {
+      if (interp::IsNetworkFaultKind(candidate.kind)) {
+        ++record.network_candidates_tried;
+      }
+    }
 
     // Execute the round. One run by default; runs_per_round > 1 adds
     // repetitions with distinct seeds whose observable feedback is combined
@@ -315,6 +328,7 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     const interp::RunResult& run = selected->run;
 
     record.outcome = run.outcome;
+    record.partition_events = run.partition_events;
     CountOutcome(&result.experiment, run.outcome);
 
     record.injected = run.injected.has_value();
@@ -420,6 +434,9 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
       snap.base_seed = spec_->base_seed;
       snap.rounds_completed = round;
       snap.retry_rng_draws = retry_backoff.draws();
+      snap.network_candidates = options_.network_candidates;
+      snap.partition_heal_ms = spec_->cluster->partition_heal_ms;
+      snap.network_delay_ms = spec_->cluster->network_delay_ms;
       snap.experiment = result.experiment;
       snap.pinned = spec_->pinned_faults;
       ANDURIL_CHECK(strategy->SaveState(&snap.strategy));

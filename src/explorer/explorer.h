@@ -40,6 +40,12 @@ struct RoundRecord {
   // round burned before settling on that outcome.
   interp::RunOutcome outcome = interp::RunOutcome::kCompleted;
   int retries = 0;
+  // Network-fault candidates armed in this round's window (0 unless
+  // ExplorerOptions::network_candidates widened the space).
+  int network_candidates_tried = 0;
+  // Partition sever/heal transitions of the round's selected run (empty
+  // unless a partition fault fired).
+  std::vector<interp::PartitionTransition> partition_events;
 };
 
 // A deterministic recipe for re-triggering the failure (§3 step 4.a).

@@ -54,10 +54,14 @@ class FeedbackStrategyBase : public InjectionStrategy {
       MarkTried(&tried_, preempted);  // claimed by a pinned fault; never fires
     }
     if (outcome.injected.has_value()) {
-      if (outcome.outcome == interp::RunOutcome::kHung) {
+      if (outcome.outcome == interp::RunOutcome::kHung ||
+          outcome.outcome == interp::RunOutcome::kPartitionedStuck) {
         // The armed candidate wedged the run without reproducing the
-        // failure. Demote it — a hang often means "right site, wrong
-        // instance" — and only retire it after repeated hangs.
+        // failure — a stall hang, or an unhealed partition that starved a
+        // blocked thread. Demote it — a hang often means "right site, wrong
+        // instance" — and only retire it after repeated hangs. (A partition
+        // that *healed* leaves the run completed/crashed and is retired
+        // normally through the else branch.)
         int& count = demotions_[KeyOf(*outcome.injected)];
         if (++count > context_->options().hang_demotions_before_retirement) {
           MarkTried(&tried_, *outcome.injected);

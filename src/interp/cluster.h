@@ -46,6 +46,13 @@ struct ClusterSpec {
   // the default only trips when a run is genuinely wedged; the explorer
   // classifies such runs as transient and retries them.
   int64_t wall_budget_ms = 10'000;
+  // --- Network fault parameters (only consulted when a network fault fires) --
+  // kPartition: simulated ms until a severed node pair heals. 0 = never
+  // heals (the partition outlives the run unless nothing depends on it).
+  int64_t partition_heal_ms = 0;
+  // kDelay: fixed extra delivery latency in simulated ms. 0 = seed-derived
+  // per (site, occurrence), in [20, 120) ms (see NetworkModel::DelayFor).
+  int64_t network_delay_ms = 0;
 
   void AddNode(const std::string& name) { nodes.push_back(name); }
   void AddTask(const std::string& node, const std::string& thread, ir::MethodId method,

@@ -14,6 +14,14 @@ const char* FaultKindName(FaultKind kind) {
       return "crash";
     case FaultKind::kStall:
       return "stall";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kPartition:
+      return "partition";
   }
   return "unknown";
 }
@@ -27,18 +35,15 @@ void FaultRuntime::BeginRun() {
   decision_nanos_ = 0;
 }
 
-FaultAction FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
-                                         int64_t log_clock, int64_t time_ms,
-                                         int32_t thread_id) {
-  auto start = std::chrono::steady_clock::now();
+bool FaultRuntime::Decide(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
+                          int32_t thread_id, FaultAction* action) {
   ++injection_requests_;
   int64_t occurrence = ++occurrences_[site];
+  action->occurrence = occurrence;
   if (tracing_) {
     trace_.push_back(FaultInstanceEvent{site, occurrence, log_clock, time_ms, thread_id});
   }
 
-  FaultAction action;
-  bool fired = false;
   // Pinned faults (iterative multi-fault mode) fire unconditionally and do
   // not consume the window's single injection. A dynamic instance fires at
   // most once: if a window candidate names the same (site, occurrence) as a
@@ -46,10 +51,9 @@ FaultAction FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& s
   // as pre-empted — not fired a second time, not left armed forever.
   for (const InjectionCandidate& pinned : pinned_) {
     if (pinned.site == site && pinned.occurrence == occurrence) {
-      action.kind = pinned.kind;
-      action.exception = pinned.kind == FaultKind::kException ? pinned.type : ir::kInvalidId;
-      action.fired = pinned.kind != FaultKind::kException;
-      fired = true;
+      action->kind = pinned.kind;
+      action->exception = pinned.kind == FaultKind::kException ? pinned.type : ir::kInvalidId;
+      action->fired = pinned.kind != FaultKind::kException;
       if (!injected_.has_value()) {
         for (const InjectionCandidate& candidate : window_) {
           if (candidate.site == site && candidate.occurrence == occurrence) {
@@ -58,30 +62,55 @@ FaultAction FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& s
           }
         }
       }
-      break;
+      return true;
     }
   }
   // Window injection: first candidate instance reached fires (§5.2.5). At
   // most one injection per run.
-  if (!fired && !injected_.has_value()) {
+  if (!injected_.has_value()) {
     for (const InjectionCandidate& candidate : window_) {
       if (candidate.site == site && candidate.occurrence == occurrence) {
         injected_ = candidate;
-        action.kind = candidate.kind;
-        action.exception =
+        action->kind = candidate.kind;
+        action->exception =
             candidate.kind == FaultKind::kException ? candidate.type : ir::kInvalidId;
-        action.fired = candidate.kind != FaultKind::kException;
-        action.injected = true;
-        fired = true;
-        break;
+        action->fired = candidate.kind != FaultKind::kException;
+        action->injected = true;
+        return true;
       }
     }
   }
+  return false;
+}
+
+FaultAction FaultRuntime::OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt,
+                                         int64_t log_clock, int64_t time_ms,
+                                         int32_t thread_id) {
+  auto start = std::chrono::steady_clock::now();
+  FaultAction action;
+  bool fired = Decide(site, log_clock, time_ms, thread_id, &action);
+  ANDURIL_CHECK(!fired || !IsNetworkFaultKind(action.kind))
+      << "network fault armed at external-call site " << program_->fault_site(site).name;
   // Natural transient failure (deterministic, present in fault-free runs
   // too): models handled errors that make production logs noisy.
-  if (!fired && stmt.transient_every_n > 0 && occurrence % stmt.transient_every_n == 0) {
+  if (!fired && stmt.transient_every_n > 0 &&
+      action.occurrence % stmt.transient_every_n == 0) {
     action.exception = stmt.throwable_types.front();
   }
+  decision_nanos_ +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start)
+          .count();
+  return action;
+}
+
+FaultAction FaultRuntime::OnSend(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
+                                 int32_t thread_id) {
+  auto start = std::chrono::steady_clock::now();
+  FaultAction action;
+  bool fired = Decide(site, log_clock, time_ms, thread_id, &action);
+  ANDURIL_CHECK(!fired || IsNetworkFaultKind(action.kind))
+      << "non-network fault armed at send site " << program_->fault_site(site).name;
   decision_nanos_ +=
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
                                                            start)

@@ -38,13 +38,34 @@ namespace anduril::interp {
 //                log is truncated at the crash point.
 //   kStall     — the call blocks forever; the thread wedges until the run's
 //                budget expires (a hang, not a death).
-enum class FaultKind : uint8_t { kException, kCrash, kStall };
+//
+// Network kinds fire at kSend sites (the message layer) instead of external
+// calls:
+//
+//   kDrop      — the message is discarded; the handler never runs.
+//   kDelay     — delivery is deferred by a deterministic, seed-derived
+//                number of simulated milliseconds (ClusterSpec::
+//                network_delay_ms overrides the derived value).
+//   kDuplicate — the message is delivered twice.
+//   kPartition — the (src, dst) node pair is severed both ways; every
+//                message crossing the pair — including ones already in
+//                flight — is dropped until the partition heals
+//                (ClusterSpec::partition_heal_ms; 0 = never).
+enum class FaultKind : uint8_t { kException, kCrash, kStall, kDrop, kDelay, kDuplicate,
+                                 kPartition };
 
 const char* FaultKindName(FaultKind kind);
 
+// True for the message-layer kinds, which fire at kSend fault sites; the
+// other kinds fire at kExternal sites.
+inline bool IsNetworkFaultKind(FaultKind kind) {
+  return kind == FaultKind::kDrop || kind == FaultKind::kDelay ||
+         kind == FaultKind::kDuplicate || kind == FaultKind::kPartition;
+}
+
 // One candidate dynamic fault instance: inject a fault of `kind` at the
 // `occurrence`-th (1-based) execution of `site`. `type` is the exception to
-// throw for kException and kInvalidId for crash/stall kinds.
+// throw for kException and kInvalidId for every other kind.
 struct InjectionCandidate {
   ir::FaultSiteId site = ir::kInvalidId;
   int64_t occurrence = 0;
@@ -54,16 +75,19 @@ struct InjectionCandidate {
   friend bool operator==(const InjectionCandidate&, const InjectionCandidate&) = default;
 };
 
-// The runtime's decision for one external-call execution.
+// The runtime's decision for one external-call or send execution.
 struct FaultAction {
   FaultKind kind = FaultKind::kException;
   // Exception to throw (injected, pinned, or natural transient); kInvalidId
   // means no exception. Only meaningful when kind == kException.
   ir::ExceptionTypeId exception = ir::kInvalidId;
-  // True when a crash/stall fault fired at this call.
+  // True when a non-exception fault (crash/stall/network) fired here.
   bool fired = false;
   // True only for a *window* injection (not pinned, not natural transient).
   bool injected = false;
+  // The 1-based dynamic occurrence of the site this decision was made for
+  // (the simulator folds it into the seed-derived delay for kDelay).
+  int64_t occurrence = 0;
 };
 
 // A traced execution of a fault site.
@@ -98,6 +122,13 @@ class FaultRuntime {
   FaultAction OnExternalCall(ir::FaultSiteId site, const ir::Stmt& stmt, int64_t log_clock,
                              int64_t time_ms, int32_t thread_id);
 
+  // Called by the interpreter right before a Send statement hands its
+  // message to the network. Same tracing and window/pinned matching as
+  // OnExternalCall, but the only kinds that can fire are the network ones
+  // (drop/delay/duplicate/partition) and there is no natural transient.
+  FaultAction OnSend(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
+                     int32_t thread_id);
+
   // Resets per-run state (occurrence counters, trace, request count) while
   // keeping the window configuration.
   void BeginRun();
@@ -123,6 +154,13 @@ class FaultRuntime {
   const std::vector<InjectionCandidate>& preempted_window() const { return preempted_window_; }
 
  private:
+  // Shared pinned/window matching: traces the instance, fills `action` and
+  // returns true when a pinned or window candidate fired at (site,
+  // occurrence). Natural transients are the caller's (OnExternalCall's)
+  // business.
+  bool Decide(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms, int32_t thread_id,
+              FaultAction* action);
+
   const ir::Program* program_;
   std::vector<InjectionCandidate> window_;
   std::vector<InjectionCandidate> pinned_;

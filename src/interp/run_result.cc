@@ -14,6 +14,8 @@ const char* RunOutcomeName(RunOutcome outcome) {
       return "hung";
     case RunOutcome::kBudgetExceeded:
       return "budget-exceeded";
+    case RunOutcome::kPartitionedStuck:
+      return "partitioned-stuck";
   }
   return "unknown";
 }

@@ -13,6 +13,7 @@
 
 #include "src/interp/fault_runtime.h"
 #include "src/interp/log_entry.h"
+#include "src/interp/network_model.h"
 #include "src/ir/program.h"
 
 namespace anduril::interp {
@@ -25,13 +26,28 @@ enum class ThreadEndState : uint8_t {
 };
 
 // How a run ended, in decreasing severity: a crash fault halted a node, a
-// stall fault left an external call wedged past the end of the run, a run
-// budget (simulated-time, step, or host wall-clock) expired, or the run
+// stall fault left an external call wedged past the end of the run, an
+// unhealed network partition starved a still-blocked thread of messages, a
+// run budget (simulated-time, step, or host wall-clock) expired, or the run
 // drained all events and completed cleanly. Threads blocked in ordinary
-// awaits/sleeps at run end do not make a run kHung — only a stall fault does.
-enum class RunOutcome : uint8_t { kCompleted, kCrashed, kHung, kBudgetExceeded };
+// awaits/sleeps at run end do not make a run kHung — only a stall fault
+// does; likewise they only make it kPartitionedStuck when a partition fault
+// fired, actually dropped messages, and never healed.
+// (kPartitionedStuck sorts after kBudgetExceeded to keep the on-disk values
+// of the original outcomes stable.)
+enum class RunOutcome : uint8_t { kCompleted, kCrashed, kHung, kBudgetExceeded,
+                                  kPartitionedStuck };
 
 const char* RunOutcomeName(RunOutcome outcome);
+
+// A partition sever/heal transition with node names resolved, for human
+// output (PartitionEvent in network_model.h is the index-based raw form).
+struct PartitionTransition {
+  int64_t time_ms = 0;
+  std::string node_a;
+  std::string node_b;
+  bool sever = true;  // false = heal
+};
 
 struct ThreadSummary {
   std::string node;
@@ -61,6 +77,10 @@ struct RunResult {
   RunOutcome outcome = RunOutcome::kCompleted;
   // Nodes halted by a crash fault, in crash order.
   std::vector<std::string> crashed_nodes;
+  // Message-layer accounting (drops, delays, duplicates, partitions).
+  NetworkStats network;
+  // Partition sever/heal transitions, chronological, node names resolved.
+  std::vector<PartitionTransition> partition_events;
   int64_t injection_requests = 0;
   int64_t decision_nanos = 0;
   std::optional<InjectionCandidate> injected;

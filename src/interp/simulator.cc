@@ -25,7 +25,8 @@ constexpr int64_t kWhileIterationCap = 1'000'000;
 
 Simulator::Simulator(const ir::Program* program, const ClusterSpec* spec, uint64_t seed,
                      FaultRuntime* fault_runtime)
-    : program_(program), spec_(spec), fault_runtime_(fault_runtime), rng_(seed) {
+    : program_(program), spec_(spec), fault_runtime_(fault_runtime), rng_(seed),
+      network_(seed) {
   ANDURIL_CHECK(program_->finalized()) << "program must be finalized before execution";
   execution_exception_ = program_->FindException("ExecutionException");
   futures_.emplace_back();  // index 0 unused
@@ -489,6 +490,10 @@ Simulator::StepResult Simulator::ExecStmt(Thread* thread, ir::MethodId method_id
       return StepResult::kContinue;
 
     case ir::StmtKind::kSend: {
+      ir::FaultSiteId site = program_->FaultSiteAt(ir::GlobalStmt{method_id, stmt_id});
+      ANDURIL_CHECK_NE(site, ir::kInvalidId);
+      FaultAction action = fault_runtime_->OnSend(site, static_cast<int64_t>(log_.size()),
+                                                  now_, thread->id);
       std::string target = stmt.target_node;
       if (stmt.target_index_var != ir::kInvalidId) {
         target += std::to_string(EnvRef(thread->node, stmt.target_index_var));
@@ -498,12 +503,44 @@ Simulator::StepResult Simulator::ExecStmt(Thread* thread, ir::MethodId method_id
                                 ? DefaultHandlerThread(program_->method(stmt.callee).name)
                                 : stmt.handler_thread;
       Thread* target_thread = GetThread(target_node, handler);
+      network_.OnMessageSent();
       Event event;
+      // The jitter draw stays unconditional so a fired network fault never
+      // shifts the rng stream of the rest of the run.
       event.time = now_ + stmt.latency_ms + static_cast<int64_t>(rng_.NextBelow(2));
       event.kind = Event::Kind::kDeliver;
       event.thread = target_thread->id;
+      event.src_node = thread->node;
       event.task = Task{stmt.callee, EvalExpr(*thread, frame, stmt.expr), -1};
+      bool duplicate = false;
+      if (action.fired) {
+        switch (action.kind) {
+          case FaultKind::kDrop:
+            network_.DropMessage();
+            return StepResult::kContinue;  // the message vanishes silently
+          case FaultKind::kDelay:
+            event.time += network_.DelayFor(site, action.occurrence, spec_->network_delay_ms);
+            break;
+          case FaultKind::kDuplicate:
+            network_.DuplicateMessage();
+            duplicate = true;
+            break;
+          case FaultKind::kPartition:
+            // Severs the pair; the triggering message is then swallowed by
+            // the severed-pair check below, like everything after it.
+            network_.Sever(thread->node, target_node, now_, spec_->partition_heal_ms);
+            break;
+          default:
+            ANDURIL_UNREACHABLE();  // OnSend only fires network kinds
+        }
+      }
+      if (network_.SeveredDrop(thread->node, target_node, now_)) {
+        return StepResult::kContinue;
+      }
       PushEvent(event);
+      if (duplicate) {
+        PushEvent(event);  // same delivery time, later seq
+      }
       return StepResult::kContinue;
     }
 
@@ -732,6 +769,7 @@ void Simulator::ProcessWake(const Event& event) {
 
 void Simulator::CrashNode(int32_t node) {
   crashed_node_indices_.push_back(node);
+  network_.MarkCrashed(node);
   for (auto& thread : threads_) {
     if (thread->node != node || thread->state == Thread::State::kDead) {
       continue;
@@ -789,8 +827,16 @@ RunResult Simulator::Run() {
     switch (event.kind) {
       case Event::Kind::kDeliver: {
         Thread* thread = threads_[static_cast<size_t>(event.thread)].get();
+        // Cross-node messages consult the network first: an in-flight
+        // message to a crashed node, or one crossing a pair that was severed
+        // while it was in flight, is dropped (and counted) by the model.
+        if (event.src_node >= 0 &&
+            (network_.CrashedDrop(thread->node) ||
+             network_.SeveredDrop(event.src_node, thread->node, now_))) {
+          break;
+        }
         if (thread->state == Thread::State::kDead) {
-          break;  // message to a dead thread is dropped
+          break;  // message to a thread dead from an uncaught exception
         }
         thread->queue.push_back(event.task);
         if (thread->state == Thread::State::kIdle && thread->stack.empty()) {
@@ -819,14 +865,34 @@ RunResult Simulator::Run() {
   for (int32_t node : crashed_node_indices_) {
     result.crashed_nodes.push_back(node_names_[static_cast<size_t>(node)]);
   }
+  // A run is partitioned-stuck when a partition fault fired, actually
+  // dropped messages, never healed, and left some thread blocked waiting for
+  // work that can no longer arrive.
+  bool partitioned_stuck = false;
+  if (network_.stats().dropped_by_partition > 0 && network_.HasUnhealedPartition(now_)) {
+    for (const auto& thread : threads_) {
+      if (thread->state == Thread::State::kBlocked) {
+        partitioned_stuck = true;
+        break;
+      }
+    }
+  }
   if (!crashed_node_indices_.empty()) {
     result.outcome = RunOutcome::kCrashed;
   } else if (stall_fired_) {
     result.outcome = RunOutcome::kHung;
+  } else if (partitioned_stuck) {
+    result.outcome = RunOutcome::kPartitionedStuck;
   } else if (hit_wall_budget_ || hit_step_limit_ || hit_time_limit_) {
     result.outcome = RunOutcome::kBudgetExceeded;
   } else {
     result.outcome = RunOutcome::kCompleted;
+  }
+  result.network = network_.stats();
+  for (const PartitionEvent& transition : network_.TakeEvents()) {
+    result.partition_events.push_back(PartitionTransition{
+        transition.time_ms, node_names_[static_cast<size_t>(transition.node_a)],
+        node_names_[static_cast<size_t>(transition.node_b)], transition.sever});
   }
 
   for (const auto& thread : threads_) {

@@ -33,6 +33,7 @@
 #include "src/interp/cluster.h"
 #include "src/interp/fault_runtime.h"
 #include "src/interp/log_entry.h"
+#include "src/interp/network_model.h"
 #include "src/interp/run_result.h"
 #include "src/ir/program.h"
 #include "src/util/rng.h"
@@ -116,6 +117,9 @@ class Simulator {
     enum class Kind : uint8_t { kDeliver, kWake, kTimer } kind = Kind::kDeliver;
     int32_t thread = -1;
     uint64_t epoch = 0;
+    // Sending node for cross-node (kSend) deliveries; -1 for same-node work
+    // (kSubmit, initial tasks), which never touches the network.
+    int32_t src_node = -1;
     Task task;  // kDeliver
 
     bool operator>(const Event& other) const {
@@ -150,8 +154,10 @@ class Simulator {
   std::string DescribeException(const ExcValue& exc) const;
   void PushEvent(Event event);
   // Halts every thread on `node`: clears queues and stacks, bumps epochs so
-  // pending wakes go stale. In-flight messages to the node are dropped by
-  // the dead-thread check in the event loop.
+  // pending wakes go stale, and marks the node crashed in the NetworkModel,
+  // which drops in-flight messages to it (so crash and network faults
+  // compose in one place; the event loop's dead-thread check remains as the
+  // backstop for threads dead from uncaught exceptions).
   void CrashNode(int32_t node);
   // Watchdog: true once the host wall-clock budget is spent. Polled at every
   // event and every few thousand interpreter steps.
@@ -166,6 +172,7 @@ class Simulator {
   const ClusterSpec* spec_;
   FaultRuntime* fault_runtime_;
   Rng rng_;
+  NetworkModel network_;
 
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, int32_t> node_index_;

@@ -265,6 +265,11 @@ void Program::EnumerateFaultSites() {
                                 exception_type(stmt.exception_type).name.c_str(),
                                 method.name.c_str(), s);
           break;
+        case StmtKind::kSend:
+          site.kind = FaultSiteKind::kSend;
+          site.name = StrFormat("send:%s->%s@%s#%d", this->method(stmt.callee).name.c_str(),
+                                stmt.target_node.c_str(), method.name.c_str(), s);
+          break;
         default:
           continue;
       }

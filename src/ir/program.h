@@ -38,17 +38,22 @@ struct ExceptionType {
   ExceptionTypeId parent = kInvalidId;  // kInvalidId only for the root
 };
 
-// Kind of a static fault site, following §4.1 of the paper.
+// Kind of a static fault site, following §4.1 of the paper (kSend extends
+// the taxonomy to the message layer).
 enum class FaultSiteKind : uint8_t {
   kExternal,      // ExternalCall: library call that may throw (injectable)
   kThrowNew,      // Throw: `throw new E` in system code
   kAwaitTimeout,  // Await with a timeout exception
+  kSend,          // Send: cross-node message (network-fault injectable)
 };
 
-// A static fault site. Only kExternal sites are injectable: the tool forces
-// the external call to throw one of its declared exception types at a chosen
-// occurrence (paper Figure 3). kThrowNew / kAwaitTimeout sites participate in
-// the causal graph as new-exception sources and in Table 1 counts.
+// A static fault site. kExternal sites are exception/crash/stall injectable:
+// the tool forces the external call to throw one of its declared exception
+// types at a chosen occurrence (paper Figure 3), halt the node, or wedge the
+// call. kSend sites are network-fault injectable (drop / delay / duplicate /
+// partition at a chosen occurrence of the message). kThrowNew /
+// kAwaitTimeout sites participate in the causal graph as new-exception
+// sources and in Table 1 counts.
 struct FaultSite {
   FaultSiteId id = kInvalidId;
   GlobalStmt location;

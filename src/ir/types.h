@@ -9,6 +9,7 @@
 #ifndef ANDURIL_SRC_IR_TYPES_H_
 #define ANDURIL_SRC_IR_TYPES_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace anduril::ir {

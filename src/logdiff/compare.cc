@@ -87,26 +87,37 @@ LogComparison CompareLogs(const ParsedLog& base, const ParsedLog& target) {
     }
     const std::vector<int64_t>& base_indices = base_it->second;
     std::vector<int32_t> base_seq;
+    std::unordered_map<std::string, int64_t> base_counts;
     base_seq.reserve(base_indices.size());
     for (int64_t idx : base_indices) {
-      base_seq.push_back(intern_key(base.lines[static_cast<size_t>(idx)].key));
+      const ParsedLine& line = base.lines[static_cast<size_t>(idx)];
+      base_seq.push_back(intern_key(line.key));
+      ++base_counts[line.key];
     }
     std::vector<int32_t> target_seq;
+    std::unordered_map<std::string, int64_t> target_counts;
     target_seq.reserve(target_indices.size());
     for (int64_t idx : target_indices) {
-      target_seq.push_back(intern_key(target.lines[static_cast<size_t>(idx)].key));
+      const ParsedLine& line = target.lines[static_cast<size_t>(idx)];
+      target_seq.push_back(intern_key(line.key));
+      ++target_counts[line.key];
     }
     auto matches = MyersDiff(base_seq, target_seq);
-    // Target entries not matched are target-only.
-    std::vector<bool> matched(target_seq.size(), false);
     for (const auto& [bi, ti] : matches) {
-      matched[static_cast<size_t>(ti)] = true;
       all_matches.emplace_back(base_indices[static_cast<size_t>(bi)],
                                target_indices[static_cast<size_t>(ti)]);
     }
-    for (size_t i = 0; i < target_seq.size(); ++i) {
-      if (!matched[i]) {
-        add_target_only(target.lines[static_cast<size_t>(target_indices[i])]);
+    // A key is target-only when the failure thread emits it more often than
+    // the normal thread does (absent counts as zero). Counting — rather than
+    // flagging unmatched diff instances — means a delay fault that merely
+    // reorders deliveries within a thread produces no phantom observables,
+    // while duplicated deliveries and genuinely new templates still do.
+    for (int64_t idx : target_indices) {
+      const ParsedLine& line = target.lines[static_cast<size_t>(idx)];
+      auto count_it = base_counts.find(line.key);
+      int64_t base_count = count_it == base_counts.end() ? 0 : count_it->second;
+      if (target_counts[line.key] > base_count) {
+        add_target_only(line);
       }
     }
   }

@@ -3,8 +3,10 @@
 //
 // CompareLogs implements the paper's relevant-observable extraction: group
 // both logs by thread name, sanitize entries, run Myers diff per thread, and
-// report every message key that appears only in the failure log (plus all
-// messages of threads absent from the normal log). It also returns the
+// report every message key whose per-thread multiplicity in the failure log
+// exceeds its multiplicity in the normal log — new templates, extra
+// repetitions of known templates, and all messages of threads absent from
+// the normal log. Reordering alone never yields a key. It also returns the
 // matched entry pairs, which AlignTimelines turns into a monotone piecewise-
 // linear mapping used to scale fault-instance positions from the normal-run
 // timeline onto the failure-log timeline.
@@ -24,8 +26,9 @@
 namespace anduril::logdiff {
 
 struct LogComparison {
-  // Observable keys present in `target` (failure log) but missing from
-  // `base` (normal/run log), deduplicated, in order of first appearance.
+  // Observable keys whose per-thread count in `target` (failure log) exceeds
+  // their count in `base` (normal/run log, absent = 0), deduplicated, in
+  // order of first appearance.
   std::vector<std::string> target_only_keys;
   // Matched entry pairs (base global index, target global index) from the
   // per-thread diffs, merged and reduced to a globally monotone alignment

@@ -185,8 +185,19 @@ const std::vector<FailureCase>& CrashStallCases() {
   return *cases;
 }
 
+const std::vector<FailureCase>& NetworkCases() {
+  static const std::vector<FailureCase>* cases = [] {
+    auto* all = new std::vector<FailureCase>();
+    RegisterZooKeeperNetworkCases(all);
+    RegisterHdfsNetworkCases(all);
+    return all;
+  }();
+  return *cases;
+}
+
 const FailureCase* FindCase(const std::string& id) {
-  for (const std::vector<FailureCase>* registry : {&AllCases(), &CrashStallCases()}) {
+  for (const std::vector<FailureCase>* registry :
+       {&AllCases(), &CrashStallCases(), &NetworkCases()}) {
     for (const FailureCase& failure_case : *registry) {
       if (failure_case.id == id || failure_case.paper_id == id) {
         return &failure_case;

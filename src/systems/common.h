@@ -35,7 +35,9 @@ struct FailureCase {
   // Ground truth root cause. The site is referenced by its ExternalCall
   // site_name (unique per scenario); occurrence is 1-based. For kCrash/kStall
   // root kinds root_exception is empty: the fault is the node halting or the
-  // call wedging, not a thrown exception.
+  // call wedging, not a thrown exception. Network-rooted kinds (kDrop /
+  // kDelay / kDuplicate / kPartition) name a Send site by its
+  // "send:<handler>-><target>" prefix instead.
   std::string root_site;
   std::string root_exception;
   int64_t root_occurrence = 1;
@@ -116,8 +118,14 @@ const std::vector<FailureCase>& AllCases();
 // ExplorerOptions::crash_stall_candidates = true.
 const std::vector<FailureCase>& CrashStallCases();
 
-// Lookup by id ("zk-2247") or paper id ("f1") across AllCases and
-// CrashStallCases. Returns nullptr if unknown.
+// Failure cases whose root cause is a message-layer fault (drop, delay,
+// duplicate, or partition) rather than a thrown exception (also kept out of
+// AllCases). Searches over these need
+// ExplorerOptions::network_candidates = true.
+const std::vector<FailureCase>& NetworkCases();
+
+// Lookup by id ("zk-2247") or paper id ("f1") across AllCases,
+// CrashStallCases, and NetworkCases. Returns nullptr if unknown.
 const FailureCase* FindCase(const std::string& id);
 
 // Per-system registration functions (defined in the system modules).
@@ -129,6 +137,9 @@ void RegisterCassandraCases(std::vector<FailureCase>* cases);
 // Crash/stall-rooted scenarios (defined in the system extras modules).
 void RegisterZooKeeperCrashCases(std::vector<FailureCase>* cases);
 void RegisterHdfsStallCases(std::vector<FailureCase>* cases);
+// Network-rooted scenarios (drop/delay/duplicate/partition).
+void RegisterZooKeeperNetworkCases(std::vector<FailureCase>* cases);
+void RegisterHdfsNetworkCases(std::vector<FailureCase>* cases);
 
 }  // namespace anduril::systems
 

@@ -662,6 +662,139 @@ void RegisterHdStall1(std::vector<FailureCase>* cases) {
   cases->push_back(std::move(c));
 }
 
+// --- Network-rooted scenarios ------------------------------------------------
+
+void RegisterHdNet1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-net-1";
+  c.paper_id = "n3";
+  c.system = "hdfs";
+  c.title = "Lost block-copy command stalls replication one short of target";
+  c.injected_fault = "drop";
+  c.root_site = "send:hdfs.repl.copy_block->dn1";
+  c.root_occurrence = 3;
+  c.root_kind = interp::FaultKind::kDrop;
+  c.build = [](Program* p) {
+    BuildHdfsBase(p);
+    // Replication protocol: the namenode commands five block copies and
+    // waits for the acks. The protocol has no external calls, so exceptions
+    // cannot touch the counters. The oracle pins "4 of 5": exactly one lost
+    // message. A delayed copy still lands inside the 2s ack window and a
+    // duplicate overshoots to 6 — only losing one message matches.
+    {
+      MethodBuilder b(p, "hdfs.repl.coordinator");
+      b.While(b.Lt("replRound", 5), [&] {
+        b.Assign("replRound", b.Plus("replRound", 1));
+        b.Send("hdfs.repl.copy_block", "dn1");
+        b.Sleep(30);
+      });
+      b.Await(b.Ge("replAcks", 5), /*timeout_ms=*/2000);
+      b.If(
+          b.Lt("replAcks", 5),
+          [&] {
+            b.Log(LogLevel::kError, "hdfs.namenode",
+                  "Replication stalled, {} of 5 block copies acknowledged",
+                  {b.V("replAcks")});
+          },
+          [&] {
+            b.Log(LogLevel::kInfo, "hdfs.namenode",
+                  "Replication round complete, {} copies acknowledged", {b.V("replAcks")});
+          });
+    }
+    {
+      MethodBuilder b(p, "hdfs.repl.copy_block");
+      b.Assign("replCopied", b.Plus("replCopied", 1));
+      b.Send("hdfs.repl.copy_ack", "nn");
+    }
+    {
+      MethodBuilder b(p, "hdfs.repl.copy_ack");
+      b.Assign("replAcks", b.Plus("replAcks", 1));
+      b.Signal("replAcks");
+    }
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("nn", "ReplicationCoordinator", p->FindMethod("hdfs.repl.coordinator"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Replication stalled, 4 of 5 block copies acknowledged");
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterHdNet2(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "hd-net-2";
+  c.paper_id = "n4";
+  c.system = "hdfs";
+  c.title = "Delayed block report marks a healthy datanode stale, then re-replicates";
+  c.injected_fault = "delay";
+  c.root_site = "send:hdfs.report.receive->nn";
+  c.root_occurrence = 2;
+  c.root_kind = interp::FaultKind::kDelay;
+  c.build = [](Program* p) {
+    BuildHdfsBase(p);
+    // Block-report protocol: dn2 sends four reports; a watchdog on the
+    // namenode marks the datanode stale if they are not all in within
+    // 300ms, then fires a redundant re-replication if the reports DO arrive
+    // later. Both symptoms together require a late-but-delivered report:
+    // drops and partitions never deliver (no rejoin), duplicates arrive on
+    // time (never stale). The 400ms cluster delay makes a delayed report
+    // miss the staleness window yet beat the 2s grace period.
+    {
+      MethodBuilder b(p, "hdfs.report.pump");
+      b.While(b.Lt("reportsSent", 4), [&] {
+        b.Assign("reportsSent", b.Plus("reportsSent", 1));
+        b.Send("hdfs.report.receive", "nn");
+        b.Sleep(20);
+      });
+    }
+    {
+      MethodBuilder b(p, "hdfs.report.receive");
+      b.Assign("reportsReceived", b.Plus("reportsReceived", 1));
+      b.Signal("reportsReceived");
+    }
+    {
+      MethodBuilder b(p, "hdfs.report.watchdog");
+      b.Await(b.Ge("reportsReceived", 4), /*timeout_ms=*/300);
+      b.If(b.Lt("reportsReceived", 4), [&] {
+        b.Log(LogLevel::kWarn, "hdfs.namenode",
+              "Block reports overdue, marking datanode dn2 stale");
+        b.Assign("dnStale", ir::Expr::Const(1));
+      });
+      b.Await(b.Ge("reportsReceived", 4), /*timeout_ms=*/2000);
+      b.If(b.Eq("dnStale", 1), [&] {
+        b.If(
+            b.Ge("reportsReceived", 4),
+            [&] {
+              b.Log(LogLevel::kError, "hdfs.namenode",
+                    "Stale datanode dn2 rejoined: initiating redundant re-replication");
+            },
+            [&] {
+              b.Log(LogLevel::kWarn, "hdfs.namenode",
+                    "Datanode dn2 still silent after grace period");
+            });
+      });
+    }
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p);
+    cluster.AddTask("dn2", "BlockReportPump", p->FindMethod("hdfs.report.pump"), 0);
+    cluster.AddTask("nn", "ReportWatchdog", p->FindMethod("hdfs.report.watchdog"), 0);
+    cluster.network_delay_ms = 400;  // a delayed report misses the 300ms window
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kWarn,
+                                "Block reports overdue, marking datanode dn2 stale") &&
+           run.HasLogContaining(ir::LogLevel::kError,
+                                "Stale datanode dn2 rejoined: initiating redundant re-replication");
+  };
+  cases->push_back(std::move(c));
+}
+
 }  // namespace
 
 void RegisterHdfsCases(std::vector<FailureCase>* cases) {
@@ -676,6 +809,11 @@ void RegisterHdfsCases(std::vector<FailureCase>* cases) {
 
 void RegisterHdfsStallCases(std::vector<FailureCase>* cases) {
   RegisterHdStall1(cases);
+}
+
+void RegisterHdfsNetworkCases(std::vector<FailureCase>* cases) {
+  RegisterHdNet1(cases);
+  RegisterHdNet2(cases);
 }
 
 }  // namespace anduril::systems

@@ -474,6 +474,142 @@ void RegisterZkCrash1(std::vector<FailureCase>* cases) {
   cases->push_back(std::move(c));
 }
 
+// --- Network-rooted scenarios ------------------------------------------------
+
+void RegisterZkNet1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-net-1";
+  c.paper_id = "n1";
+  c.system = "zookeeper";
+  c.title = "Quorum member silently out of sync behind an unhealed partition";
+  c.injected_fault = "partition";
+  c.root_site = "send:zk.qsync.follower_sync->zk2";
+  c.root_occurrence = 1;
+  c.root_kind = interp::FaultKind::kPartition;
+  c.build = [](Program* p) {
+    BuildZooKeeperBase(p);
+    // Quorum sync protocol: the leader pushes six sync rounds to both
+    // followers; each follower acks with its server id. The sync methods
+    // contain no external calls, so no injectable exception can perturb the
+    // counters — only message-layer faults can. A single dropped round
+    // leaves ackFrom2 at 5; only a severed zk1<->zk2 link starves it to <= 2.
+    {
+      MethodBuilder b(p, "zk.qsync.leader_round");
+      b.While(b.Lt("syncRound", 6), [&] {
+        b.Assign("syncRound", b.Plus("syncRound", 1));
+        b.Send("zk.qsync.follower_sync", "zk2");
+        b.Send("zk.qsync.follower_sync", "zk3");
+        b.Sleep(40);
+      });
+    }
+    {
+      MethodBuilder b(p, "zk.qsync.follower_sync");
+      b.Assign("syncApplied", b.Plus("syncApplied", 1));
+      b.Send("zk.qsync.leader_ack", "zk1", ir::SendOpts{.payload = b.V("myid")});
+    }
+    {
+      // All acks land on one handler thread on zk1, so the assign-then-branch
+      // on the payload cannot interleave across invocations.
+      MethodBuilder b(p, "zk.qsync.leader_ack");
+      b.Assign("lastAckFrom", ir::Expr::Payload());
+      b.If(
+          b.Eq("lastAckFrom", 2), [&] { b.Assign("ackFrom2", b.Plus("ackFrom2", 1)); },
+          [&] { b.Assign("ackFrom3", b.Plus("ackFrom3", 1)); });
+      b.Signal("ackFrom2");
+    }
+    {
+      MethodBuilder b(p, "zk.qsync.monitor");
+      b.Sleep(1200);
+      b.If(b.Lt("ackFrom2", 6), [&] {
+        b.Log(LogLevel::kError, "zk.quorum",
+              "Quorum member zk2 out of sync, only {} of 6 sync rounds acked",
+              {b.V("ackFrom2")});
+      });
+      // No timeout: while the partition stands, the monitor stays blocked
+      // here forever — the run classifies as partitioned-stuck.
+      b.Await(b.Ge("ackFrom2", 6));
+      b.Log(LogLevel::kInfo, "zk.quorum", "Quorum sync recovered, all rounds acked");
+    }
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, /*with_requests=*/false);
+    cluster.AddTask("zk1", "QuorumSync", p->FindMethod("zk.qsync.leader_round"), 0);
+    cluster.AddTask("zk1", "SyncMonitor", p->FindMethod("zk.qsync.monitor"), 0);
+    cluster.SetVar("zk2", p->InternVar("myid"), 2);
+    cluster.SetVar("zk3", p->InternVar("myid"), 3);
+    cluster.partition_heal_ms = 0;  // a severed link never heals
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    // A lone dropped round still acks 5 of 6; only a standing partition
+    // starves the counter this far.
+    return run.HasLogContaining(ir::LogLevel::kError, "Quorum member zk2 out of sync") &&
+           run.NodeVar(prog, "zk1", "ackFrom2") <= 2;
+  };
+  cases->push_back(std::move(c));
+}
+
+void RegisterZkNet2(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-net-2";
+  c.paper_id = "n2";
+  c.system = "zookeeper";
+  c.title = "Duplicated digest delivery corrupts the confirmation audit";
+  c.injected_fault = "duplicate";
+  c.root_site = "send:zk.digest.apply->zk2";
+  c.root_occurrence = 3;
+  c.root_kind = interp::FaultKind::kDuplicate;
+  c.build = [](Program* p) {
+    BuildZooKeeperBase(p);
+    // Digest pipeline: zk1 submits eight digests to zk2, which confirms each
+    // back. The audit only trips when confirmations EXCEED submissions —
+    // drops, delays, and partitions can only lower the count; a duplicated
+    // delivery is the sole way to overshoot.
+    {
+      MethodBuilder b(p, "zk.digest.submit");
+      b.While(b.Lt("digestSent", 8), [&] {
+        b.Assign("digestSent", b.Plus("digestSent", 1));
+        b.Send("zk.digest.apply", "zk2");
+        b.Sleep(15);
+      });
+    }
+    {
+      MethodBuilder b(p, "zk.digest.apply");
+      b.Assign("digestApplied", b.Plus("digestApplied", 1));
+      b.Send("zk.digest.confirm", "zk1");
+    }
+    {
+      MethodBuilder b(p, "zk.digest.confirm");
+      b.Assign("digestConfirmed", b.Plus("digestConfirmed", 1));
+    }
+    {
+      MethodBuilder b(p, "zk.digest.audit");
+      b.Sleep(700);
+      b.If(
+          b.LtVar("digestSent", "digestConfirmed"),
+          [&] {
+            b.Log(LogLevel::kError, "zk.digest",
+                  "Digest confirmation mismatch: {} submitted but {} confirmed",
+                  {b.V("digestSent"), b.V("digestConfirmed")});
+          },
+          [&] {
+            b.Log(LogLevel::kInfo, "zk.digest", "Digest audit clean, {} submissions confirmed",
+                  {b.V("digestConfirmed")});
+          });
+    }
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster = BaseCluster(p, /*with_requests=*/false);
+    cluster.AddTask("zk1", "DigestSubmitter", p->FindMethod("zk.digest.submit"), 0);
+    cluster.AddTask("zk1", "DigestAudit", p->FindMethod("zk.digest.audit"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError, "Digest confirmation mismatch");
+  };
+  cases->push_back(std::move(c));
+}
+
 }  // namespace
 
 void RegisterZooKeeperCases(std::vector<FailureCase>* cases) {
@@ -485,6 +621,11 @@ void RegisterZooKeeperCases(std::vector<FailureCase>* cases) {
 
 void RegisterZooKeeperCrashCases(std::vector<FailureCase>* cases) {
   RegisterZkCrash1(cases);
+}
+
+void RegisterZooKeeperNetworkCases(std::vector<FailureCase>* cases) {
+  RegisterZkNet1(cases);
+  RegisterZkNet2(cases);
 }
 
 }  // namespace anduril::systems

@@ -26,8 +26,9 @@ std::string TempPath(const std::string& name) {
 ExplorerOptions OptionsFor(const systems::FailureCase& failure_case, int threads) {
   ExplorerOptions options;
   options.num_threads = threads;
-  options.crash_stall_candidates =
-      failure_case.root_kind != interp::FaultKind::kException;
+  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
+                                   failure_case.root_kind == interp::FaultKind::kStall;
+  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
   return options;
 }
 
@@ -50,12 +51,18 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
   snap.experiment.crashed_rounds = 6;
   snap.experiment.hung_rounds = 5;
   snap.experiment.budget_exceeded_rounds = 1;
+  snap.experiment.partitioned_stuck_rounds = 2;
   snap.experiment.transient_retries = 3;
   snap.experiment.total_run_wall_seconds = 1.25;
   snap.experiment.max_round_wall_seconds = 0.5;
+  snap.network_candidates = true;
+  snap.partition_heal_ms = 750;
+  snap.network_delay_ms = 400;
   snap.pinned.push_back(interp::InjectionCandidate{3, 9, 2, interp::FaultKind::kException});
   snap.pinned.push_back(
       interp::InjectionCandidate{5, 1, ir::kInvalidId, interp::FaultKind::kCrash});
+  snap.pinned.push_back(
+      interp::InjectionCandidate{6, 2, ir::kInvalidId, interp::FaultKind::kPartition});
   snap.strategy.window_size = 20;
   snap.strategy.exhausted = false;
   snap.strategy.observable_priorities = {4, 0, -2, 100};
@@ -63,6 +70,12 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
       interp::InjectionCandidate{1, 2, 3, interp::FaultKind::kException});
   snap.strategy.tried.push_back(
       interp::InjectionCandidate{8, 4, ir::kInvalidId, interp::FaultKind::kStall});
+  snap.strategy.tried.push_back(
+      interp::InjectionCandidate{9, 1, ir::kInvalidId, interp::FaultKind::kDrop});
+  snap.strategy.tried.push_back(
+      interp::InjectionCandidate{9, 2, ir::kInvalidId, interp::FaultKind::kDelay});
+  snap.strategy.tried.push_back(
+      interp::InjectionCandidate{9, 3, ir::kInvalidId, interp::FaultKind::kDuplicate});
   snap.strategy.demotions.push_back(
       {interp::InjectionCandidate{8, 4, ir::kInvalidId, interp::FaultKind::kStall}, 2});
 
@@ -81,6 +94,11 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
   EXPECT_EQ(parsed.experiment.hung_rounds, snap.experiment.hung_rounds);
   EXPECT_EQ(parsed.experiment.budget_exceeded_rounds,
             snap.experiment.budget_exceeded_rounds);
+  EXPECT_EQ(parsed.experiment.partitioned_stuck_rounds,
+            snap.experiment.partitioned_stuck_rounds);
+  EXPECT_EQ(parsed.network_candidates, snap.network_candidates);
+  EXPECT_EQ(parsed.partition_heal_ms, snap.partition_heal_ms);
+  EXPECT_EQ(parsed.network_delay_ms, snap.network_delay_ms);
   EXPECT_EQ(parsed.experiment.transient_retries, snap.experiment.transient_retries);
   EXPECT_DOUBLE_EQ(parsed.experiment.total_run_wall_seconds,
                    snap.experiment.total_run_wall_seconds);
@@ -105,6 +123,47 @@ TEST(CheckpointTest, ParseRejectsMalformedAndWrongVersion) {
   error.clear();
   EXPECT_FALSE(ParseCheckpoint("{\"version\": 999}", &out, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointTest, RejectsVersion1FileWithActionableError) {
+  // A pre-network-model checkpoint (schema v1: no network object, no
+  // partitioned_stuck count). It must be refused with an error that names
+  // both versions and tells the user what to do — not half-parsed into a
+  // search with a silently different candidate space.
+  const char* v1_text = R"({
+    "version": 1,
+    "program_fingerprint": "12345",
+    "base_seed": "1",
+    "rounds_completed": 7,
+    "retry_rng_draws": "0",
+    "experiment": {"completed_rounds": 7},
+    "pinned": [],
+    "strategy": {"window_size": 10, "exhausted": false,
+                 "observable_priorities": [], "tried": [], "demotions": []}
+  })";
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(v1_text, &out, &error));
+  EXPECT_NE(error.find("version 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("delete"), std::string::npos)
+      << "error must be actionable: " << error;
+}
+
+TEST(CheckpointTest, ParseRejectsUnknownFaultKind) {
+  SearchCheckpoint snap;
+  snap.pinned.push_back(
+      interp::InjectionCandidate{1, 1, ir::kInvalidId, interp::FaultKind::kDrop});
+  std::string text = SerializeCheckpoint(snap);
+  // Corrupt the well-formed checkpoint with a kind string no build emits.
+  std::string bad = text;
+  size_t pos = bad.find("\"drop\"");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 6, "\"teleport\"");
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(bad, &out, &error));
+  EXPECT_NE(error.find("teleport"), std::string::npos) << error;
 }
 
 TEST(CheckpointTest, SaveAndLoadFileRoundTrip) {
@@ -183,6 +242,35 @@ TEST(CheckpointResumeTest, Hd4233SerialResumeIsByteIdentical) {
 
 TEST(CheckpointResumeTest, Hd4233EightThreadResumeIsByteIdentical) {
   ExpectResumeMatchesUninterrupted("hd-4233", 8);
+}
+
+// Network-rooted cases exercise the v2 fields: the checkpoint records the
+// widened candidate space plus the cluster's partition/delay knobs, and the
+// resumed search must replay them byte-identically (zk-net-1's search also
+// passes through partitioned-stuck rounds before it succeeds).
+TEST(CheckpointResumeTest, ZkNet1PartitionSerialResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("zk-net-1", 1);
+}
+
+TEST(CheckpointResumeTest, HdNet1DropEightThreadResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("hd-net-1", 8);
+}
+
+TEST(CheckpointResumeTest, NetworkConfigIsPersistedInCheckpoint) {
+  const systems::FailureCase* failure_case = systems::FindCase("hd-net-2");
+  ASSERT_NE(failure_case, nullptr);
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  ExplorerOptions options = OptionsFor(*failure_case, 1);
+  options.max_rounds = 2;
+  std::string path = TempPath("network_config.json");
+  RunSearch(built, options, CheckpointConfig{path, nullptr});
+  SearchCheckpoint snap;
+  std::string error;
+  ASSERT_TRUE(LoadCheckpointFile(path, &snap, &error)) << error;
+  EXPECT_TRUE(snap.network_candidates);
+  EXPECT_EQ(snap.partition_heal_ms, built.cluster.partition_heal_ms);
+  EXPECT_EQ(snap.network_delay_ms, built.cluster.network_delay_ms);
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointResumeTest, CheckpointWrittenAfterEveryFinishedRound) {

@@ -315,6 +315,41 @@ TEST_F(HardenedRuntimeTest, PinnedCrashPreemptsWindowWithoutDoubleFiring) {
   EXPECT_EQ(result.preempted_window[0], crash);
 }
 
+// --- crash faults compose with the network model --------------------------------
+
+TEST_F(HardenedRuntimeTest, InFlightMessagesToCrashedNodeAreDroppedByNetworkModel) {
+  BuildPipeline(10);
+  program_.Finalize();
+  RunResult result =
+      Run("pump", 1, {InjectionCandidate{Site("h_op"), 4, ir::kInvalidId, FaultKind::kCrash}});
+  EXPECT_EQ(result.outcome, RunOutcome::kCrashed);
+  // Everything addressed to n2 from the crash on is swallowed by the network
+  // model (not by a dead-thread special case), so the drops are observable
+  // in the run's network accounting.
+  EXPECT_GT(result.network.dropped_to_crashed, 0);
+  EXPECT_EQ(Var(result, "handled", "n2"), 3);
+}
+
+TEST_F(HardenedRuntimeTest, CrashAndNetworkDropFaultsCompose) {
+  BuildPipeline(10);
+  program_.Finalize();
+  // Message 2 is dropped by an explicit network fault; the node later
+  // crashes at its 4th handler execution. Both fault layers account
+  // independently: one drop by fault, the post-crash sends by the crash.
+  RunResult result = Run(
+      "pump", 1,
+      /*window=*/{InjectionCandidate{Site("h_op"), 4, ir::kInvalidId, FaultKind::kCrash}},
+      /*pinned=*/
+      {InjectionCandidate{Site("send:handler->n2"), 2, ir::kInvalidId, FaultKind::kDrop}});
+  EXPECT_EQ(result.outcome, RunOutcome::kCrashed);
+  EXPECT_EQ(result.network.dropped_by_fault, 1);
+  EXPECT_GT(result.network.dropped_to_crashed, 0);
+  // Handler ran for messages 1, 3, 4 and crashed on its 4th execution
+  // (message 5): three completions despite ten sends.
+  EXPECT_EQ(Var(result, "handled", "n2"), 3);
+  EXPECT_TRUE(result.DidNodeCrash("n2"));
+}
+
 // --- determinism of the new kinds ----------------------------------------------
 
 TEST_F(HardenedRuntimeTest, CrashAndStallRunsAreDeterministic) {

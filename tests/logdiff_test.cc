@@ -220,6 +220,59 @@ TEST(CompareLogs, MultiplicityDifferenceIsReportedOnce) {
   EXPECT_EQ(comparison.target_only_keys[0], "WARN|test|retry");
 }
 
+TEST(CompareLogs, DuplicatedDeliveryIsOneMultiplicityObservable) {
+  // A duplicate network fault makes a handler log the same template an extra
+  // time in the failure run. That is a genuine multiplicity increase —
+  // reported once, like any other — but it must not spray per-instance
+  // phantom keys or disturb templates whose counts are unchanged
+  // ("checkpoint ok" below stays silent).
+  ParsedLog normal = ParseLogFile(Line("n2/handler", "INFO", "applied digest 4") +
+                                  Line("n2/handler", "INFO", "applied digest 5") +
+                                  Line("n2/handler", "INFO", "checkpoint ok"));
+  ParsedLog failure = ParseLogFile(Line("n2/handler", "INFO", "applied digest 4") +
+                                   Line("n2/handler", "INFO", "applied digest 4") +
+                                   Line("n2/handler", "INFO", "applied digest 5") +
+                                   Line("n2/handler", "INFO", "checkpoint ok") +
+                                   Line("n2/handler", "ERROR", "digest mismatch"));
+  LogComparison comparison = CompareLogs(normal, failure);
+  ASSERT_EQ(comparison.target_only_keys.size(), 2u);
+  EXPECT_EQ(comparison.target_only_keys[0], "INFO|test|applied digest #");
+  EXPECT_EQ(comparison.target_only_keys[1], "ERROR|test|digest mismatch");
+}
+
+TEST(CompareLogs, ReorderedDeliveriesWithinAThreadAreNotPhantomObservables) {
+  // A delay fault reorders two deliveries on the same handler thread. The
+  // per-thread LCS leaves one instance unmatched, but the *keys* both exist
+  // in the normal log, so neither may become a relevant observable.
+  // Distinct non-digit suffixes: sanitization must not be what saves us.
+  ParsedLog normal = ParseLogFile(Line("nn/receive", "INFO", "report from alpha") +
+                                  Line("nn/receive", "INFO", "report from beta") +
+                                  Line("nn/receive", "INFO", "report from gamma"));
+  ParsedLog failure = ParseLogFile(Line("nn/receive", "INFO", "report from alpha") +
+                                   Line("nn/receive", "INFO", "report from gamma") +
+                                   Line("nn/receive", "INFO", "report from beta"));
+  EXPECT_TRUE(CompareLogs(normal, failure).target_only_keys.empty());
+}
+
+TEST(CompareLogs, ReorderedAndDuplicatedMixReportsOnlyCountIncreases) {
+  // Reordering + duplication together (what a delay-then-duplicate window
+  // produces): the reordered-but-count-stable templates ("copy block beta",
+  // "slow peer #") contribute nothing; the duplicated template and the
+  // genuinely new ERROR template are the only observables.
+  ParsedLog normal = ParseLogFile(Line("t", "INFO", "copy block alpha") +
+                                  Line("t", "INFO", "copy block beta") +
+                                  Line("t", "WARN", "slow peer 7"));
+  ParsedLog failure = ParseLogFile(Line("t", "INFO", "copy block beta") +
+                                   Line("t", "INFO", "copy block alpha") +
+                                   Line("t", "INFO", "copy block alpha") +
+                                   Line("t", "WARN", "slow peer 9") +
+                                   Line("t", "ERROR", "replication stalled, 4 of 5 acked"));
+  LogComparison comparison = CompareLogs(normal, failure);
+  ASSERT_EQ(comparison.target_only_keys.size(), 2u);
+  EXPECT_EQ(comparison.target_only_keys[0], "INFO|test|copy block alpha");
+  EXPECT_EQ(comparison.target_only_keys[1], "ERROR|test|replication stalled, # of # acked");
+}
+
 TEST(CompareLogs, MatchesAreGloballyMonotone) {
   ParsedLog normal = ParseLogFile(Line("a", "INFO", "a1") + Line("b", "INFO", "b1") +
                                   Line("a", "INFO", "a2") + Line("b", "INFO", "b2"));

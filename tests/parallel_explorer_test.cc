@@ -80,6 +80,24 @@ TEST(ParallelDeterminism, ZooKeeperSingleRunPerRound) {
   ExpectIdenticalAcrossThreadCounts("zk-2247", options);
 }
 
+// --- network-fault candidate space --------------------------------------------
+
+// The widened (network_candidates) space must preserve the headline
+// invariant too: seed-derived delays, partition state, and duplicate
+// deliveries are all pure functions of (round, candidate), never of thread
+// scheduling.
+TEST(ParallelDeterminism, NetworkPartitionCase) {
+  ExplorerOptions options;
+  options.network_candidates = true;
+  ExpectIdenticalAcrossThreadCounts("zk-net-1", options);
+}
+
+TEST(ParallelDeterminism, NetworkDelayCase) {
+  ExplorerOptions options;
+  options.network_candidates = true;
+  ExpectIdenticalAcrossThreadCounts("hd-net-2", options);
+}
+
 // --- combined repetitions (§6) ------------------------------------------------
 
 TEST(ParallelDeterminism, HdfsMultiRepetition) {

@@ -48,10 +48,13 @@ int List() {
                 failure_case.paper_id.c_str(), failure_case.system.c_str(),
                 failure_case.title.c_str());
   }
-  for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
-    std::printf("%-10s %-5s %-10s %s [%s]\n", failure_case.id.c_str(),
-                failure_case.paper_id.c_str(), failure_case.system.c_str(),
-                failure_case.title.c_str(), interp::FaultKindName(failure_case.root_kind));
+  for (const std::vector<systems::FailureCase>* registry :
+       {&systems::CrashStallCases(), &systems::NetworkCases()}) {
+    for (const systems::FailureCase& failure_case : *registry) {
+      std::printf("%-10s %-5s %-10s %s [%s]\n", failure_case.id.c_str(),
+                  failure_case.paper_id.c_str(), failure_case.system.c_str(),
+                  failure_case.title.c_str(), interp::FaultKindName(failure_case.root_kind));
+    }
   }
   return 0;
 }
@@ -107,10 +110,11 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
   explorer::ExplorerOptions options;
   options.max_rounds = max_rounds;
   options.track_site = built.ground_truth.site;
-  // Crash/stall-rooted cases are only reachable with the extended candidate
-  // space; exception-rooted cases keep the stock space.
-  options.crash_stall_candidates =
-      failure_case->root_kind != interp::FaultKind::kException;
+  // Crash/stall- and network-rooted cases are only reachable with their
+  // extended candidate spaces; exception-rooted cases keep the stock space.
+  options.crash_stall_candidates = failure_case->root_kind == interp::FaultKind::kCrash ||
+                                   failure_case->root_kind == interp::FaultKind::kStall;
+  options.network_candidates = interp::IsNetworkFaultKind(failure_case->root_kind);
   explorer::Explorer ex(built.spec, options);
   auto strategy = explorer::MakeStrategy(strategy_name);
 
@@ -134,19 +138,25 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
 
   explorer::ExploreResult result = ex.Explore(strategy.get(), checkpoint);
   for (const explorer::RoundRecord& record : result.records) {
-    std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d outcome=%s%s%s\n",
+    std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d net=%-3d outcome=%s%s%s\n",
                 record.round, record.window_size, record.injected ? 1 : 0,
                 record.tracked_rank, record.present_observables,
-                interp::RunOutcomeName(record.outcome),
+                record.network_candidates_tried, interp::RunOutcomeName(record.outcome),
                 record.retries > 0 ? "  (retried)" : "",
                 record.success ? "  <- reproduced" : "");
+    for (const interp::PartitionTransition& transition : record.partition_events) {
+      std::printf("            partition %s %s<->%s at t=%lldms\n",
+                  transition.sever ? "severed" : "healed", transition.node_a.c_str(),
+                  transition.node_b.c_str(), static_cast<long long>(transition.time_ms));
+    }
   }
   const explorer::ExperimentRecord& experiment = result.experiment;
   std::printf(
-      "outcomes: %d completed, %d crashed, %d hung, %d budget-exceeded; %d transient "
-      "retries\n",
+      "outcomes: %d completed, %d crashed, %d hung, %d partitioned-stuck, %d "
+      "budget-exceeded; %d transient retries\n",
       experiment.completed_rounds, experiment.crashed_rounds, experiment.hung_rounds,
-      experiment.budget_exceeded_rounds, experiment.transient_retries);
+      experiment.partitioned_stuck_rounds, experiment.budget_exceeded_rounds,
+      experiment.transient_retries);
   if (!result.reproduced) {
     std::printf("NOT reproduced within %d rounds\n", max_rounds);
     return 1;
@@ -178,6 +188,22 @@ int Replay(const std::string& id, int64_t occurrence, uint64_t seed) {
     }
   }
   std::printf("run outcome: %s\n", interp::RunOutcomeName(run.outcome));
+  const interp::NetworkStats& network = run.network;
+  std::printf(
+      "network: %lld sent, %lld dropped (fault), %lld dropped (partition), %lld dropped "
+      "(crashed), %lld delayed, %lld duplicated, %lld severed, %lld healed\n",
+      static_cast<long long>(network.messages_sent),
+      static_cast<long long>(network.dropped_by_fault),
+      static_cast<long long>(network.dropped_by_partition),
+      static_cast<long long>(network.dropped_to_crashed),
+      static_cast<long long>(network.delayed), static_cast<long long>(network.duplicated),
+      static_cast<long long>(network.partitions_severed),
+      static_cast<long long>(network.partitions_healed));
+  for (const interp::PartitionTransition& transition : run.partition_events) {
+    std::printf("partition %s %s<->%s at t=%lldms\n", transition.sever ? "severed" : "healed",
+                transition.node_a.c_str(), transition.node_b.c_str(),
+                static_cast<long long>(transition.time_ms));
+  }
   return 0;
 }
 
