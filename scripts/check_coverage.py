@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Aggregates gcov line coverage over src/ and enforces a floor.
+
+Usage:
+  scripts/check_coverage.py --build-dir build-cov --floor 80.0
+
+Runs gcov (JSON mode) over every .gcno the instrumented build produced,
+unions the line counts per source file across translation units (a header's
+lines appear in many TUs; a line is covered if any TU executed it), and
+reports line coverage for files under src/. Exits non-zero if the total
+falls below --floor — the recorded floor lives in .github/workflows/ci.yml,
+so a PR that drops coverage fails CI until the floor (or the tests) move.
+
+Only needs python3 + gcov; the CI job additionally renders an HTML report
+with lcov/genhtml, but the pass/fail decision is this script so local runs
+and CI agree byte-for-byte on the number.
+"""
+
+import argparse
+import collections
+import glob
+import gzip
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+
+def run_gcov(gcov, gcno_paths, workdir):
+    """Runs gcov --json-format on a batch of .gcno files; yields parsed JSON."""
+    subprocess.run(
+        [gcov, "--json-format", "--object-directory", os.path.dirname(gcno_paths[0])]
+        + gcno_paths,
+        cwd=workdir,
+        check=False,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    for path in glob.glob(os.path.join(workdir, "*.gcov.json.gz")):
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as f:
+                yield json.load(f)
+        except (OSError, json.JSONDecodeError):
+            pass
+        os.remove(path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov")
+    parser.add_argument("--floor", type=float, default=0.0,
+                        help="fail if total line coverage (%%) is below this")
+    parser.add_argument("--source-prefix", default="src/",
+                        help="repo-relative prefix of files to measure")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    build_dir = os.path.join(repo_root, args.build_dir)
+    gcov = shutil.which("gcov")
+    if gcov is None:
+        print("error: gcov not found on PATH", file=sys.stderr)
+        return 2
+
+    gcno_files = glob.glob(os.path.join(build_dir, "**", "*.gcno"), recursive=True)
+    if not gcno_files:
+        print(f"error: no .gcno files under {build_dir}; "
+              "configure with -DANDURIL_COVERAGE=ON and build first",
+              file=sys.stderr)
+        return 2
+
+    # line_hits[source][line] = max execution count across all TUs.
+    line_hits = collections.defaultdict(dict)
+    by_dir = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for gcno in gcno_files:
+            for report in run_gcov(gcov, [gcno], workdir):
+                cwd = report.get("current_working_directory", build_dir)
+                for file_entry in report.get("files", []):
+                    source = os.path.normpath(
+                        os.path.join(cwd, file_entry["file"])
+                        if not os.path.isabs(file_entry["file"])
+                        else file_entry["file"])
+                    rel = os.path.relpath(source, repo_root)
+                    if rel.startswith("..") or not rel.startswith(args.source_prefix):
+                        continue
+                    hits = line_hits[rel]
+                    for line in file_entry.get("lines", []):
+                        number = line["line_number"]
+                        hits[number] = max(hits.get(number, 0), line["count"])
+
+    if not line_hits:
+        print("error: gcov produced no data for files under "
+              f"{args.source_prefix}", file=sys.stderr)
+        return 2
+
+    total_lines = 0
+    covered_lines = 0
+    for rel in sorted(line_hits):
+        hits = line_hits[rel]
+        covered = sum(1 for count in hits.values() if count > 0)
+        total_lines += len(hits)
+        covered_lines += covered
+        directory = os.path.dirname(rel)
+        dir_total, dir_covered = by_dir.get(directory, (0, 0))
+        by_dir[directory] = (dir_total + len(hits), dir_covered + covered)
+
+    print(f"{'directory':<24} {'lines':>8} {'covered':>8} {'%':>7}")
+    for directory in sorted(by_dir):
+        dir_total, dir_covered = by_dir[directory]
+        print(f"{directory:<24} {dir_total:>8} {dir_covered:>8} "
+              f"{100.0 * dir_covered / dir_total:>6.1f}%")
+    percent = 100.0 * covered_lines / total_lines
+    print(f"{'TOTAL':<24} {total_lines:>8} {covered_lines:>8} {percent:>6.1f}%")
+
+    if percent < args.floor:
+        print(f"\nFAIL: line coverage {percent:.1f}% is below the floor "
+              f"{args.floor:.1f}% — add tests or, if the drop is justified, "
+              "lower the floor in .github/workflows/ci.yml", file=sys.stderr)
+        return 1
+    print(f"\nOK: line coverage {percent:.1f}% >= floor {args.floor:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

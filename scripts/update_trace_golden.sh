@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Refreshes the golden trace/metrics files under tests/golden/ after an
+# intentional change to the trace layout or metric namespace.
+#
+# Usage: scripts/update_trace_golden.sh [build-dir]
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake --build "$repo_root/$build_dir" --target trace_golden_test
+ANDURIL_UPDATE_GOLDENS=1 "$repo_root/$build_dir/tests/trace_golden_test" \
+  --gtest_filter='TraceGoldenTest.TraceAndMetricsMatchGoldenAtOneThread'
+
+echo "goldens refreshed:"
+git -C "$repo_root" status --short tests/golden/

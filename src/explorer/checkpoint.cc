@@ -150,6 +150,10 @@ std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint) {
   strategy.Set("demotions", std::move(demotions));
   root.Set("strategy", std::move(strategy));
 
+  if (checkpoint.has_metrics) {
+    root.Set("metrics", obs::MetricsSnapshotToJson(checkpoint.metrics));
+  }
+
   return root.Dump();
 }
 
@@ -266,6 +270,14 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
       demotion.count = entry.Find("count") ? static_cast<int>(entry.Find("count")->as_int()) : 0;
       out->strategy.demotions.push_back(demotion);
     }
+  }
+  out->has_metrics = false;
+  out->metrics = obs::MetricsSnapshot{};
+  if (const JsonValue* metrics = root.Find("metrics"); metrics != nullptr) {
+    if (!obs::MetricsSnapshotFromJson(*metrics, &out->metrics, error)) {
+      return false;
+    }
+    out->has_metrics = true;
   }
   error->clear();
   return true;

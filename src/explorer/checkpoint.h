@@ -25,7 +25,10 @@
 //       "observable_priorities": [ ... ],   // context observable order
 //       "tried": [ {site, occurrence, type, kind}, ... ],
 //       "demotions": [ {candidate: {...}, count}, ... ]
-//     }
+//     },
+//     "metrics": { counters/gauges/histograms }   // optional: only present
+//                                                 // when a MetricsRegistry
+//                                                 // was attached
 //   }
 //
 // Candidate identity uses numeric ids, which are deterministic functions of
@@ -46,6 +49,7 @@
 #include "src/explorer/experiment.h"
 #include "src/explorer/strategy.h"
 #include "src/ir/program.h"
+#include "src/obs/metrics.h"
 
 namespace anduril::explorer {
 
@@ -68,6 +72,16 @@ struct SearchCheckpoint {
   ExperimentRecord experiment;
   std::vector<interp::InjectionCandidate> pinned;
   StrategyCheckpoint strategy;
+  // Optional (still version 2): snapshot of the attached MetricsRegistry at
+  // the end of the checkpointed round. Serialized only when `has_metrics`;
+  // parsing a checkpoint without a "metrics" member leaves it false, so
+  // files written by metric-less searches round-trip byte-identically.
+  // Restoring it on resume *overwrites* the live registry — the snapshot
+  // already accounts for everything the resuming process re-recorded while
+  // rebuilding its context — which is what makes the final metrics dump of
+  // an interrupted+resumed search byte-identical to the uninterrupted one.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
 };
 
 // Stable fingerprint of the program shape (fault sites, exception types):

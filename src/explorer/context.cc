@@ -4,6 +4,7 @@
 
 #include "src/analysis/observable_map.h"
 #include "src/interp/simulator.h"
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
 
@@ -137,6 +138,13 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
   }
 
   init_seconds_ = init_timer.ElapsedSeconds();
+  if (options_.metrics != nullptr) {
+    options_.metrics->Add("explore.context_builds");
+    options_.metrics->Observe("explore.context_observables",
+                              static_cast<int64_t>(observables_.size()));
+    options_.metrics->Observe("explore.context_candidates",
+                              static_cast<int64_t>(candidates_.size()));
+  }
 }
 
 const std::vector<InstanceEstimate>& ExplorerContext::InstancesOf(ir::FaultSiteId site) const {

@@ -16,6 +16,11 @@
 #include "src/interp/run_result.h"
 #include "src/ir/program.h"
 
+namespace anduril::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace anduril::obs
+
 namespace anduril::explorer {
 
 // The user-defined failure oracle: encapsulates the failure symptoms (a log
@@ -91,6 +96,16 @@ struct ExplorerOptions {
   // *demoted* — re-ranked behind fresh candidates — rather than retired;
   // after this many demotions it is retired for good.
   int hang_demotions_before_retirement = 2;
+  // Observability sinks (src/obs/), not owned; null = disabled, and every
+  // instrumentation hook reduces to a single pointer test. Both sinks are
+  // deterministic under a fixed seed at any thread count: trace timestamps
+  // are logical (round/item grid, see obs/trace.h) and metric values are
+  // logical quantities whose accumulation is commutative.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  // Logical-timeline phase offset (iterative multi-fault mode sets it to the
+  // phase index so each phase's rounds occupy a disjoint trace range).
+  int trace_phase = 0;
 };
 
 // Robustness accounting for one exploration: how rounds ended, how often

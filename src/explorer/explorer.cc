@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "src/interp/simulator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/backoff.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
@@ -44,13 +46,15 @@ struct RepRun {
 };
 
 RepRun ExecuteOne(const ExperimentSpec& spec,
-                  const std::vector<interp::InjectionCandidate>& window, uint64_t seed) {
+                  const std::vector<interp::InjectionCandidate>& window, uint64_t seed,
+                  obs::MetricsRegistry* metrics) {
   RepRun rep;
   rep.seed = seed;
   interp::FaultRuntime runtime(spec.program);
   runtime.SetWindow(window);
   runtime.SetPinned(spec.pinned_faults);
   interp::Simulator simulator(spec.program, spec.cluster, seed, &runtime);
+  simulator.set_metrics(metrics);
   rep.run = simulator.Run();
   rep.success = spec.oracle(*spec.program, rep.run) && rep.run.injected.has_value();
   return rep;
@@ -96,14 +100,15 @@ RoundPlan PlanRound(const ExperimentSpec& spec, const ExplorerOptions& options, 
 // item and lets the caller select by plan order, which yields the same
 // selection.
 std::vector<RepRun> ExecutePlan(const ExperimentSpec& spec, const RoundPlan& plan,
-                                ThreadPool* pool) {
+                                ThreadPool* pool, obs::MetricsRegistry* metrics) {
   std::vector<RepRun> executed;
   if (pool != nullptr && plan.items.size() > 1) {
     std::vector<std::future<RepRun>> futures;
     futures.reserve(plan.items.size());
     for (const auto& [window, seed] : plan.items) {
-      futures.push_back(pool->Submit(
-          [&spec, &window, seed = seed]() { return ExecuteOne(spec, window, seed); }));
+      futures.push_back(pool->Submit([&spec, &window, seed = seed, metrics]() {
+        return ExecuteOne(spec, window, seed, metrics);
+      }));
     }
     executed.reserve(futures.size());
     for (std::future<RepRun>& future : futures) {
@@ -111,7 +116,7 @@ std::vector<RepRun> ExecutePlan(const ExperimentSpec& spec, const RoundPlan& pla
     }
   } else {
     for (const auto& [window, seed] : plan.items) {
-      executed.push_back(ExecuteOne(spec, window, seed));
+      executed.push_back(ExecuteOne(spec, window, seed, metrics));
       if (executed.back().success) {
         break;
       }
@@ -220,6 +225,11 @@ Explorer::Explorer(const ExperimentSpec& spec, const ExplorerOptions& options,
                    std::shared_ptr<const ExplorerContext> context)
     : spec_(&spec), options_(options), context_(std::move(context)) {
   ANDURIL_CHECK(context_ != nullptr);
+  // The shared-analysis-cache ctor skips the whole static analysis; its
+  // counterpart "explore.context_builds" is recorded by the context ctor.
+  if (options_.metrics != nullptr) {
+    options_.metrics->Add("explore.context_cache_hits");
+  }
 }
 
 ExploreResult Explorer::Explore(InjectionStrategy* strategy) {
@@ -230,6 +240,13 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
   Stopwatch total_timer;
   ExploreResult result;
   result.init_seconds = context_->init_seconds();
+
+  obs::Tracer* tracer = options_.tracer;
+  obs::MetricsRegistry* metrics = options_.metrics;
+  // Logical-timeline base of this search's rounds (see obs/trace.h): round r
+  // occupies [phase_base + r*kRoundStride, +kRoundStride), plan item i of a
+  // round sits at +i*kItemStride on track i+1.
+  const int64_t phase_base = static_cast<int64_t>(options_.trace_phase) * obs::kPhaseStride;
 
   strategy->Initialize(*context_);
 
@@ -259,6 +276,13 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     result.experiment = snap.experiment;
     result.rounds = snap.rounds_completed;
     first_round = snap.rounds_completed + 1;
+    // Overwrite (not merge): the snapshot was taken by a process that had
+    // already built its context, so it subsumes the context-build metrics
+    // this process just re-recorded. This is what makes the final metrics of
+    // interrupted + resumed byte-identical to the uninterrupted search.
+    if (snap.has_metrics && metrics != nullptr) {
+      metrics->Restore(snap.metrics);
+    }
   }
 
   std::optional<ThreadPool> pool_storage;
@@ -271,6 +295,54 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
   std::vector<double> decision_latencies;
   std::vector<double> round_inits;
   std::vector<double> workload_times;
+
+  // Emits the round's spans once its record is final: a "round" span on
+  // track 0 covering the round's whole grid slot, and per executed plan item
+  // a "candidate" span (the armed window) nesting a "run" span (the
+  // simulation) on track i+1. All timestamps are logical, so the trace is a
+  // pure function of the search trajectory — identical at any thread count.
+  auto trace_round = [&](const RoundRecord& rec, const RoundPlan& plan,
+                         const std::vector<RepRun>& executed) {
+    if (tracer == nullptr) {
+      return;
+    }
+    const int64_t base = phase_base + static_cast<int64_t>(rec.round) * obs::kRoundStride;
+    for (size_t i = 0; i < executed.size(); ++i) {
+      const RepRun& rep = executed[i];
+      const int64_t item_ts = base + static_cast<int64_t>(i) * obs::kItemStride;
+      const int64_t track = static_cast<int64_t>(i) + 1;
+      std::vector<obs::TraceArg> candidate_args;
+      candidate_args.push_back(
+          obs::ArgInt("armed", static_cast<int64_t>(plan.items[i].first.size())));
+      if (rep.run.injected.has_value()) {
+        candidate_args.push_back(obs::ArgStr(
+            "site", spec_->program->fault_site(rep.run.injected->site).name));
+        candidate_args.push_back(
+            obs::ArgStr("kind", interp::FaultKindName(rep.run.injected->kind)));
+        candidate_args.push_back(obs::ArgInt("occurrence", rep.run.injected->occurrence));
+      }
+      tracer->Span("explore", "candidate", item_ts, obs::kItemStride, track,
+                   std::move(candidate_args));
+      std::vector<obs::TraceArg> run_args;
+      run_args.push_back(obs::ArgUint("seed", rep.seed));
+      run_args.push_back(obs::ArgStr("outcome", interp::RunOutcomeName(rep.run.outcome)));
+      run_args.push_back(obs::ArgBool("injected", rep.run.injected.has_value()));
+      run_args.push_back(obs::ArgInt("requests", rep.run.injection_requests));
+      run_args.push_back(obs::ArgInt("end_time_ms", rep.run.end_time_ms));
+      int64_t run_dur = std::clamp<int64_t>(rep.run.end_time_ms, 1, obs::kItemStride - 1);
+      tracer->Span("explore", "run", item_ts, run_dur, track, std::move(run_args));
+    }
+    std::vector<obs::TraceArg> round_args;
+    round_args.push_back(obs::ArgInt("round", rec.round));
+    round_args.push_back(obs::ArgInt("window", rec.window_size));
+    round_args.push_back(obs::ArgBool("injected", rec.injected));
+    round_args.push_back(obs::ArgBool("success", rec.success));
+    round_args.push_back(obs::ArgStr("outcome", interp::RunOutcomeName(rec.outcome)));
+    round_args.push_back(obs::ArgInt("present", rec.present_observables));
+    round_args.push_back(obs::ArgInt("retries", rec.retries));
+    tracer->Span("explore", "round", base, obs::kRoundStride, 0, std::move(round_args),
+                 static_cast<int64_t>(rec.run_seconds * 1e9));
+  };
 
   for (int round = first_round; round <= options_.max_rounds; ++round) {
     Stopwatch decide_timer;
@@ -301,7 +373,7 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     // outcome matches the serial engine exactly.
     Stopwatch run_timer;
     RoundPlan plan = PlanRound(*spec_, options_, round, window);
-    std::vector<RepRun> executed = ExecutePlan(*spec_, plan, pool);
+    std::vector<RepRun> executed = ExecutePlan(*spec_, plan, pool, metrics);
     // Transient-failure retry: when the watchdog wall budget killed a run
     // the round's feedback is an artifact of host load, not of the fault.
     // Back off (bounded exponential + jitter) and re-execute the identical
@@ -310,7 +382,13 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
       std::this_thread::sleep_for(std::chrono::milliseconds(retry_backoff.NextDelayMs()));
       ++record.retries;
       ++result.experiment.transient_retries;
-      executed = ExecutePlan(*spec_, plan, pool);
+      if (tracer != nullptr) {
+        tracer->Instant("explore", "retry",
+                        phase_base + static_cast<int64_t>(round) * obs::kRoundStride +
+                            obs::kRoundStride - obs::kItemStride + record.retries,
+                        0, {obs::ArgInt("attempt", record.retries)});
+      }
+      executed = ExecutePlan(*spec_, plan, pool, metrics);
     }
     retry_backoff.Reset();
     record.run_seconds = run_timer.ElapsedSeconds();
@@ -330,6 +408,19 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     record.outcome = run.outcome;
     record.partition_events = run.partition_events;
     CountOutcome(&result.experiment, run.outcome);
+
+    if (metrics != nullptr) {
+      metrics->Add("explore.rounds");
+      metrics->Add(std::string("explore.outcome.") + interp::RunOutcomeName(run.outcome));
+      metrics->Observe("explore.window_size", record.window_size);
+      if (record.retries > 0) {
+        metrics->Add("explore.retries", record.retries);
+      }
+      if (record.network_candidates_tried > 0) {
+        metrics->Add("explore.network_candidates", record.network_candidates_tried);
+      }
+      metrics->Set("explore.last_round", round);
+    }
 
     record.injected = run.injected.has_value();
     if (run.injected.has_value()) {
@@ -365,6 +456,23 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
       script.kind = run.injected->kind;
       script.seed = selected->seed;
       result.script = script;
+      if (metrics != nullptr) {
+        metrics->Add("explore.reproduced");
+        if (record.present_observables >= 0) {
+          metrics->Observe("logdiff.present_observables", record.present_observables);
+        }
+      }
+      trace_round(record, plan, executed);
+      if (tracer != nullptr) {
+        tracer->Instant("explore", "reproduced",
+                        phase_base + static_cast<int64_t>(round) * obs::kRoundStride +
+                            obs::kRoundStride - 1,
+                        0,
+                        {obs::ArgStr("site", spec_->program->fault_site(script.site).name),
+                         obs::ArgStr("kind", interp::FaultKindName(script.kind)),
+                         obs::ArgInt("occurrence", script.occurrence),
+                         obs::ArgUint("seed", script.seed)});
+      }
       break;
     }
 
@@ -421,10 +529,14 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     if (strategy->WantsLogFeedback()) {
       outcome.present_keys = PresentKeys(*context_, CombinedKeys(executed, pool));
       record.present_observables = static_cast<int>(outcome.present_keys.size());
+      if (metrics != nullptr) {
+        metrics->Observe("logdiff.present_observables", record.present_observables);
+      }
     }
     strategy->OnRound(outcome);
     record.decide_seconds = decide_seconds + feedback_timer.ElapsedSeconds();
     round_inits.push_back(record.decide_seconds);
+    trace_round(record, plan, executed);
     result.records.push_back(record);
     result.rounds = round;
 
@@ -440,8 +552,31 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
       snap.experiment = result.experiment;
       snap.pinned = spec_->pinned_faults;
       ANDURIL_CHECK(strategy->SaveState(&snap.strategy));
+      if (metrics != nullptr) {
+        snap.has_metrics = true;
+        snap.metrics = metrics->Snapshot();
+      }
       ANDURIL_CHECK(SaveCheckpointFile(checkpoint.path, snap));
     }
+  }
+
+  // The "explore" envelope span covers the rounds *this process* executed
+  // (first_round..result.rounds); a resumed search traces only its own
+  // segment, which is why the golden resume test compares round-level lines.
+  if (tracer != nullptr && result.rounds >= first_round) {
+    std::vector<obs::TraceArg> explore_args;
+    explore_args.push_back(obs::ArgStr("strategy", strategy->name()));
+    explore_args.push_back(obs::ArgBool("reproduced", result.reproduced));
+    explore_args.push_back(obs::ArgInt("rounds", result.rounds));
+    explore_args.push_back(obs::ArgInt("first_round", first_round));
+    tracer->Span("explore", "explore",
+                 phase_base + static_cast<int64_t>(first_round) * obs::kRoundStride,
+                 static_cast<int64_t>(result.rounds - first_round + 1) * obs::kRoundStride, 0,
+                 std::move(explore_args));
+  }
+  if (metrics != nullptr) {
+    metrics->Set("explore.rounds_total", result.rounds);
+    result.metrics = metrics->Snapshot();
   }
 
   result.total_seconds = total_timer.ElapsedSeconds() + context_->init_seconds();

@@ -75,6 +75,11 @@ struct ExploreResult {
   double mean_decision_nanos = 0;
   double median_round_init_seconds = 0;
   double median_workload_seconds = 0;
+
+  // Final snapshot of ExplorerOptions::metrics at the end of the search
+  // (empty when no registry was attached). Deterministic under a fixed seed
+  // at any thread count.
+  obs::MetricsSnapshot metrics;
 };
 
 // Checkpoint/resume wiring for a search. With a non-empty `path` the

@@ -1,5 +1,7 @@
 #include "src/explorer/iterative.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace anduril::explorer {
@@ -18,10 +20,24 @@ IterativeResult IterativeExplorer::Explore(int max_faults) {
 
   for (int phase = 0; phase < max_faults; ++phase) {
     ++result.phases;
-    if (analysis_cache == nullptr) {
-      analysis_cache = std::make_shared<const ExplorerContext>(spec_, options_);
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add("iterative.phases");
     }
-    Explorer explorer(spec_, options_, analysis_cache);
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant("explore", "phase",
+                               static_cast<int64_t>(phase) * obs::kPhaseStride, 0,
+                               {obs::ArgInt("phase", phase),
+                                obs::ArgInt("pinned", static_cast<int64_t>(
+                                                          spec_.pinned_faults.size()))});
+    }
+    // Each phase traces into its own logical-time region so the spans of
+    // phase p never collide with those of phase p+1.
+    ExplorerOptions phase_options = options_;
+    phase_options.trace_phase = phase;
+    if (analysis_cache == nullptr) {
+      analysis_cache = std::make_shared<const ExplorerContext>(spec_, phase_options);
+    }
+    Explorer explorer(spec_, phase_options, analysis_cache);
     auto strategy = MakeFullFeedbackStrategy();
     ExploreResult search = explorer.Explore(strategy.get());
     result.total_rounds += search.rounds;
@@ -52,6 +68,9 @@ IterativeResult IterativeExplorer::Explore(int max_faults) {
       break;  // nothing was ever injected; pinning cannot help
     }
     spec_.pinned_faults.push_back(best->candidate);
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add("iterative.pinned");
+    }
     ReproductionScript pinned;
     pinned.site = best->candidate.site;
     pinned.occurrence = best->candidate.occurrence;

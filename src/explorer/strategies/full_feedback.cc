@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/explorer/strategies/strategy_util.h"
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace anduril::explorer {
@@ -45,6 +46,7 @@ class FeedbackStrategyBase : public InjectionStrategy {
  public:
   void Initialize(const ExplorerContext& context) override {
     context_ = &context;
+    metrics_ = context.options().metrics;
     feedback_.Initialize(context);
     window_size_ = context.options().initial_window;
   }
@@ -52,6 +54,7 @@ class FeedbackStrategyBase : public InjectionStrategy {
   void OnRound(const RoundOutcome& outcome) override {
     for (const interp::InjectionCandidate& preempted : outcome.preempted) {
       MarkTried(&tried_, preempted);  // claimed by a pinned fault; never fires
+      Count("strategy.retired");
     }
     if (outcome.injected.has_value()) {
       if (outcome.outcome == interp::RunOutcome::kHung ||
@@ -63,17 +66,28 @@ class FeedbackStrategyBase : public InjectionStrategy {
         // that *healed* leaves the run completed/crashed and is retired
         // normally through the else branch.)
         int& count = demotions_[KeyOf(*outcome.injected)];
+        Count("strategy.demoted");
         if (++count > context_->options().hang_demotions_before_retirement) {
           MarkTried(&tried_, *outcome.injected);
+          Count("strategy.retired");
         }
       } else {
         MarkTried(&tried_, *outcome.injected);
+        Count("strategy.retired");
       }
       for (const interp::InjectionCandidate& extra : outcome.also_injected) {
         MarkTried(&tried_, extra);  // parallel-candidates: all fired instances
+        Count("strategy.retired");
       }
     } else {
       window_size_ *= 2;
+      Count("strategy.window_doublings");
+    }
+    if (metrics_ != nullptr) {
+      // Gauge, not counter: the current doubling level. OnRound is only
+      // called from the explorer's (single-threaded) round loop, so Set is
+      // deterministic.
+      metrics_->Set("strategy.window_size", window_size_);
     }
     feedback_.Digest(outcome.present_keys, context_->options().feedback_adjustment);
   }
@@ -176,7 +190,18 @@ class FeedbackStrategyBase : public InjectionStrategy {
     return it == demotions_.end() ? 0 : kDemotionPenalty * it->second;
   }
 
+  // Counts a strategy-level decision. Deliberately NOT called from
+  // RestoreState: the checkpoint's metrics snapshot already carries the
+  // counts of the retire/demote events it replays, and the explorer
+  // overwrite-restores that snapshot — re-counting here would double them.
+  void Count(const char* name) {
+    if (metrics_ != nullptr) {
+      metrics_->Add(name);
+    }
+  }
+
   const ExplorerContext* context_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   FeedbackState feedback_;
   TriedSet tried_;
   std::unordered_map<TriedKey, int, TriedKeyHash> demotions_;

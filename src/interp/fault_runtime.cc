@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace anduril::interp {
@@ -33,6 +34,20 @@ void FaultRuntime::BeginRun() {
   preempted_window_.clear();
   injection_requests_ = 0;
   decision_nanos_ = 0;
+  pinned_fired_ = 0;
+}
+
+void FaultRuntime::FlushMetrics(obs::MetricsRegistry* metrics) const {
+  metrics->Add("fault.requests", injection_requests_);
+  if (injected_.has_value()) {
+    metrics->Add(std::string("fault.injected.") + FaultKindName(injected_->kind));
+  }
+  if (pinned_fired_ > 0) {
+    metrics->Add("fault.pinned_fired", pinned_fired_);
+  }
+  if (!preempted_window_.empty()) {
+    metrics->Add("fault.preempted", static_cast<int64_t>(preempted_window_.size()));
+  }
 }
 
 bool FaultRuntime::Decide(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
@@ -54,6 +69,7 @@ bool FaultRuntime::Decide(ir::FaultSiteId site, int64_t log_clock, int64_t time_
       action->kind = pinned.kind;
       action->exception = pinned.kind == FaultKind::kException ? pinned.type : ir::kInvalidId;
       action->fired = pinned.kind != FaultKind::kException;
+      ++pinned_fired_;
       if (!injected_.has_value()) {
         for (const InjectionCandidate& candidate : window_) {
           if (candidate.site == site && candidate.occurrence == occurrence) {

@@ -28,6 +28,10 @@
 #include "src/ir/program.h"
 #include "src/ir/types.h"
 
+namespace anduril::obs {
+class MetricsRegistry;
+}  // namespace anduril::obs
+
 namespace anduril::interp {
 
 // What a fault does when it fires at a dynamic instance.
@@ -152,6 +156,14 @@ class FaultRuntime {
   // pre-empted window candidate is reported here so the search can retire it
   // instead of re-arming it forever.
   const std::vector<InjectionCandidate>& preempted_window() const { return preempted_window_; }
+  // Pinned-fault firings this run (each pinned instance fires at most once).
+  int64_t pinned_fired() const { return pinned_fired_; }
+
+  // Folds this run's fault accounting ("fault.requests",
+  // "fault.injected.<kind>", "fault.pinned_fired", "fault.preempted") into
+  // the registry. Called by the simulator at the end of Run() when a metrics
+  // sink is attached.
+  void FlushMetrics(obs::MetricsRegistry* metrics) const;
 
  private:
   // Shared pinned/window matching: traces the instance, fills `action` and
@@ -172,6 +184,7 @@ class FaultRuntime {
   std::vector<InjectionCandidate> preempted_window_;
   int64_t injection_requests_ = 0;
   int64_t decision_nanos_ = 0;
+  int64_t pinned_fired_ = 0;
 };
 
 }  // namespace anduril::interp

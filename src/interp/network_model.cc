@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/rng.h"
 
 namespace anduril::interp {
@@ -68,6 +69,17 @@ std::vector<PartitionEvent> NetworkModel::TakeEvents() {
                      return x.time_ms < y.time_ms;
                    });
   return std::move(events_);
+}
+
+void NetworkModel::FlushMetrics(obs::MetricsRegistry* metrics) const {
+  metrics->Add("net.messages_sent", stats_.messages_sent);
+  metrics->Add("net.dropped_by_fault", stats_.dropped_by_fault);
+  metrics->Add("net.dropped_by_partition", stats_.dropped_by_partition);
+  metrics->Add("net.dropped_to_crashed", stats_.dropped_to_crashed);
+  metrics->Add("net.delayed", stats_.delayed);
+  metrics->Add("net.duplicated", stats_.duplicated);
+  metrics->Add("net.partitions_severed", stats_.partitions_severed);
+  metrics->Add("net.partitions_healed", stats_.partitions_healed);
 }
 
 void NetworkModel::HealExpired(int64_t now) {

@@ -25,6 +25,10 @@
 
 #include "src/ir/types.h"
 
+namespace anduril::obs {
+class MetricsRegistry;
+}  // namespace anduril::obs
+
 namespace anduril::interp {
 
 // Delivery and fault statistics for one run.
@@ -88,6 +92,11 @@ class NetworkModel {
   const NetworkStats& stats() const { return stats_; }
   // Sever/heal transitions in chronological order (call after the run ends).
   std::vector<PartitionEvent> TakeEvents();
+
+  // Folds this run's delivery statistics into the registry under "net.*".
+  // Every stat is emitted (zeros included) so the key set is stable across
+  // runs and scenarios.
+  void FlushMetrics(obs::MetricsRegistry* metrics) const;
 
  private:
   struct Partition {

@@ -83,6 +83,10 @@ struct RunResult {
   std::vector<PartitionTransition> partition_events;
   int64_t injection_requests = 0;
   int64_t decision_nanos = 0;
+  // Pinned-fault firings (iterative multi-fault mode; 0 in single-fault
+  // searches). Mirrors FaultRuntime::pinned_fired for metrics consistency
+  // checks.
+  int64_t pinned_fired = 0;
   std::optional<InjectionCandidate> injected;
   // Window candidates pre-empted by a pinned fault at the same instance (see
   // FaultRuntime::preempted_window).

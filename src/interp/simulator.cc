@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 #include "src/util/strings.h"
 
@@ -860,6 +861,7 @@ RunResult Simulator::Run() {
   result.hit_wall_budget = hit_wall_budget_;
   result.injection_requests = fault_runtime_->injection_requests();
   result.decision_nanos = fault_runtime_->decision_nanos();
+  result.pinned_fired = fault_runtime_->pinned_fired();
   result.injected = fault_runtime_->injected();
   result.preempted_window = fault_runtime_->preempted_window();
   for (int32_t node : crashed_node_indices_) {
@@ -923,6 +925,19 @@ RunResult Simulator::Run() {
         vars[static_cast<ir::VarId>(v)] = env_[n][v];
       }
     }
+  }
+
+  // Metrics flush: logical quantities only (steps, events, simulated time,
+  // outcomes) — never wall clock — so the registry stays byte-identical
+  // across thread counts under a fixed seed.
+  if (metrics_ != nullptr) {
+    metrics_->Add("sim.runs");
+    metrics_->Observe("sim.steps", steps_);
+    metrics_->Observe("sim.events", static_cast<int64_t>(events_processed_));
+    metrics_->Observe("sim.end_time_ms", now_);
+    metrics_->Add(std::string("sim.outcome.") + RunOutcomeName(result.outcome));
+    fault_runtime_->FlushMetrics(metrics_);
+    network_.FlushMetrics(metrics_);
   }
   return result;
 }

@@ -38,12 +38,22 @@
 #include "src/ir/program.h"
 #include "src/util/rng.h"
 
+namespace anduril::obs {
+class MetricsRegistry;
+}  // namespace anduril::obs
+
 namespace anduril::interp {
 
 class Simulator {
  public:
   Simulator(const ir::Program* program, const ClusterSpec* spec, uint64_t seed,
             FaultRuntime* fault_runtime);
+
+  // Attaches a metrics sink; at the end of Run() the simulator folds its
+  // per-run accounting ("sim.*") plus the fault runtime's ("fault.*") and
+  // network model's ("net.*") into it. Null (the default) disables the flush
+  // entirely — a single pointer test per run.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Executes the run to completion and returns the result. Call once.
   RunResult Run();
@@ -203,6 +213,7 @@ class Simulator {
   std::chrono::steady_clock::time_point wall_deadline_;
   uint64_t events_processed_ = 0;
   bool ran_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace anduril::interp

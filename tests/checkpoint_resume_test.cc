@@ -15,29 +15,10 @@
 #include "src/explorer/explorer.h"
 #include "src/explorer/strategy.h"
 #include "src/systems/common.h"
+#include "tests/test_util.h"
 
 namespace anduril::explorer {
 namespace {
-
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
-
-ExplorerOptions OptionsFor(const systems::FailureCase& failure_case, int threads) {
-  ExplorerOptions options;
-  options.num_threads = threads;
-  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
-                                   failure_case.root_kind == interp::FaultKind::kStall;
-  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
-  return options;
-}
-
-ExploreResult RunSearch(const systems::BuiltCase& built, const ExplorerOptions& options,
-                        const CheckpointConfig& checkpoint = {}) {
-  Explorer explorer(built.spec, options);
-  std::unique_ptr<InjectionStrategy> strategy = MakeFullFeedbackStrategy();
-  return explorer.Explore(strategy.get(), checkpoint);
-}
 
 // --- serialization round-trip ---------------------------------------------------
 
@@ -190,7 +171,7 @@ void ExpectResumeMatchesUninterrupted(const std::string& case_id, int threads) {
   const systems::FailureCase* failure_case = systems::FindCase(case_id);
   ASSERT_NE(failure_case, nullptr);
   systems::BuiltCase built = systems::BuildCase(*failure_case);
-  ExplorerOptions options = OptionsFor(*failure_case, threads);
+  ExplorerOptions options = OptionsForCase(*failure_case, threads);
 
   ExploreResult baseline = RunSearch(built, options);
   ASSERT_TRUE(baseline.reproduced);
@@ -260,7 +241,7 @@ TEST(CheckpointResumeTest, NetworkConfigIsPersistedInCheckpoint) {
   const systems::FailureCase* failure_case = systems::FindCase("hd-net-2");
   ASSERT_NE(failure_case, nullptr);
   systems::BuiltCase built = systems::BuildCase(*failure_case);
-  ExplorerOptions options = OptionsFor(*failure_case, 1);
+  ExplorerOptions options = OptionsForCase(*failure_case, 1);
   options.max_rounds = 2;
   std::string path = TempPath("network_config.json");
   RunSearch(built, options, CheckpointConfig{path, nullptr});
@@ -277,7 +258,7 @@ TEST(CheckpointResumeTest, CheckpointWrittenAfterEveryFinishedRound) {
   const systems::FailureCase* failure_case = systems::FindCase("zk-2247");
   ASSERT_NE(failure_case, nullptr);
   systems::BuiltCase built = systems::BuildCase(*failure_case);
-  ExplorerOptions options = OptionsFor(*failure_case, 1);
+  ExplorerOptions options = OptionsForCase(*failure_case, 1);
   options.max_rounds = 2;
   std::string path = TempPath("every_round.json");
   RunSearch(built, options, CheckpointConfig{path, nullptr});
@@ -311,7 +292,7 @@ TEST(CrashStallScenarioTest, ScenariosReproduceAndReplayDeterministically) {
   for (const systems::FailureCase& failure_case : systems::CrashStallCases()) {
     SCOPED_TRACE(failure_case.id);
     systems::BuiltCase built = systems::BuildCase(failure_case);
-    ExplorerOptions options = OptionsFor(failure_case, 1);
+    ExplorerOptions options = OptionsForCase(failure_case, 1);
     ASSERT_TRUE(options.crash_stall_candidates);
     ExploreResult result = RunSearch(built, options);
     ASSERT_TRUE(result.reproduced);

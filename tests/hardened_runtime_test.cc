@@ -7,6 +7,7 @@
 #include "src/interp/log_entry.h"
 #include "src/interp/simulator.h"
 #include "src/ir/builder.h"
+#include "tests/test_util.h"
 
 namespace anduril::interp {
 namespace {
@@ -16,44 +17,11 @@ using ir::LogLevel;
 using ir::MethodBuilder;
 using ir::Program;
 
-class HardenedRuntimeTest : public ::testing::Test {
+class HardenedRuntimeTest : public TwoNodeClusterTest {
  protected:
   HardenedRuntimeTest() {
     program_.DefineException("IOException");
     program_.DefineException("TimeoutException");
-  }
-
-  RunResult Run(const std::string& entry, uint64_t seed = 1,
-                std::vector<InjectionCandidate> window = {},
-                std::vector<InjectionCandidate> pinned = {}) {
-    if (!program_.finalized()) {
-      program_.Finalize();
-    }
-    if (cluster_.nodes.empty()) {
-      cluster_.AddNode("n1");
-      cluster_.AddNode("n2");
-    }
-    cluster_.tasks.clear();
-    cluster_.AddTask("n1", "main", program_.FindMethod(entry), 0);
-    FaultRuntime runtime(&program_);
-    runtime.SetWindow(std::move(window));
-    runtime.SetPinned(std::move(pinned));
-    Simulator simulator(&program_, &cluster_, seed, &runtime);
-    return simulator.Run();
-  }
-
-  int64_t Var(const RunResult& result, const std::string& var,
-              const std::string& node = "n1") const {
-    return result.NodeVar(program_, node, var);
-  }
-
-  ir::FaultSiteId Site(const std::string& prefix) const {
-    for (const ir::FaultSite& site : program_.fault_sites()) {
-      if (site.name.find(prefix + "@") == 0) {
-        return site.id;
-      }
-    }
-    return ir::kInvalidId;
   }
 
   // Producer on n1 pumps `rounds` messages at a handler on n2; the handler
@@ -79,9 +47,6 @@ class HardenedRuntimeTest : public ::testing::Test {
       });
     }
   }
-
-  Program program_;
-  ClusterSpec cluster_;
 };
 
 // --- crash faults ---------------------------------------------------------------

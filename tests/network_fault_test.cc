@@ -16,6 +16,7 @@
 #include "src/interp/simulator.h"
 #include "src/ir/builder.h"
 #include "src/systems/common.h"
+#include "tests/test_util.h"
 
 namespace anduril::interp {
 namespace {
@@ -24,40 +25,9 @@ using ir::LogLevel;
 using ir::MethodBuilder;
 using ir::Program;
 
-class NetworkFaultTest : public ::testing::Test {
+class NetworkFaultTest : public TwoNodeClusterTest {
  protected:
   NetworkFaultTest() { program_.DefineException("IOException"); }
-
-  RunResult Run(const std::string& entry, uint64_t seed = 1,
-                std::vector<InjectionCandidate> window = {}) {
-    if (!program_.finalized()) {
-      program_.Finalize();
-    }
-    if (cluster_.nodes.empty()) {
-      cluster_.AddNode("n1");
-      cluster_.AddNode("n2");
-    }
-    cluster_.tasks.clear();
-    cluster_.AddTask("n1", "main", program_.FindMethod(entry), 0);
-    FaultRuntime runtime(&program_);
-    runtime.SetWindow(std::move(window));
-    Simulator simulator(&program_, &cluster_, seed, &runtime);
-    return simulator.Run();
-  }
-
-  int64_t Var(const RunResult& result, const std::string& var,
-              const std::string& node) const {
-    return result.NodeVar(program_, node, var);
-  }
-
-  ir::FaultSiteId Site(const std::string& prefix) const {
-    for (const ir::FaultSite& site : program_.fault_sites()) {
-      if (site.name.find(prefix + "@") == 0) {
-        return site.id;
-      }
-    }
-    return ir::kInvalidId;
-  }
 
   // Producer on n1 pumps `rounds` messages at a handler on n2; the handler
   // counts and acks back.
@@ -81,9 +51,6 @@ class NetworkFaultTest : public ::testing::Test {
       });
     }
   }
-
-  Program program_;
-  ClusterSpec cluster_;
 };
 
 // --- enumeration ----------------------------------------------------------------
@@ -295,12 +262,6 @@ ExplorerOptions NetworkOptions() {
   ExplorerOptions options;
   options.network_candidates = true;
   return options;
-}
-
-ExploreResult RunSearch(const systems::BuiltCase& built, const ExplorerOptions& options) {
-  Explorer explorer(built.spec, options);
-  std::unique_ptr<InjectionStrategy> strategy = MakeFullFeedbackStrategy();
-  return explorer.Explore(strategy.get());
 }
 
 TEST(NetworkScenarioTest, RegistryIsSeparateAndCoversAllFourKinds) {

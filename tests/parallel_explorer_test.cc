@@ -15,6 +15,7 @@
 #include "src/explorer/explorer.h"
 #include "src/explorer/iterative.h"
 #include "src/systems/common.h"
+#include "tests/test_util.h"
 
 namespace anduril::explorer {
 namespace {
@@ -28,9 +29,7 @@ struct Outcome {
 };
 
 Outcome RunCase(const systems::BuiltCase& built, const ExplorerOptions& options) {
-  Explorer explorer(built.spec, options);
-  auto strategy = MakeFullFeedbackStrategy();
-  ExploreResult result = explorer.Explore(strategy.get());
+  ExploreResult result = RunSearch(built, options);
   Outcome outcome;
   outcome.reproduced = result.reproduced;
   outcome.rounds = result.rounds;

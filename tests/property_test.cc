@@ -18,7 +18,9 @@
 
 #include "src/explorer/explorer.h"
 #include "src/interp/log_entry.h"
+#include "src/interp/simulator.h"
 #include "src/logdiff/parser.h"
+#include "src/obs/metrics.h"
 #include "src/systems/common.h"
 
 namespace anduril::systems {
@@ -113,6 +115,45 @@ TEST_P(RunSweepTest, LogRoundTripsThroughParser) {
     EXPECT_EQ(parsed.lines[i].thread, run.log[i].FullThreadName());
     EXPECT_EQ(parsed.lines[i].level, ir::LogLevelName(run.log[i].level));
   }
+}
+
+// The metrics a run flushes must agree with its RunResult: the registry is
+// an *aggregated view* of the same facts, never an independent count.
+TEST_P(RunSweepTest, MetricsAgreeWithRunResult) {
+  const FailureCase& failure_case = *FindCase(GetParam().case_id);
+  BuiltCase built = BuildCase(failure_case, /*verify=*/false);
+  // Arm the ground truth so the injected-fault counters are exercised too.
+  std::vector<interp::InjectionCandidate> window = {built.ground_truth};
+
+  obs::MetricsRegistry metrics;
+  interp::FaultRuntime runtime(built.program.get());
+  runtime.SetWindow(window);
+  interp::Simulator simulator(built.program.get(), &built.cluster, GetParam().seed, &runtime);
+  simulator.set_metrics(&metrics);
+  interp::RunResult run = simulator.Run();
+
+  EXPECT_EQ(metrics.counter("sim.runs"), 1);
+  EXPECT_EQ(metrics.counter(std::string("sim.outcome.") + interp::RunOutcomeName(run.outcome)),
+            1);
+  EXPECT_EQ(metrics.counter("fault.requests"), run.injection_requests);
+  EXPECT_EQ(metrics.counter("fault.pinned_fired"), run.pinned_fired);
+  if (run.injected.has_value()) {
+    EXPECT_EQ(metrics.counter(std::string("fault.injected.") +
+                              interp::FaultKindName(run.injected->kind)),
+              1);
+  } else {
+    for (const auto& [name, value] : metrics.Snapshot().counters) {
+      EXPECT_TRUE(name.rfind("fault.injected.", 0) != 0) << name << "=" << value;
+    }
+  }
+  EXPECT_EQ(metrics.counter("net.messages_sent"), run.network.messages_sent);
+  EXPECT_EQ(metrics.counter("net.dropped_by_fault"), run.network.dropped_by_fault);
+  EXPECT_EQ(metrics.counter("net.dropped_by_partition"), run.network.dropped_by_partition);
+  EXPECT_EQ(metrics.counter("net.delayed"), run.network.delayed);
+  EXPECT_EQ(metrics.counter("net.duplicated"), run.network.duplicated);
+  EXPECT_EQ(metrics.counter("net.partitions_severed"), run.network.partitions_severed);
+  EXPECT_EQ(metrics.histogram("sim.end_time_ms").count, 1);
+  EXPECT_EQ(metrics.histogram("sim.end_time_ms").sum, run.end_time_ms);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCasesBySeeds, RunSweepTest, ::testing::ValuesIn(SweepParams()),
@@ -237,6 +278,43 @@ TEST(OccurrenceSensitivity, WrongExceptionTypeDoesNotReproduce) {
       RunOnce(*built.program, built.failure_cluster, failure_case.failure_seed, {candidate});
   ASSERT_TRUE(run.injected.has_value());
   EXPECT_FALSE(failure_case.oracle(*built.program, run));
+}
+
+// --- search-level metrics consistency -------------------------------------------------
+
+TEST(MetricsConsistency, SearchCountersMatchExploreResult) {
+  const FailureCase& failure_case = *FindCase("zk-2247");
+  BuiltCase built = BuildCase(failure_case);
+  obs::MetricsRegistry metrics;
+  explorer::ExplorerOptions options;
+  options.metrics = &metrics;
+  explorer::Explorer ex(built.spec, options);
+  auto strategy = explorer::MakeFullFeedbackStrategy();
+  explorer::ExploreResult result = ex.Explore(strategy.get());
+  ASSERT_TRUE(result.reproduced);
+
+  EXPECT_EQ(metrics.counter("explore.rounds"), result.rounds);
+  EXPECT_EQ(metrics.counter("explore.reproduced"), 1);
+  EXPECT_EQ(metrics.counter("explore.outcome.completed"),
+            result.experiment.completed_rounds);
+  EXPECT_EQ(metrics.counter("explore.outcome.crashed"), result.experiment.crashed_rounds);
+  EXPECT_EQ(metrics.gauge("explore.last_round"), result.rounds);
+  // One simulation per round (runs_per_round = 1, no retries), so the
+  // injected-fault counters must equal the count of injected rounds.
+  int64_t injected_rounds = 0;
+  for (const explorer::RoundRecord& record : result.records) {
+    injected_rounds += record.injected ? 1 : 0;
+  }
+  int64_t injected_total = 0;
+  for (const auto& [name, value] : metrics.Snapshot().counters) {
+    if (name.rfind("fault.injected.", 0) == 0) {
+      injected_total += value;
+    }
+  }
+  EXPECT_EQ(injected_total, injected_rounds);
+  EXPECT_EQ(metrics.counter("sim.runs"), result.rounds);
+  // The final snapshot the explorer stored is exactly the registry's state.
+  EXPECT_EQ(result.metrics, metrics.Snapshot());
 }
 
 // --- reproduction script determinism across the dataset -------------------------------

@@ -1,0 +1,103 @@
+// Shared test scaffolding.
+//
+// Two layers, mirroring the code under test:
+//  - interp: TwoNodeClusterTest, a fixture for tests that build a small IR
+//    program with MethodBuilder and run it on an n1/n2 cluster (the
+//    network-fault and hardened-runtime suites).
+//  - explorer: free helpers for tests that search a registered failure case
+//    end to end — candidate-space options derived from the case's root fault
+//    kind, a one-call search runner, and temp-file paths.
+
+#ifndef ANDURIL_TESTS_TEST_UTIL_H_
+#define ANDURIL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/explorer/explorer.h"
+#include "src/explorer/strategy.h"
+#include "src/interp/simulator.h"
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::interp {
+
+// Base fixture: a Program plus a two-node cluster, with one task on n1
+// running `entry`. Subclasses build methods into program_ (and may predefine
+// exception types in their constructors); Run() finalizes lazily so a test
+// can keep adding methods until the first run.
+class TwoNodeClusterTest : public ::testing::Test {
+ protected:
+  RunResult Run(const std::string& entry, uint64_t seed = 1,
+                std::vector<InjectionCandidate> window = {},
+                std::vector<InjectionCandidate> pinned = {}) {
+    if (!program_.finalized()) {
+      program_.Finalize();
+    }
+    if (cluster_.nodes.empty()) {
+      cluster_.AddNode("n1");
+      cluster_.AddNode("n2");
+    }
+    cluster_.tasks.clear();
+    cluster_.AddTask("n1", "main", program_.FindMethod(entry), 0);
+    FaultRuntime runtime(&program_);
+    runtime.SetWindow(std::move(window));
+    runtime.SetPinned(std::move(pinned));
+    Simulator simulator(&program_, &cluster_, seed, &runtime);
+    return simulator.Run();
+  }
+
+  int64_t Var(const RunResult& result, const std::string& var,
+              const std::string& node = "n1") const {
+    return result.NodeVar(program_, node, var);
+  }
+
+  ir::FaultSiteId Site(const std::string& prefix) const {
+    for (const ir::FaultSite& site : program_.fault_sites()) {
+      if (site.name.find(prefix + "@") == 0) {
+        return site.id;
+      }
+    }
+    return ir::kInvalidId;
+  }
+
+  ir::Program program_;
+  ClusterSpec cluster_;
+};
+
+}  // namespace anduril::interp
+
+namespace anduril::explorer {
+
+inline std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Options whose candidate space can reach the case's root fault: crash/stall
+// kinds for crash- and stall-rooted cases, message-layer kinds for
+// network-rooted ones, the stock exception space otherwise.
+inline ExplorerOptions OptionsForCase(const systems::FailureCase& failure_case,
+                                      int threads = 1) {
+  ExplorerOptions options;
+  options.num_threads = threads;
+  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
+                                   failure_case.root_kind == interp::FaultKind::kStall;
+  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
+  return options;
+}
+
+inline ExploreResult RunSearch(const systems::BuiltCase& built,
+                               const ExplorerOptions& options,
+                               const CheckpointConfig& checkpoint = {}) {
+  Explorer explorer(built.spec, options);
+  std::unique_ptr<InjectionStrategy> strategy = MakeFullFeedbackStrategy();
+  return explorer.Explore(strategy.get(), checkpoint);
+}
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_TESTS_TEST_UTIL_H_

@@ -5,10 +5,15 @@
 //   anduril_case info <case>
 //       Context details: observables, causal graph size, candidates.
 //   anduril_case run <case> [strategy] [max_rounds] [--checkpoint=<path>] [--resume]
+//                    [--trace-out=<path>] [--metrics-out=<path>]
 //       Explore with a strategy (default "full") and print the per-round
 //       trace plus the reproduction script. --checkpoint serializes the
 //       search state to <path> after every round; --resume restores it from
-//       there first (and continues from the next round).
+//       there first (and continues from the next round). --trace-out writes
+//       the structured search trace: Chrome trace_event JSON (load it in
+//       chrome://tracing or Perfetto), or compact JSONL when the path ends
+//       in ".jsonl". --metrics-out writes the metrics registry (counters,
+//       gauges, histograms) as JSON.
 //   anduril_case replay <case> <occurrence> <seed>
 //       Inject the case's ground-truth site at a chosen occurrence/seed and
 //       dump the resulting log — the tool for studying a scenario's timing
@@ -18,6 +23,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +31,8 @@
 #include "src/analysis/graph_export.h"
 #include "src/explorer/explorer.h"
 #include "src/interp/log_entry.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/systems/common.h"
 
 namespace anduril {
@@ -37,6 +45,12 @@ int Usage() {
       "       anduril_case info <case>\n"
       "       anduril_case run <case> [strategy] [max_rounds] [--checkpoint=<path>] "
       "[--resume]\n"
+      "                    [--trace-out=<path>] [--metrics-out=<path>]\n"
+      "           --trace-out:   write the search trace; Chrome trace_event JSON\n"
+      "                          (chrome://tracing / Perfetto), or JSONL if <path>\n"
+      "                          ends in \".jsonl\"\n"
+      "           --metrics-out: write the metrics registry (counters, gauges,\n"
+      "                          histograms) as JSON\n"
       "       anduril_case replay <case> <occurrence> <seed>\n"
       "       anduril_case graph <case> [max_nodes]\n");
   return 2;
@@ -100,8 +114,20 @@ int Info(const std::string& id) {
   return 0;
 }
 
+bool WriteTextFile(const std::string& path, const std::string& text, const char* what) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << text;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
 int RunCase(const std::string& id, const std::string& strategy_name, int max_rounds,
-            const std::string& checkpoint_path, bool resume) {
+            const std::string& checkpoint_path, bool resume, const std::string& trace_path,
+            const std::string& metrics_path) {
   const systems::FailureCase* failure_case = Lookup(id);
   if (failure_case == nullptr) {
     return 1;
@@ -115,6 +141,14 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
   options.crash_stall_candidates = failure_case->root_kind == interp::FaultKind::kCrash ||
                                    failure_case->root_kind == interp::FaultKind::kStall;
   options.network_candidates = interp::IsNetworkFaultKind(failure_case->root_kind);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (!trace_path.empty()) {
+    options.tracer = &tracer;
+  }
+  if (!metrics_path.empty()) {
+    options.metrics = &metrics;
+  }
   explorer::Explorer ex(built.spec, options);
   auto strategy = explorer::MakeStrategy(strategy_name);
 
@@ -137,6 +171,23 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
   }
 
   explorer::ExploreResult result = ex.Explore(strategy.get(), checkpoint);
+  if (!trace_path.empty()) {
+    const bool jsonl = trace_path.size() >= 6 &&
+                       trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    const std::string text = jsonl ? tracer.DumpJsonl(/*include_wall=*/true)
+                                   : tracer.DumpChromeTrace(/*include_wall=*/true);
+    if (!WriteTextFile(trace_path, text, "trace")) {
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (%s)\n", tracer.event_count(), trace_path.c_str(),
+                jsonl ? "jsonl" : "chrome trace_event");
+  }
+  if (!metrics_path.empty()) {
+    if (!WriteTextFile(metrics_path, metrics.DumpJson(), "metrics")) {
+      return 1;
+    }
+    std::printf("metrics: -> %s\n", metrics_path.c_str());
+  }
   for (const explorer::RoundRecord& record : result.records) {
     std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d net=%-3d outcome=%s%s%s\n",
                 record.round, record.window_size, record.injected ? 1 : 0,
@@ -223,11 +274,17 @@ int Main(int argc, char** argv) {
   // Split flag arguments (--checkpoint=<path>, --resume) from positionals.
   std::vector<std::string> args;
   std::string checkpoint_path;
+  std::string trace_path;
+  std::string metrics_path;
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--checkpoint=", 0) == 0) {
       checkpoint_path = arg.substr(std::string("--checkpoint=").size());
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics-out=").size());
     } else if (arg == "--resume") {
       resume = true;
     } else {
@@ -251,7 +308,7 @@ int Main(int argc, char** argv) {
   if (command == "run") {
     return RunCase(id, args.size() > 2 ? args[2] : "full",
                    args.size() > 3 ? std::atoi(args[3].c_str()) : 1500, checkpoint_path,
-                   resume);
+                   resume, trace_path, metrics_path);
   }
   if (command == "replay" && args.size() >= 4) {
     return Replay(id, std::atoll(args[2].c_str()),
