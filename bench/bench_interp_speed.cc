@@ -1,0 +1,231 @@
+// Raw interpreter throughput: the flattened direct-threaded dispatch loop
+// (shared FlatProgram + pooled RunScratch + reused FaultRuntime, i.e. exactly
+// what the explorer's worker threads run) against the legacy statement-tree
+// walker (fresh runtime per run, no scratch — the pre-flattening hot path).
+// Measured on the fault-free exploration workloads of zk-2247 (exception
+// root) and hd-net-1 (message-layer root), which is what every search round
+// executes thousands of times. Emits BENCH_interp.json.
+//
+// Methodology follows bench_trace_overhead: both modes run interleaved at
+// single-sample granularity with the order rotated every repetition, each
+// sample is a back-to-back batch of identical runs, best-of-N gives the
+// per-mode floor, and the headline speedup is the median of per-repetition
+// tree/flat ratios so host drift cancels pairwise. The CHECK at the end is
+// the CI regression gate: the flattened path must stay at least
+// kSpeedupFloor x faster than the tree walker, a deliberately loose floor
+// under the >=5x target recorded in the JSON, so the job fails on a >=2x
+// regression of the flat path without flaking on machine variance.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/interp/simulator.h"
+#include "src/ir/flatten.h"
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace anduril::bench {
+namespace {
+
+constexpr int kRepetitions = 200;   // timed batches per mode per case
+constexpr int kRunsPerBatch = 50;   // back-to-back runs in one timed sample
+constexpr int kWarmupBatches = 3;   // untimed, per mode
+constexpr double kSpeedupFloor = 2.5;
+
+struct ModeResult {
+  std::string mode;             // "tree" / "flat"
+  std::vector<double> samples;  // seconds per batch, aligned by repetition
+  double best_seconds = 0;
+  int64_t steps_per_run = 0;    // deterministic, identical across runs
+};
+
+struct CaseResult {
+  std::string id;
+  ModeResult tree{"tree", {}, 0, 0};
+  ModeResult flat{"flat", {}, 0, 0};
+  double speedup = 0;  // median per-repetition tree/flat ratio
+};
+
+double Best(const std::vector<double>& values) {
+  ANDURIL_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double PairedSpeedup(const ModeResult& tree, const ModeResult& flat) {
+  ANDURIL_CHECK(tree.samples.size() == flat.samples.size());
+  std::vector<double> ratios;
+  for (size_t i = 0; i < tree.samples.size(); ++i) {
+    ratios.push_back(tree.samples[i] / flat.samples[i]);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
+// One fault-free run in the given mode. The flat mode reproduces the
+// explorer worker's per-run state exactly: one FaultRuntime and one
+// RunScratch outlive the whole batch, the FlatProgram is shared read-only.
+// The tree mode reproduces the pre-flattening worker: a fresh FaultRuntime
+// per run and a Simulator that allocates all its own containers.
+interp::RunResult RunOnceMode(const systems::BuiltCase& built, uint64_t seed, bool flat_mode,
+                              const ir::FlatProgram* flat, interp::FaultRuntime* shared_runtime,
+                              interp::RunScratch* scratch, obs::MetricsRegistry* metrics) {
+  if (flat_mode) {
+    interp::Simulator simulator(built.program.get(), &built.cluster, seed, shared_runtime,
+                                flat, scratch);
+    if (metrics != nullptr) {
+      simulator.set_metrics(metrics);
+    }
+    return simulator.Run();
+  }
+  interp::FaultRuntime runtime(built.program.get());
+  runtime.set_tracing(true);
+  interp::Simulator simulator(built.program.get(), &built.cluster, seed, &runtime);
+  simulator.set_tree_walk(true);
+  if (metrics != nullptr) {
+    simulator.set_metrics(metrics);
+  }
+  return simulator.Run();
+}
+
+CaseResult BenchCase(const std::string& case_id) {
+  const systems::FailureCase* failure_case = systems::FindCase(case_id);
+  ANDURIL_CHECK(failure_case != nullptr);
+  systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+  const uint64_t seed = failure_case->explore_seed;
+
+  ir::FlatProgram flat(*built.program);
+  interp::RunScratch scratch;
+  interp::FaultRuntime shared_runtime(built.program.get());
+  shared_runtime.set_tracing(true);
+
+  CaseResult result;
+  result.id = case_id;
+
+  // Calibration: one metered run per mode. Steps are deterministic, so this
+  // both yields the ns/op denominator and asserts the two interpreters agree
+  // on the step count (the parity invariant the equivalence suite relies on).
+  for (ModeResult* mode : {&result.tree, &result.flat}) {
+    obs::MetricsRegistry metrics;
+    interp::RunResult run =
+        RunOnceMode(built, seed, mode->mode == "flat", &flat, &shared_runtime, &scratch,
+                    &metrics);
+    ANDURIL_CHECK(run.outcome == interp::RunOutcome::kCompleted);
+    mode->steps_per_run = metrics.histogram("sim.steps").sum;
+    ANDURIL_CHECK(mode->steps_per_run > 0);
+  }
+  ANDURIL_CHECK(result.tree.steps_per_run == result.flat.steps_per_run)
+      << "step-count parity broken on " << case_id;
+
+  // The flat mode hands each consumed result's buffers back to the scratch,
+  // exactly as the explorer's round loop does; the tree mode drops results on
+  // the floor like the pre-flattening worker did.
+  auto run_batch = [&](bool flat_mode) {
+    for (int i = 0; i < kRunsPerBatch; ++i) {
+      interp::RunResult run =
+          RunOnceMode(built, seed, flat_mode, &flat, &shared_runtime, &scratch, nullptr);
+      if (flat_mode) {
+        scratch.Recycle(std::move(run));
+      }
+    }
+  };
+  for (int i = 0; i < kWarmupBatches; ++i) {
+    run_batch(false);
+    run_batch(true);
+  }
+
+  // Interleaved timing, order rotated per repetition (see bench_trace_overhead
+  // for why a fixed order biases the second mode).
+  ModeResult* order[2] = {&result.tree, &result.flat};
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (int k = 0; k < 2; ++k) {
+      ModeResult* mode = order[(rep + k) % 2];
+      Stopwatch timer;
+      run_batch(mode->mode == "flat");
+      mode->samples.push_back(timer.ElapsedSeconds());
+    }
+  }
+  result.tree.best_seconds = Best(result.tree.samples);
+  result.flat.best_seconds = Best(result.flat.samples);
+  result.speedup = PairedSpeedup(result.tree, result.flat);
+  return result;
+}
+
+double RunsPerSecond(const ModeResult& mode) {
+  return kRunsPerBatch / mode.best_seconds;
+}
+
+double NanosPerStep(const ModeResult& mode) {
+  return mode.best_seconds * 1e9 / (static_cast<double>(kRunsPerBatch) *
+                                    static_cast<double>(mode.steps_per_run));
+}
+
+void PrintCaseRows(const CaseResult& result) {
+  for (const ModeResult* mode : {&result.tree, &result.flat}) {
+    PrintRow({result.id, mode->mode, std::to_string(mode->steps_per_run),
+              StrFormat("%.0f", RunsPerSecond(*mode)),
+              StrFormat("%.1f", NanosPerStep(*mode)),
+              mode == &result.flat ? StrFormat("%.2fx", result.speedup) : "-"},
+             {10, 6, 8, 12, 10, 9});
+  }
+}
+
+int Main() {
+  std::vector<CaseResult> results;
+  results.push_back(BenchCase("zk-2247"));
+  results.push_back(BenchCase("hd-net-1"));
+
+  std::printf("Interpreter throughput: flattened direct-threaded vs tree walker\n"
+              "(fault-free workload, best of %d interleaved %d-run batches)\n\n",
+              kRepetitions, kRunsPerBatch);
+  PrintRow({"case", "mode", "steps", "runs/sec", "ns/step", "speedup"},
+           {10, 6, 8, 12, 10, 9});
+  for (const CaseResult& result : results) {
+    PrintCaseRows(result);
+  }
+
+  FILE* json = std::fopen("BENCH_interp.json", "w");
+  ANDURIL_CHECK(json != nullptr);
+  std::fprintf(json,
+               "{\n  \"repetitions\": %d,\n  \"runs_per_batch\": %d,\n"
+               "  \"speedup_floor\": %.2f,\n  \"cases\": [\n",
+               kRepetitions, kRunsPerBatch, kSpeedupFloor);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& result = results[i];
+    std::fprintf(json,
+                 "    {\"case\": \"%s\", \"speedup\": %.4f, "
+                 "\"steps_per_run\": %lld,\n",
+                 result.id.c_str(), result.speedup,
+                 static_cast<long long>(result.tree.steps_per_run));
+    const ModeResult* mode_list[2] = {&result.tree, &result.flat};
+    for (int m = 0; m < 2; ++m) {
+      const ModeResult& mode = *mode_list[m];
+      std::fprintf(json,
+                   "     \"%s\": {\"best_seconds\": %.6f, \"runs_per_sec\": %.1f, "
+                   "\"ns_per_step\": %.2f}%s\n",
+                   mode.mode.c_str(), mode.best_seconds, RunsPerSecond(mode),
+                   NanosPerStep(mode), m == 0 ? "," : "");
+    }
+    std::fprintf(json, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nWrote BENCH_interp.json\n");
+
+  for (const CaseResult& result : results) {
+    std::printf("%s: flat is %.2fx the tree walker (floor %.1fx)\n", result.id.c_str(),
+                result.speedup, kSpeedupFloor);
+    ANDURIL_CHECK(result.speedup >= kSpeedupFloor)
+        << "flattened-interpreter regression on " << result.id;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

@@ -17,6 +17,7 @@
 #include "src/analysis/causal_graph.h"
 #include "src/explorer/experiment.h"
 #include "src/interp/fault_runtime.h"
+#include "src/ir/flatten.h"
 #include "src/logdiff/compare.h"
 #include "src/logdiff/parser.h"
 
@@ -95,6 +96,11 @@ class ExplorerContext {
   // The fault-free run's instance trace in execution order.
   const std::vector<interp::FaultInstanceEvent>& normal_trace() const { return normal_trace_; }
 
+  // The program lowered once for the flattened interpreter, shared read-only
+  // by every run of every round and thread of the exploration. Null when the
+  // options selected the tree-walk interpreter.
+  const ir::FlatProgram* flat_program() const { return flat_program_.get(); }
+
   double init_seconds() const { return init_seconds_; }
   double normal_workload_seconds() const { return normal_workload_seconds_; }
 
@@ -110,6 +116,7 @@ class ExplorerContext {
   std::unordered_map<ir::FaultSiteId, std::vector<InstanceEstimate>> instances_;
   std::vector<ir::FaultSiteId> all_injectable_sites_;
   std::vector<interp::FaultInstanceEvent> normal_trace_;
+  std::unique_ptr<const ir::FlatProgram> flat_program_;
   std::vector<InstanceEstimate> empty_;
   double init_seconds_ = 0;
   double normal_workload_seconds_ = 0;

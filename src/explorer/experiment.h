@@ -96,6 +96,12 @@ struct ExplorerOptions {
   // *demoted* — re-ranked behind fresh candidates — rather than retired;
   // after this many demotions it is retired for good.
   int hang_demotions_before_retirement = 2;
+  // Run every simulation on the legacy statement-tree walker instead of the
+  // flattened direct-threaded interpreter. The two are semantically
+  // identical (asserted scenario-by-scenario in interp_equivalence_test);
+  // the tree walker is kept for one deprecation cycle as the differential
+  // baseline and will be removed once the flattened path has burned in.
+  bool tree_walk_interpreter = false;
   // Observability sinks (src/obs/), not owned; null = disabled, and every
   // instrumentation hook reduces to a single pointer test. Both sinks are
   // deterministic under a fixed seed at any thread count: trace timestamps

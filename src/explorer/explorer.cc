@@ -45,15 +45,34 @@ struct RepRun {
   bool success = false;  // oracle holds AND the window injection fired
 };
 
-RepRun ExecuteOne(const ExperimentSpec& spec,
+// Per-worker scratch: the simulator's pooled buffers survive across the
+// runs executed on this thread, so back-to-back runs keep their heap
+// allocations (environments, event heap, recycled thread objects — and,
+// via Recycle, consumed results' log/trace buffers) instead of
+// reallocating them every run.
+interp::RunScratch& LocalScratch() {
+  thread_local interp::RunScratch scratch;
+  return scratch;
+}
+
+RepRun ExecuteOne(const ExperimentSpec& spec, const ir::FlatProgram* flat, bool tree_walk,
                   const std::vector<interp::InjectionCandidate>& window, uint64_t seed,
                   obs::MetricsRegistry* metrics) {
   RepRun rep;
   rep.seed = seed;
-  interp::FaultRuntime runtime(spec.program);
-  runtime.SetWindow(window);
-  runtime.SetPinned(spec.pinned_faults);
-  interp::Simulator simulator(spec.program, spec.cluster, seed, &runtime);
+  interp::RunScratch& scratch = LocalScratch();
+  thread_local std::unique_ptr<interp::FaultRuntime> runtime;
+  if (runtime == nullptr || &runtime->program() != spec.program) {
+    runtime = std::make_unique<interp::FaultRuntime>(spec.program);
+  }
+  runtime->set_tracing(true);
+  runtime->SetWindow(window);
+  runtime->SetPinned(spec.pinned_faults);
+  interp::Simulator simulator(spec.program, spec.cluster, seed, runtime.get(), flat,
+                              &scratch);
+  if (tree_walk) {
+    simulator.set_tree_walk(true);
+  }
   simulator.set_metrics(metrics);
   rep.run = simulator.Run();
   rep.success = spec.oracle(*spec.program, rep.run) && rep.run.injected.has_value();
@@ -99,15 +118,17 @@ RoundPlan PlanRound(const ExperimentSpec& spec, const ExplorerOptions& options, 
 // unsuccessful round everything executed anyway). Parallel mode runs every
 // item and lets the caller select by plan order, which yields the same
 // selection.
-std::vector<RepRun> ExecutePlan(const ExperimentSpec& spec, const RoundPlan& plan,
-                                ThreadPool* pool, obs::MetricsRegistry* metrics) {
+std::vector<RepRun> ExecutePlan(const ExperimentSpec& spec, const ir::FlatProgram* flat,
+                                bool tree_walk, const RoundPlan& plan, ThreadPool* pool,
+                                obs::MetricsRegistry* metrics) {
   std::vector<RepRun> executed;
   if (pool != nullptr && plan.items.size() > 1) {
     std::vector<std::future<RepRun>> futures;
     futures.reserve(plan.items.size());
     for (const auto& [window, seed] : plan.items) {
-      futures.push_back(pool->Submit([&spec, &window, seed = seed, metrics]() {
-        return ExecuteOne(spec, window, seed, metrics);
+      futures.push_back(pool->Submit([&spec, flat, tree_walk, &window, seed = seed,
+                                      metrics]() {
+        return ExecuteOne(spec, flat, tree_walk, window, seed, metrics);
       }));
     }
     executed.reserve(futures.size());
@@ -116,7 +137,7 @@ std::vector<RepRun> ExecutePlan(const ExperimentSpec& spec, const RoundPlan& pla
     }
   } else {
     for (const auto& [window, seed] : plan.items) {
-      executed.push_back(ExecuteOne(spec, window, seed, metrics));
+      executed.push_back(ExecuteOne(spec, flat, tree_walk, window, seed, metrics));
       if (executed.back().success) {
         break;
       }
@@ -373,7 +394,15 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     // outcome matches the serial engine exactly.
     Stopwatch run_timer;
     RoundPlan plan = PlanRound(*spec_, options_, round, window);
-    std::vector<RepRun> executed = ExecutePlan(*spec_, plan, pool, metrics);
+    // The context's cached FlatProgram is only valid for the program it was
+    // lowered from; a context shared across specs with a different (equal)
+    // program falls back to per-run self-lowering inside the simulator.
+    const ir::FlatProgram* flat = context_->flat_program();
+    if (flat != nullptr && flat->program() != spec_->program) {
+      flat = nullptr;
+    }
+    std::vector<RepRun> executed =
+        ExecutePlan(*spec_, flat, options_.tree_walk_interpreter, plan, pool, metrics);
     // Transient-failure retry: when the watchdog wall budget killed a run
     // the round's feedback is an artifact of host load, not of the fault.
     // Back off (bounded exponential + jitter) and re-execute the identical
@@ -388,7 +417,8 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
                             obs::kRoundStride - obs::kItemStride + record.retries,
                         0, {obs::ArgInt("attempt", record.retries)});
       }
-      executed = ExecutePlan(*spec_, plan, pool, metrics);
+      executed = ExecutePlan(*spec_, flat, options_.tree_walk_interpreter, plan, pool,
+                             metrics);
     }
     retry_backoff.Reset();
     record.run_seconds = run_timer.ElapsedSeconds();
@@ -557,6 +587,14 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
         snap.metrics = metrics->Snapshot();
       }
       ANDURIL_CHECK(SaveCheckpointFile(checkpoint.path, snap));
+    }
+
+    // The round's results are consumed; hand one run's log/trace buffers
+    // back to this thread's scratch so the next round (serial engine: the
+    // same thread executes it) overwrites them in place instead of
+    // reallocating every log entry.
+    if (!executed.empty()) {
+      LocalScratch().Recycle(std::move(executed.back().run));
     }
   }
 

@@ -28,13 +28,55 @@ const char* FaultKindName(FaultKind kind) {
 }
 
 void FaultRuntime::BeginRun() {
-  occurrences_.clear();
-  trace_.clear();
+  // Compile the fault plan: dense zeroed counters sized to the program's
+  // site registry plus the armed-site bitmap over window + pinned. assign()
+  // keeps the buffers' capacity across runs.
+  size_t site_count = program_->fault_sites().size();
+  occurrences_.assign(site_count, 0);
+  armed_.assign((site_count + 63) / 64, 0);
+  auto arm = [this](ir::FaultSiteId site) {
+    if (site < 0) {
+      return;
+    }
+    size_t word = static_cast<size_t>(site) >> 6;
+    if (word >= armed_.size()) {
+      armed_.resize(word + 1, 0);
+    }
+    armed_[word] |= uint64_t{1} << (static_cast<size_t>(site) & 63);
+  };
+  for (const InjectionCandidate& candidate : window_) {
+    arm(candidate.site);
+  }
+  for (const InjectionCandidate& candidate : pinned_) {
+    arm(candidate.site);
+  }
+  trace_len_ = 0;
   injected_.reset();
   preempted_window_.clear();
   injection_requests_ = 0;
   decision_nanos_ = 0;
   pinned_fired_ = 0;
+}
+
+void FaultRuntime::GrowTrace() {
+  // A recycled buffer arrives trimmed to the previous run's live prefix
+  // (CopyTraceTo swap): fill out its existing capacity before doubling so the
+  // steady state value-initializes only the trimmed tail, never reallocates.
+  if (trace_.size() < trace_.capacity()) {
+    trace_.resize(trace_.capacity());
+  } else {
+    trace_.resize(trace_.empty() ? 64 : trace_.size() * 2);
+  }
+}
+
+std::unordered_map<ir::FaultSiteId, int64_t> FaultRuntime::occurrence_counts() const {
+  std::unordered_map<ir::FaultSiteId, int64_t> counts;
+  for (size_t site = 0; site < occurrences_.size(); ++site) {
+    if (occurrences_[site] != 0) {
+      counts[static_cast<ir::FaultSiteId>(site)] = occurrences_[site];
+    }
+  }
+  return counts;
 }
 
 void FaultRuntime::FlushMetrics(obs::MetricsRegistry* metrics) const {
@@ -53,12 +95,17 @@ void FaultRuntime::FlushMetrics(obs::MetricsRegistry* metrics) const {
 bool FaultRuntime::Decide(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
                           int32_t thread_id, FaultAction* action) {
   ++injection_requests_;
-  int64_t occurrence = ++occurrences_[site];
+  int64_t occurrence = BumpOccurrence(site);
   action->occurrence = occurrence;
   if (tracing_) {
-    trace_.push_back(FaultInstanceEvent{site, occurrence, log_clock, time_ms, thread_id});
+    TraceAppend(site, occurrence, log_clock, time_ms, thread_id);
   }
+  // The legacy hooks scan unconditionally (they may run without BeginRun, so
+  // no bitmap is guaranteed); the fast hooks gate this scan on Armed().
+  return MatchArmed(site, occurrence, action);
+}
 
+bool FaultRuntime::MatchArmed(ir::FaultSiteId site, int64_t occurrence, FaultAction* action) {
   // Pinned faults (iterative multi-fault mode) fire unconditionally and do
   // not consume the window's single injection. A dynamic instance fires at
   // most once: if a window candidate names the same (site, occurrence) as a
@@ -131,6 +178,45 @@ FaultAction FaultRuntime::OnSend(ir::FaultSiteId site, int64_t log_clock, int64_
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
                                                            start)
           .count();
+  return action;
+}
+
+bool FaultRuntime::ExternalCallMatchArmed(ir::FaultSiteId site, int64_t occurrence,
+                                          FaultAction* action) {
+  bool matched = MatchArmed(site, occurrence, action);
+  ANDURIL_CHECK(!matched || !IsNetworkFaultKind(action->kind))
+      << "network fault armed at external-call site " << program_->fault_site(site).name;
+  return matched;
+}
+
+bool FaultRuntime::SendMatchArmed(ir::FaultSiteId site, int64_t occurrence,
+                                  FaultAction* action) {
+  bool matched = MatchArmed(site, occurrence, action);
+  ANDURIL_CHECK(!matched || IsNetworkFaultKind(action->kind))
+      << "non-network fault armed at send site " << program_->fault_site(site).name;
+  return matched;
+}
+
+FaultAction FaultRuntime::OnExternalCallFastTimed(ir::FaultSiteId site,
+                                                  ir::ExceptionTypeId transient_type,
+                                                  int32_t transient_every_n, int64_t log_clock,
+                                                  int64_t time_ms, int32_t thread_id) {
+  auto start = std::chrono::steady_clock::now();
+  FaultAction action = ExternalCallFastImpl(site, transient_type, transient_every_n,
+                                            log_clock, time_ms, thread_id);
+  decision_nanos_ += kDecisionSample * std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - start)
+                                           .count();
+  return action;
+}
+
+FaultAction FaultRuntime::OnSendFastTimed(ir::FaultSiteId site, int64_t log_clock,
+                                          int64_t time_ms, int32_t thread_id) {
+  auto start = std::chrono::steady_clock::now();
+  FaultAction action = SendFastImpl(site, log_clock, time_ms, thread_id);
+  decision_nanos_ += kDecisionSample * std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - start)
+                                           .count();
   return action;
 }
 

@@ -133,22 +133,76 @@ class FaultRuntime {
   FaultAction OnSend(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
                      int32_t thread_id);
 
+  // Hot-path variants used by the flattened interpreter, with the
+  // statement's transient parameters pre-decoded by the flattener. Decision
+  // semantics and tracing are identical to the legacy hooks above; the
+  // difference is cost. The per-site occurrence bump is a dense-array
+  // increment and the armed check is one bitmap word load + branch (built by
+  // BeginRun from the window + pinned sets), so the common not-armed case
+  // never hashes — and the whole not-armed path is inlined into the
+  // dispatch loop (only the armed candidate scan and the timed stride leave
+  // the header). Decision latency is sampled — every kDecisionSample-th
+  // request is timed and extrapolated — instead of reading the clock twice
+  // per request; decision_nanos() stays an estimate of the same quantity.
+  // Requires BeginRun() (the armed bitmap is compiled there).
+  FaultAction OnExternalCallFast(ir::FaultSiteId site, ir::ExceptionTypeId transient_type,
+                                 int32_t transient_every_n, int64_t log_clock,
+                                 int64_t time_ms, int32_t thread_id) {
+    if ((injection_requests_ & (kDecisionSample - 1)) == 0) {
+      return OnExternalCallFastTimed(site, transient_type, transient_every_n, log_clock,
+                                     time_ms, thread_id);
+    }
+    return ExternalCallFastImpl(site, transient_type, transient_every_n, log_clock, time_ms,
+                                thread_id);
+  }
+  FaultAction OnSendFast(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
+                         int32_t thread_id) {
+    if ((injection_requests_ & (kDecisionSample - 1)) == 0) {
+      return OnSendFastTimed(site, log_clock, time_ms, thread_id);
+    }
+    return SendFastImpl(site, log_clock, time_ms, thread_id);
+  }
+
   // Resets per-run state (occurrence counters, trace, request count) while
   // keeping the window configuration.
   void BeginRun();
 
   // --- Post-run accessors ----------------------------------------------------
-  const std::vector<FaultInstanceEvent>& trace() const { return trace_; }
-  std::vector<FaultInstanceEvent> TakeTrace() { return std::move(trace_); }
+  // The trace storage is resident — it survives TakeTrace and BeginRun so no
+  // run pays for re-growing or re-initializing it — and both accessors copy
+  // out the live prefix (trivially copyable, so the copy is one memcpy).
+  std::vector<FaultInstanceEvent> trace() const {
+    return std::vector<FaultInstanceEvent>(
+        trace_.begin(), trace_.begin() + static_cast<std::ptrdiff_t>(trace_len_));
+  }
+  std::vector<FaultInstanceEvent> TakeTrace() {
+    std::vector<FaultInstanceEvent> out(
+        trace_.begin(), trace_.begin() + static_cast<std::ptrdiff_t>(trace_len_));
+    trace_len_ = 0;
+    return out;
+  }
+  // TakeTrace into a caller-owned buffer. Instead of copying, the resident
+  // buffer and `out` trade places: `out` receives the filled buffer trimmed
+  // to the live prefix (the trim is O(1) — the event type is trivially
+  // destructible) and the runtime keeps `out`'s old storage as the next
+  // run's resident buffer. With a recycled `out` the two buffers simply
+  // rotate between runs and no element is ever copied.
+  void CopyTraceTo(std::vector<FaultInstanceEvent>* out) {
+    std::swap(*out, trace_);
+    out->resize(trace_len_);
+    trace_len_ = 0;
+  }
   // The candidate that actually fired this run, if any.
   const std::optional<InjectionCandidate>& injected() const { return injected_; }
   // Number of times the hooks consulted the runtime (paper Table 4/8
   // "Inject. Req.").
   int64_t injection_requests() const { return injection_requests_; }
-  // Per-site dynamic occurrence counts observed this run.
-  const std::unordered_map<ir::FaultSiteId, int64_t>& occurrence_counts() const {
-    return occurrences_;
-  }
+  // Per-site dynamic occurrence counts observed this run (sites with a
+  // nonzero count only; counters live in a dense array internally).
+  std::unordered_map<ir::FaultSiteId, int64_t> occurrence_counts() const;
+  // The program this runtime was built for (lets per-worker caches key their
+  // reuse on it).
+  const ir::Program& program() const { return *program_; }
   // Cumulative time spent inside injection decisions, for Table 4 latency.
   int64_t decision_nanos() const { return decision_nanos_; }
   // Window candidates whose (site, occurrence) was claimed by a pinned fault
@@ -172,14 +226,109 @@ class FaultRuntime {
   // business.
   bool Decide(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms, int32_t thread_id,
               FaultAction* action);
+  // The scan half of Decide: matches (site, occurrence) against pinned +
+  // window candidates. Cold — only reached when the site's armed bit is set
+  // (fast path) or on every legacy Decide call.
+  bool MatchArmed(ir::FaultSiteId site, int64_t occurrence, FaultAction* action);
+  // Armed-site halves of the fast hooks: candidate scan plus a kind sanity
+  // check. Cold by construction — a clear armed bit skips them entirely.
+  bool ExternalCallMatchArmed(ir::FaultSiteId site, int64_t occurrence, FaultAction* action);
+  bool SendMatchArmed(ir::FaultSiteId site, int64_t occurrence, FaultAction* action);
+  // Timed-stride variants: run the same impl between two clock reads and
+  // extrapolate across the stride.
+  FaultAction OnExternalCallFastTimed(ir::FaultSiteId site, ir::ExceptionTypeId transient_type,
+                                      int32_t transient_every_n, int64_t log_clock,
+                                      int64_t time_ms, int32_t thread_id);
+  FaultAction OnSendFastTimed(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
+                              int32_t thread_id);
+
+  // One in every kDecisionSample fast-hook requests is timed. Power of two
+  // so the stride test is a mask.
+  static constexpr int64_t kDecisionSample = 256;
+
+  // Appends one trace event through a raw cursor into pre-sized storage: a
+  // handful of plain stores on the hot path instead of an out-of-line
+  // vector::emplace_back per request. The vector is kept at size >=
+  // trace_len_ (spare tail entries are default-constructed filler); the
+  // accessors copy out the live prefix.
+  void TraceAppend(ir::FaultSiteId site, int64_t occurrence, int64_t log_clock,
+                   int64_t time_ms, int32_t thread_id) {
+    if (trace_len_ == trace_.size()) {
+      GrowTrace();
+    }
+    FaultInstanceEvent& event = trace_[trace_len_++];
+    event.site = site;
+    event.occurrence = occurrence;
+    event.log_clock = log_clock;
+    event.time_ms = time_ms;
+    event.thread_id = thread_id;
+  }
+  void GrowTrace();
+
+  FaultAction ExternalCallFastImpl(ir::FaultSiteId site, ir::ExceptionTypeId transient_type,
+                                   int32_t transient_every_n, int64_t log_clock,
+                                   int64_t time_ms, int32_t thread_id) {
+    ++injection_requests_;
+    int64_t occurrence = BumpOccurrence(site);
+    FaultAction action;
+    action.occurrence = occurrence;
+    if (tracing_) {
+      TraceAppend(site, occurrence, log_clock, time_ms, thread_id);
+    }
+    if (Armed(site)) {
+      if (ExternalCallMatchArmed(site, occurrence, &action)) {
+        return action;
+      }
+    }
+    // Natural transient failure (deterministic, present in fault-free runs
+    // too): models handled errors that make production logs noisy.
+    if (transient_every_n > 0 && occurrence % transient_every_n == 0) {
+      action.exception = transient_type;
+    }
+    return action;
+  }
+  FaultAction SendFastImpl(ir::FaultSiteId site, int64_t log_clock, int64_t time_ms,
+                           int32_t thread_id) {
+    ++injection_requests_;
+    int64_t occurrence = BumpOccurrence(site);
+    FaultAction action;
+    action.occurrence = occurrence;
+    if (tracing_) {
+      TraceAppend(site, occurrence, log_clock, time_ms, thread_id);
+    }
+    if (Armed(site)) {
+      SendMatchArmed(site, occurrence, &action);
+    }
+    return action;
+  }
+
+  int64_t BumpOccurrence(ir::FaultSiteId site) {
+    size_t index = static_cast<size_t>(site);
+    if (index >= occurrences_.size()) {
+      // Direct hook users (benchmarks, unit tests) may skip BeginRun; grow
+      // lazily rather than requiring the sizing pass.
+      occurrences_.resize(index + 1, 0);
+    }
+    return ++occurrences_[index];
+  }
+  bool Armed(ir::FaultSiteId site) const {
+    size_t word = static_cast<size_t>(site) >> 6;
+    return word < armed_.size() &&
+           ((armed_[word] >> (static_cast<size_t>(site) & 63)) & 1) != 0;
+  }
 
   const ir::Program* program_;
   std::vector<InjectionCandidate> window_;
   std::vector<InjectionCandidate> pinned_;
   bool tracing_ = true;
 
-  std::unordered_map<ir::FaultSiteId, int64_t> occurrences_;
+  // Dense per-site occurrence counters (index = FaultSiteId) and the per-run
+  // armed-site bitmap: bit `site` is set iff some window or pinned candidate
+  // names that site, so a clear bit proves no candidate scan is needed.
+  std::vector<int64_t> occurrences_;
+  std::vector<uint64_t> armed_;
   std::vector<FaultInstanceEvent> trace_;
+  size_t trace_len_ = 0;
   std::optional<InjectionCandidate> injected_;
   std::vector<InjectionCandidate> preempted_window_;
   int64_t injection_requests_ = 0;

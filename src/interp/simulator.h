@@ -11,12 +11,22 @@
 // injection window). This is what lets a successful search end with a script
 // that deterministically reproduces the failure (§3 step 4.a).
 //
-// Thread compatibility: a Simulator only *reads* the Program and ClusterSpec
-// it is given (both held by const pointer; neither has lazy caches or other
-// hidden mutation) and keeps all run state in its own members. Distinct
-// (FaultRuntime, Simulator) pairs over the same shared Program/ClusterSpec
-// may therefore run concurrently — the property the parallel exploration
-// engine fans out on. A single Simulator instance is not thread-safe.
+// Execution modes: by default the simulator runs the flattened
+// direct-threaded program (ir::FlatProgram) — a caller may supply a shared
+// pre-built one (the explorer builds it once per context), otherwise the
+// simulator compiles its own at Run(). set_tree_walk(true) selects the
+// original statement-tree walker instead; both modes execute the identical
+// step sequence and produce identical RunResults (asserted across all
+// registered scenarios by tests/interp_equivalence_test.cc), differing only
+// in speed.
+//
+// Thread compatibility: a Simulator only *reads* the Program, ClusterSpec,
+// and FlatProgram it is given (all held by const pointer; none has lazy
+// caches or other hidden mutation) and keeps all run state in its own
+// members. Distinct (FaultRuntime, Simulator) pairs over the same shared
+// Program/ClusterSpec/FlatProgram may therefore run concurrently — the
+// property the parallel exploration engine fans out on. A single Simulator
+// instance is not thread-safe.
 
 #ifndef ANDURIL_SRC_INTERP_SIMULATOR_H_
 #define ANDURIL_SRC_INTERP_SIMULATOR_H_
@@ -25,7 +35,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +44,7 @@
 #include "src/interp/log_entry.h"
 #include "src/interp/network_model.h"
 #include "src/interp/run_result.h"
+#include "src/ir/flatten.h"
 #include "src/ir/program.h"
 #include "src/util/rng.h"
 
@@ -44,10 +54,51 @@ class MetricsRegistry;
 
 namespace anduril::interp {
 
+class Simulator;
+
+// Reusable per-run buffer pool. A worker thread keeps one RunScratch alive
+// (e.g. thread_local) and hands it to every Simulator it constructs; the
+// simulator borrows the pooled containers for the duration of the run and
+// returns them — cleared, capacity intact — when Run() finishes, so
+// back-to-back runs on the same worker stop paying per-run allocation for
+// their environments, thread tables, event heaps, and futures. Optional:
+// a null scratch simply allocates fresh buffers. One RunScratch serves one
+// Simulator at a time and is not thread-safe.
+class RunScratch {
+ public:
+  RunScratch();
+  ~RunScratch();
+  RunScratch(const RunScratch&) = delete;
+  RunScratch& operator=(const RunScratch&) = delete;
+
+  // Hands a consumed RunResult's buffers back for reuse. The next run on
+  // this scratch overwrites the recycled log entries in place — their string
+  // capacity survives, so steady-state log emission allocates nothing — and
+  // refills the recycled trace buffer instead of growing a fresh one.
+  // Optional: results that are kept alive (or never returned) simply cost
+  // the allocations again on the following run.
+  void Recycle(RunResult&& result);
+
+ private:
+  friend class Simulator;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 class Simulator {
  public:
+  // `flat` is an optional pre-built flattening of `program` (shared,
+  // read-only); when null and the flat mode is active, Run() compiles one
+  // privately. `scratch` optionally pools per-run buffers across runs.
   Simulator(const ir::Program* program, const ClusterSpec* spec, uint64_t seed,
-            FaultRuntime* fault_runtime);
+            FaultRuntime* fault_runtime, const ir::FlatProgram* flat = nullptr,
+            RunScratch* scratch = nullptr);
+  ~Simulator();
+
+  // Selects the legacy statement-tree walker instead of the flattened
+  // dispatch loop. Kept for differential testing while the flattened path
+  // burns in (ExplorerOptions::tree_walk_interpreter); call before Run().
+  void set_tree_walk(bool tree_walk) { use_flat_ = !tree_walk; }
 
   // Attaches a metrics sink; at the end of Run() the simulator folds its
   // per-run accounting ("sim.*") plus the fault runtime's ("fault.*") and
@@ -59,6 +110,9 @@ class Simulator {
   RunResult Run();
 
  private:
+  friend class RunScratch;
+  friend struct RunScratch::Impl;
+
   // --- Runtime exception values ---------------------------------------------
   struct ExcValue {
     ir::ExceptionTypeId type = ir::kInvalidId;
@@ -88,6 +142,17 @@ class Simulator {
     std::vector<Cursor> cursors;
   };
 
+  // Call frame of the flattened dispatch loop: a program counter into the
+  // shared op array plus this frame's base offsets into the thread's
+  // loop-iteration and caught-exception slot stacks.
+  struct FlatFrame {
+    int32_t pc = 0;
+    ir::MethodId method = ir::kInvalidId;
+    int64_t payload = 0;
+    int32_t loop_base = 0;
+    int32_t caught_base = 0;
+  };
+
   struct Task {
     ir::MethodId method = ir::kInvalidId;
     int64_t payload = 0;
@@ -99,7 +164,10 @@ class Simulator {
     int32_t node = -1;
     std::string name;
     std::deque<Task> queue;
-    std::vector<Frame> stack;
+    std::vector<Frame> stack;       // tree-walk mode
+    std::vector<FlatFrame> fstack;  // flat mode
+    std::vector<int64_t> loop_iters;  // flat mode: frame-relative loop slots
+    std::vector<ExcValue> caughts;    // flat mode: frame-relative caught slots
     int64_t current_future = -1;
 
     enum class State : uint8_t { kIdle, kBlocked, kDead };
@@ -140,10 +208,29 @@ class Simulator {
     }
   };
 
+  // Heap entry for the event queue: the ordering key plus a slot index into
+  // events_. Sifting moves these 16-byte refs instead of whole Events
+  // (~64 bytes with an embedded Task). (time, seq) is a total order — seq is
+  // unique per run and a run never pushes more than 2^32 events — so the pop
+  // sequence is identical to heaping the Events themselves; determinism is
+  // unaffected.
+  struct EventRef {
+    int64_t time = 0;
+    uint32_t seq = 0;
+    uint32_t slot = 0;
+
+    bool operator>(const EventRef& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
   enum class StepResult : uint8_t { kContinue, kBlocked, kTaskDone, kTaskFailed, kDied };
   enum class RaiseResult : uint8_t { kHandled, kTaskFailed, kThreadDied };
 
-  // --- Core loop --------------------------------------------------------------
+  // --- Tree-walk core loop ----------------------------------------------------
   void RunThread(Thread* thread);
   StepResult Step(Thread* thread);
   StepResult ExecStmt(Thread* thread, ir::MethodId method_id, ir::StmtId stmt_id);
@@ -151,18 +238,44 @@ class Simulator {
   void HandleUncaught(Thread* thread, const ExcValue& exc);
   void ProcessWake(const Event& event);
 
+  // --- Flattened core loop ----------------------------------------------------
+  void RunThreadFlat(Thread* thread);
+  RaiseResult FlatRaise(Thread* thread, ExcValue exc);
+  void ProcessWakeFlat(const Event& event);
+  void PushFlatFrame(Thread* thread, ir::MethodId method, int64_t payload);
+  void PopFlatFrame(Thread* thread);
+  Thread* FlatThread(int32_t node, int32_t name_id);
+  void EmitLogFlat(Thread* thread, const FlatFrame& frame, const ir::FlatOp& op);
+  void PrepareFlatRun();
+
   // --- Helpers ----------------------------------------------------------------
   int32_t NodeIndex(const std::string& name) const;
   Thread* GetThread(int32_t node, const std::string& name);
   int64_t& EnvRef(int32_t node, ir::VarId var);
   int64_t EvalExpr(const Thread& thread, const Frame& frame, const ir::Expr& expr);
   bool EvalCond(const Thread& thread, const ir::Cond& cond);
+  int64_t EvalExprAt(int32_t node, int64_t payload, const ir::Expr& expr) const;
+  bool EvalCondAt(int32_t node, const ir::Cond& cond) const;
   void EmitLog(Thread* thread, const ir::Stmt& stmt, ir::MethodId method_id,
                ir::StmtId stmt_id);
   void EmitBuiltinLog(Thread* thread, ir::LogLevel level, const std::string& logger,
                       const std::string& message, ir::MethodId uncaught_method);
+  // Returns the next log slot: a recycled entry (overwritten in place by the
+  // caller — every field, or stale data leaks across runs) when one is
+  // available, else a freshly appended one. Advances log_len_.
+  LogEntry& NextLogEntry() {
+    if (log_len_ < log_.size()) {
+      return log_[log_len_++];
+    }
+    ++log_len_;
+    return log_.emplace_back();
+  }
   std::string DescribeException(const ExcValue& exc) const;
+  // Appends DescribeException(exc) to `out` byte-for-byte, without the
+  // vsnprintf round trips (the flat interpreter's log hot path).
+  void AppendExceptionDescription(std::string* out, const ExcValue& exc) const;
   void PushEvent(Event event);
+  Event PopEvent();
   // Halts every thread on `node`: clears queues and stacks, bumps epochs so
   // pending wakes go stale, and marks the node crashed in the NetworkModel,
   // which drops in-flight messages to it (so crash and network faults
@@ -177,10 +290,17 @@ class Simulator {
   void WakeWaitersOf(int32_t node, ir::VarId var);
   void CompleteFuture(int64_t future_id, ExcValue exc);
   const ExcValue* CurrentCaught(const Thread& thread) const;
+  void ResetThread(Thread* thread);
+  void BorrowScratch();
+  void ReturnScratch();
 
   const ir::Program* program_;
   const ClusterSpec* spec_;
   FaultRuntime* fault_runtime_;
+  const ir::FlatProgram* flat_ = nullptr;
+  std::unique_ptr<ir::FlatProgram> owned_flat_;
+  bool use_flat_ = true;
+  RunScratch* scratch_ = nullptr;
   Rng rng_;
   NetworkModel network_;
 
@@ -191,17 +311,36 @@ class Simulator {
   std::vector<std::unique_ptr<Thread>> threads_;
   std::unordered_map<std::string, int32_t> thread_index_;  // "node_idx/name"
 
+  // Flat mode: (node * thread_name_count + name_id) -> thread id, lazily
+  // filled so hot Send/Submit statements skip the string-keyed map.
+  std::vector<int32_t> flat_threads_;
+  // Flat mode: per-FlatSend static target node index (-1 = dynamic target or
+  // unknown node; unknown is CHECKed when the send executes, matching the
+  // tree walker).
+  std::vector<int32_t> send_targets_;
+
   // (node, var) -> blocked waiter thread ids
   std::unordered_map<int64_t, std::vector<int32_t>> waiters_;
 
   std::vector<FutureState> futures_;  // futures_[0] unused; ids start at 1
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  // Event queue: events_ is a slot store (recycled via free_event_slots_)
+  // and event_heap_ is the min-heap of EventRefs ordered by (time, seq) (a
+  // plain vector + push/pop_heap rather than priority_queue so the buffers
+  // can be pooled).
+  std::vector<Event> events_;
+  std::vector<EventRef> event_heap_;
+  std::vector<int32_t> free_event_slots_;
   uint64_t event_seq_ = 0;
   int64_t now_ = 0;
   int64_t steps_ = 0;
 
+  // The run's log stream. log_len_ is the live count: entries past it are
+  // recycled LogEntry shells from a previous run on the same scratch (their
+  // strings keep their heap buffers; NextLogEntry reuses them in place).
+  // Run() trims to log_len_ before moving the vector into the result.
   std::vector<LogEntry> log_;
+  size_t log_len_ = 0;
   ir::ExceptionTypeId execution_exception_ = ir::kInvalidId;
 
   bool hit_time_limit_ = false;
