@@ -4,14 +4,73 @@
 //
 // Expected shape: exception analysis dominates; slicing is fast; everything
 // scales with the system's IR size.
+//
+// Extension (Table 7b): lint wall time and diagnostic counts per case, the
+// fraction of injectable sites removed by static candidate pruning
+// (ExplorerOptions::static_prune), and the rounds a blind trace-driven
+// baseline (fate) needs to reproduce with pruning off vs on. The
+// feedback-driven search is prune-invariant by construction, so fate is the
+// strategy where pruning pays. Emits BENCH_lint.json.
 
 #include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "src/analysis/lint.h"
+#include "src/explorer/strategy.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
 #include "src/util/strings.h"
 
 namespace anduril::bench {
 namespace {
+
+analysis::LintEnvironment EnvironmentOf(const systems::BuiltCase& built) {
+  analysis::LintEnvironment env;
+  env.provided = true;
+  std::unordered_set<std::string> node_seen;
+  std::unordered_set<ir::MethodId> method_seen;
+  for (const interp::ClusterSpec* cluster : {&built.cluster, &built.failure_cluster}) {
+    for (const std::string& node : cluster->nodes) {
+      if (node_seen.insert(node).second) {
+        env.node_names.push_back(node);
+      }
+    }
+    for (const interp::InitialTask& task : cluster->tasks) {
+      if (method_seen.insert(task.method).second) {
+        env.entry_methods.push_back(task.method);
+      }
+    }
+  }
+  return env;
+}
+
+struct LintPruneRow {
+  std::string case_id;
+  double lint_ms = 0;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t infos = 0;
+  size_t total_sites = 0;
+  size_t pruned_sites = 0;
+  double pruned_pct = 0;
+  int fate_rounds_off = -1;  // -1: not reproduced within the cap
+  int fate_rounds_on = -1;
+};
+
+int FateRounds(const systems::BuiltCase& built, bool static_prune) {
+  explorer::ExplorerOptions options;
+  options.max_rounds = 3000;
+  options.static_prune = static_prune;
+  explorer::Explorer ex(built.spec, options);
+  auto strategy = explorer::MakeStrategy("fate");
+  explorer::ExploreResult result = ex.Explore(strategy.get());
+  return result.reproduced ? result.rounds : -1;
+}
+
+std::string RoundsText(int rounds) { return rounds < 0 ? "-" : std::to_string(rounds); }
 
 int Main() {
   std::printf("Table 7: static causal-graph analysis time and size per case\n\n");
@@ -28,6 +87,65 @@ int Main() {
              {16, 10, 11, 10, 10, 10, 10});
     std::fflush(stdout);
   }
+
+  std::printf("\nTable 7b: lint cost and static candidate pruning per case\n\n");
+  PrintRow({"Failure", "Lint", "E/W/I", "Sites", "Pruned", "Fate off", "Fate on"},
+           {16, 10, 12, 8, 12, 10, 10});
+  std::vector<LintPruneRow> rows;
+  for (const auto& failure_case : systems::AllCases()) {
+    systems::BuiltCase built = systems::BuildCase(failure_case, /*verify=*/false);
+    LintPruneRow row;
+    row.case_id = failure_case.id;
+
+    analysis::LintReport report = analysis::RunLints(*built.program, EnvironmentOf(built));
+    row.lint_ms = report.seconds * 1000.0;
+    row.errors = report.CountOf(analysis::LintSeverity::kError);
+    row.warnings = report.CountOf(analysis::LintSeverity::kWarning);
+    row.infos = report.CountOf(analysis::LintSeverity::kInfo);
+    ANDURIL_CHECK_EQ(row.errors, 0u);  // shipped scenarios are error-clean
+
+    explorer::ExplorerOptions pruned_options;
+    pruned_options.static_prune = true;
+    explorer::Explorer pruned(built.spec, pruned_options);
+    row.total_sites = pruned.context().total_injectable_sites();
+    row.pruned_sites = pruned.context().pruned_sites();
+    row.pruned_pct =
+        row.total_sites > 0 ? 100.0 * static_cast<double>(row.pruned_sites) / row.total_sites : 0;
+
+    row.fate_rounds_off = FateRounds(built, /*static_prune=*/false);
+    row.fate_rounds_on = FateRounds(built, /*static_prune=*/true);
+    // Pruning only ever removes causally-inert sites from the blind list.
+    if (row.fate_rounds_off >= 0 && row.fate_rounds_on >= 0) {
+      ANDURIL_CHECK_LE(row.fate_rounds_on, row.fate_rounds_off);
+    }
+
+    PrintRow({row.case_id, StrFormat("%.2f ms", row.lint_ms),
+              StrFormat("%zu/%zu/%zu", row.errors, row.warnings, row.infos),
+              std::to_string(row.total_sites),
+              StrFormat("%zu (%.0f%%)", row.pruned_sites, row.pruned_pct),
+              RoundsText(row.fate_rounds_off), RoundsText(row.fate_rounds_on)},
+             {16, 10, 12, 8, 12, 10, 10});
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  FILE* json = std::fopen("BENCH_lint.json", "w");
+  ANDURIL_CHECK(json != nullptr);
+  std::fprintf(json, "{\n  \"cases\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const LintPruneRow& row = rows[i];
+    std::fprintf(json,
+                 "    {\"case\": \"%s\", \"lint_ms\": %.3f, \"errors\": %zu, "
+                 "\"warnings\": %zu, \"infos\": %zu, \"injectable_sites\": %zu, "
+                 "\"pruned_sites\": %zu, \"pruned_pct\": %.1f, "
+                 "\"fate_rounds_unpruned\": %d, \"fate_rounds_pruned\": %d}%s\n",
+                 row.case_id.c_str(), row.lint_ms, row.errors, row.warnings, row.infos,
+                 row.total_sites, row.pruned_sites, row.pruned_pct, row.fate_rounds_off,
+                 row.fate_rounds_on, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nWrote BENCH_lint.json\n");
   return 0;
 }
 

@@ -52,6 +52,49 @@ bool EnclosingCatch(const ir::Method& method, ir::StmtId stmt_id, ir::StmtId* tr
   return false;
 }
 
+// Does the subtree rooted at `stmt_id` contain a statement that diverts
+// control away from whatever follows the subtree (Break, Return, or Throw)?
+// Used to decide whether a preceding structured sibling can prevent a
+// location from executing even when nothing in it throws. `break_escapes`
+// is false once the walk enters a While body: a Break there only exits that
+// loop, staying inside the subtree.
+bool SubtreeDiverts(const ir::Method& method, ir::StmtId stmt_id, bool break_escapes) {
+  const ir::Stmt& stmt = method.stmt(stmt_id);
+  switch (stmt.kind) {
+    case ir::StmtKind::kBreak:
+      return break_escapes;
+    case ir::StmtKind::kReturn:
+    case ir::StmtKind::kThrow:
+      return true;
+    case ir::StmtKind::kBlock:
+      for (ir::StmtId child : stmt.children) {
+        if (SubtreeDiverts(method, child, break_escapes)) {
+          return true;
+        }
+      }
+      return false;
+    case ir::StmtKind::kIf:
+      return SubtreeDiverts(method, stmt.then_block, break_escapes) ||
+             (stmt.else_block != ir::kInvalidId &&
+              SubtreeDiverts(method, stmt.else_block, break_escapes));
+    case ir::StmtKind::kWhile:
+      return SubtreeDiverts(method, stmt.then_block, /*break_escapes=*/false);
+    case ir::StmtKind::kTryCatch: {
+      if (SubtreeDiverts(method, stmt.try_block, break_escapes)) {
+        return true;
+      }
+      for (const ir::CatchClause& clause : stmt.catches) {
+        if (SubtreeDiverts(method, clause.block, break_escapes)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 CausalGraph::CausalGraph(const ir::Program& program, const std::vector<CausalSink>& sinks)
@@ -237,14 +280,42 @@ void CausalGraph::AddDominatorThrowers(const ir::Method& method, ir::StmtId stmt
       if (stmt.else_block != ir::kInvalidId) {
         AddDominatorThrowers(method, stmt.else_block, out);
       }
+      // A branch that can Break/Return/Throw diverts control away from the
+      // current location, so whether it was taken — the condition — is
+      // causally prior (the hb-16144 pattern: a preceding `if (granted)
+      // break;` decides whether the failure log downstream ever runs).
+      if (SubtreeDiverts(method, stmt.then_block, /*break_escapes=*/true) ||
+          (stmt.else_block != ir::kInvalidId &&
+           SubtreeDiverts(method, stmt.else_block, /*break_escapes=*/true))) {
+        CausalNode cond;
+        cond.kind = CausalNodeKind::kCondition;
+        cond.loc = ir::GlobalStmt{method.id, stmt_id};
+        out->push_back(cond);
+      }
       return;
     case ir::StmtKind::kWhile:
       AddDominatorThrowers(method, stmt.then_block, out);
+      if (SubtreeDiverts(method, stmt.then_block, /*break_escapes=*/false)) {
+        CausalNode cond;
+        cond.kind = CausalNodeKind::kCondition;
+        cond.loc = ir::GlobalStmt{method.id, stmt_id};
+        out->push_back(cond);
+      }
       return;
     case ir::StmtKind::kTryCatch:
       AddDominatorThrowers(method, stmt.try_block, out);
-      for (const ir::CatchClause& clause : stmt.catches) {
-        AddDominatorThrowers(method, clause.block, out);
+      for (size_t i = 0; i < stmt.catches.size(); ++i) {
+        AddDominatorThrowers(method, stmt.catches[i].block, out);
+        // An early Return from a catch block skips everything after the
+        // TryCatch; the handler (and through it, the exceptions it catches)
+        // is then causally prior to the current location.
+        if (SubtreeDiverts(method, stmt.catches[i].block, /*break_escapes=*/true)) {
+          CausalNode handler;
+          handler.kind = CausalNodeKind::kHandler;
+          handler.loc = ir::GlobalStmt{method.id, stmt_id};
+          handler.aux = static_cast<int32_t>(i);
+          out->push_back(handler);
+        }
       }
       return;
     default:
@@ -415,7 +486,13 @@ void CausalGraph::NewExcPriors(const CausalNode& node, std::vector<CausalNode>* 
       handler.aux = static_cast<int32_t>(clause);
       out->push_back(handler);
     }
-    return;  // otherwise terminal
+    // The throw only fires if control reaches it, so its enclosing
+    // conditions (and, through slicing, their writers) are causally prior —
+    // a guarded `throw new NPE` traces back to whatever skipped the write
+    // its guard tests (the zk-3006 pattern). The source registration below
+    // still makes the throw itself an injectable root cause.
+    LocationPriors(node, out);
+    return;
   }
   if (stmt.kind == ir::StmtKind::kAwait) {
     // A timeout fired because nothing satisfied the condition: the condition

@@ -1,0 +1,79 @@
+#include "src/analysis/dataflow.h"
+
+#include <deque>
+
+namespace anduril::analysis {
+
+DataflowResult SolveDataflow(const MethodCfg& cfg, const DataflowProblem& problem) {
+  const bool forward = problem.direction() == DataflowProblem::Direction::kForward;
+  const bool meet_union = problem.meet() == DataflowProblem::Meet::kUnion;
+  const size_t nodes = cfg.node_count();
+  const size_t bits = problem.bit_count();
+  const CfgNodeId boundary = forward ? cfg.entry() : cfg.exit();
+
+  DataflowResult result;
+  result.in.assign(nodes, BitVector(bits));
+  result.out.assign(nodes, BitVector(bits));
+  if (!meet_union) {
+    // Top of the intersection lattice: everything holds until proven
+    // otherwise. Nodes never visited (flow-unreachable) keep top.
+    for (size_t n = 0; n < nodes; ++n) {
+      result.in[n].SetAll();
+      result.out[n].SetAll();
+    }
+  }
+  problem.Boundary(&result.in[static_cast<size_t>(boundary)]);
+  problem.Transfer(cfg, boundary, result.in[static_cast<size_t>(boundary)],
+                   &result.out[static_cast<size_t>(boundary)]);
+
+  std::deque<CfgNodeId> worklist;
+  std::vector<bool> queued(nodes, false);
+  for (size_t n = 0; n < nodes; ++n) {
+    if (static_cast<CfgNodeId>(n) != boundary) {
+      worklist.push_back(static_cast<CfgNodeId>(n));
+      queued[n] = true;
+    }
+  }
+
+  BitVector transferred(bits);
+  while (!worklist.empty()) {
+    CfgNodeId node = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<size_t>(node)] = false;
+    ++result.iterations;
+
+    // Meet over flow-predecessors: CFG preds for forward, succs for backward.
+    const std::vector<CfgNodeId>& sources = forward ? cfg.preds(node) : cfg.succs(node);
+    BitVector& in = result.in[static_cast<size_t>(node)];
+    if (node != boundary && !sources.empty()) {
+      bool first = true;
+      for (CfgNodeId source : sources) {
+        const BitVector& fact = result.out[static_cast<size_t>(source)];
+        if (first) {
+          in = fact;
+          first = false;
+        } else if (meet_union) {
+          in.UnionWith(fact);
+        } else {
+          in.IntersectWith(fact);
+        }
+      }
+    }
+
+    transferred.ClearAll();
+    problem.Transfer(cfg, node, in, &transferred);
+    if (transferred != result.out[static_cast<size_t>(node)]) {
+      result.out[static_cast<size_t>(node)] = transferred;
+      const std::vector<CfgNodeId>& sinks = forward ? cfg.succs(node) : cfg.preds(node);
+      for (CfgNodeId sink : sinks) {
+        if (!queued[static_cast<size_t>(sink)]) {
+          worklist.push_back(sink);
+          queued[static_cast<size_t>(sink)] = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace anduril::analysis

@@ -1,0 +1,126 @@
+// Generic worklist dataflow engine over per-method CFGs.
+//
+// Problems are bit-vector valued: a DataflowProblem names its direction
+// (forward = facts flow along CFG edges, backward = against them), its meet
+// operator (union for may-analyses, intersection for must-analyses), the
+// domain size, the boundary fact, and a per-node transfer function. The
+// engine iterates a worklist to the (guaranteed, monotone-transfer) fixpoint
+// and returns the per-node in/out facts.
+//
+// The lint passes use it for reachability; liveness-style backward problems
+// are exercised by the unit tests. New passes only define transfer
+// functions — the iteration order, meet handling, and convergence logic live
+// here once.
+
+#ifndef ANDURIL_SRC_ANALYSIS_DATAFLOW_H_
+#define ANDURIL_SRC_ANALYSIS_DATAFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+
+namespace anduril::analysis {
+
+// Fixed-width bit set; word-parallel union/intersection.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t bits) { Resize(bits); }
+
+  void Resize(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+  size_t bit_count() const { return bits_; }
+
+  bool Get(size_t i) const { return (words_[i / 64] >> (i % 64)) & 1; }
+  void Set(size_t i) { words_[i / 64] |= uint64_t{1} << (i % 64); }
+  void Reset(size_t i) { words_[i / 64] &= ~(uint64_t{1} << (i % 64)); }
+  void SetAll() {
+    for (uint64_t& word : words_) {
+      word = ~uint64_t{0};
+    }
+    TrimTail();
+  }
+  void ClearAll() {
+    for (uint64_t& word : words_) {
+      word = 0;
+    }
+  }
+
+  // In-place meet; both return whether *this changed.
+  bool UnionWith(const BitVector& other) {
+    bool changed = false;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t merged = words_[w] | other.words_[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+  bool IntersectWith(const BitVector& other) {
+    bool changed = false;
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t merged = words_[w] & other.words_[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+
+  size_t CountSet() const {
+    size_t count = 0;
+    for (uint64_t word : words_) {
+      count += static_cast<size_t>(__builtin_popcountll(word));
+    }
+    return count;
+  }
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  void TrimTail() {
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (bits_ % 64)) - 1;
+    }
+  }
+
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+class DataflowProblem {
+ public:
+  enum class Direction : uint8_t { kForward, kBackward };
+  enum class Meet : uint8_t { kUnion, kIntersect };
+
+  virtual ~DataflowProblem() = default;
+
+  virtual Direction direction() const = 0;
+  virtual Meet meet() const = 0;
+  virtual size_t bit_count() const = 0;
+  // Fact at the boundary node (entry for forward, exit for backward).
+  // Default: all bits clear.
+  virtual void Boundary(BitVector* fact) const { fact->ClearAll(); }
+  // Computes the fact leaving `node` from the fact entering it ("entering"
+  // and "leaving" are with respect to the analysis direction). Must be
+  // monotone in `in` for the fixpoint to exist.
+  virtual void Transfer(const MethodCfg& cfg, CfgNodeId node, const BitVector& in,
+                        BitVector* out) const = 0;
+};
+
+struct DataflowResult {
+  // Indexed by CfgNodeId. `in` is the meet over flow-predecessors, `out` the
+  // transferred fact — for a backward problem `in[n]` is the fact at the
+  // *end* of `n` and `out[n]` the fact at its start.
+  std::vector<BitVector> in;
+  std::vector<BitVector> out;
+  int iterations = 0;  // worklist pops, for tests and the bench
+};
+
+DataflowResult SolveDataflow(const MethodCfg& cfg, const DataflowProblem& problem);
+
+}  // namespace anduril::analysis
+
+#endif  // ANDURIL_SRC_ANALYSIS_DATAFLOW_H_

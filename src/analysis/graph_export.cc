@@ -4,21 +4,40 @@
 
 namespace anduril::analysis {
 
-namespace {
-
-std::string EscapeLabel(const std::string& text) {
+std::string EscapeDotLabel(const std::string& text, size_t max_chars) {
   std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
+  out.reserve(text.size() + 8);
+  size_t consumed = 0;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    const bool utf8_continuation = (c & 0xc0) == 0x80;
+    // The cap counts code points and only breaks at a code-point boundary,
+    // so a multi-byte character is never split.
+    if (max_chars != 0 && consumed >= max_chars && !utf8_continuation) {
+      out += "...";
+      break;
+    }
+    if (!utf8_continuation) {
+      ++consumed;
+    }
     if (c == '"' || c == '\\') {
       out.push_back('\\');
+      out.push_back(raw);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c < 0x20 || c == 0x7f) {
+      // Literal "\xNN" text (the DOT file carries an escaped backslash).
+      out += StrFormat("\\\\x%02x", c);
+    } else {
+      out.push_back(raw);  // includes UTF-8 continuation bytes, untouched
     }
-    out.push_back(c);
   }
   return out;
 }
-
-}  // namespace
 
 std::string DescribeNode(const ir::Program& program, const CausalNode& node) {
   const ir::Method& method = program.method(node.loc.method);
@@ -27,7 +46,7 @@ std::string DescribeNode(const ir::Program& program, const CausalNode& node) {
       const ir::Stmt& stmt = method.stmt(node.loc.stmt);
       if (stmt.kind == ir::StmtKind::kLog) {
         return StrFormat("log \"%s\" @%s",
-                         program.log_template(stmt.log_template).text.substr(0, 40).c_str(),
+                         program.log_template(stmt.log_template).text.c_str(),
                          method.name.c_str());
       }
       return StrFormat("%s @%s#%d", ir::StmtKindName(stmt.kind), method.name.c_str(),
@@ -71,8 +90,12 @@ std::string ExportDot(const ir::Program& program, const CausalGraph& graph,
         shape = "doublecircle";
       }
     }
+    // Escape after composing (and cap per label): truncating the raw
+    // template first could split a multi-byte character, and truncating
+    // after escaping could cut an escape sequence in half.
     out += StrFormat("  n%zu [label=\"%s\" shape=%s];\n", n,
-                     EscapeLabel(DescribeNode(program, node)).c_str(), shape);
+                     EscapeDotLabel(DescribeNode(program, node), /*max_chars=*/64).c_str(),
+                     shape);
   }
   for (size_t n = 0; n < limit; ++n) {
     for (CausalNodeId prior : graph.priors(static_cast<CausalNodeId>(n))) {

@@ -19,6 +19,15 @@ std::string ExportDot(const ir::Program& program, const CausalGraph& graph,
 // Human-readable one-line description of a node, also used as DOT labels.
 std::string DescribeNode(const ir::Program& program, const CausalNode& node);
 
+// Escapes `text` for a double-quoted DOT label: quotes and backslashes are
+// backslash-escaped, newlines / carriage returns / tabs become their "\n"
+// style escapes, and other non-printable bytes render as literal "\xNN"
+// text — so a hostile log template can never produce invalid DOT.
+// `max_chars` (0 = unlimited) caps the number of *source* characters kept;
+// escape sequences are emitted atomically, so the cap never cuts one in
+// half, and truncation is marked with "...".
+std::string EscapeDotLabel(const std::string& text, size_t max_chars = 0);
+
 }  // namespace anduril::analysis
 
 #endif  // ANDURIL_SRC_ANALYSIS_GRAPH_EXPORT_H_

@@ -1,0 +1,370 @@
+#include "src/analysis/lint.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/causal_graph.h"
+#include "src/analysis/cfg.h"
+#include "src/analysis/exception_flow.h"
+#include "src/analysis/indexes.h"
+#include "src/util/json.h"
+#include "src/util/stopwatch.h"
+#include "src/util/strings.h"
+
+namespace anduril::analysis {
+
+namespace {
+
+void Emit(LintReport* report, LintSeverity severity, const char* pass,
+          ir::GlobalStmt location, std::string message) {
+  report->diagnostics.push_back(
+      LintDiagnostic{severity, pass, location, std::move(message)});
+}
+
+// Methods reachable from the cluster's entry methods over Invoke / Send /
+// Submit edges. Everything else is interprocedurally dead weight.
+std::vector<bool> LiveMethods(const ir::Program& program, const LintEnvironment& env) {
+  std::vector<bool> live(program.method_count(), false);
+  std::vector<ir::MethodId> worklist;
+  for (ir::MethodId entry : env.entry_methods) {
+    if (entry != ir::kInvalidId && !live[static_cast<size_t>(entry)]) {
+      live[static_cast<size_t>(entry)] = true;
+      worklist.push_back(entry);
+    }
+  }
+  while (!worklist.empty()) {
+    ir::MethodId id = worklist.back();
+    worklist.pop_back();
+    for (const ir::Stmt& stmt : program.method(id).stmts) {
+      if (stmt.kind != ir::StmtKind::kInvoke && stmt.kind != ir::StmtKind::kSend &&
+          stmt.kind != ir::StmtKind::kSubmit) {
+        continue;
+      }
+      if (!live[static_cast<size_t>(stmt.callee)]) {
+        live[static_cast<size_t>(stmt.callee)] = true;
+        worklist.push_back(stmt.callee);
+      }
+    }
+  }
+  return live;
+}
+
+// Is `stmt` one of the catch-clause blocks of its parent TryCatch?
+bool IsCatchBlock(const ir::Method& method, ir::StmtId stmt) {
+  ir::StmtId parent_id = method.stmt(stmt).parent;
+  if (parent_id == ir::kInvalidId ||
+      method.stmt(parent_id).kind != ir::StmtKind::kTryCatch) {
+    return false;
+  }
+  for (const ir::CatchClause& clause : method.stmt(parent_id).catches) {
+    if (clause.block == stmt) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Pass: unreachable-stmt. Cascade-suppressed (only the topmost unreachable
+// statement of a region is reported); catch blocks are the impossible-catch
+// pass's territory.
+void LintUnreachable(const ir::Program& program, const std::vector<MethodCfg>& cfgs,
+                     LintReport* report) {
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    const MethodCfg& cfg = cfgs[m];
+    for (ir::StmtId s = 1; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      if (cfg.StmtReachable(s) || !cfg.StmtReachable(method.stmt(s).parent) ||
+          IsCatchBlock(method, s)) {
+        continue;
+      }
+      Emit(report, LintSeverity::kError, "unreachable-stmt",
+           ir::GlobalStmt{method.id, s},
+           StrFormat("%s statement is unreachable from the method entry",
+                     ir::StmtKindName(method.stmt(s).kind)));
+    }
+  }
+}
+
+// Pass: shadowed-catch + impossible-catch.
+void LintCatchClauses(const ir::Program& program, const ExceptionFlow& flow,
+                      LintReport* report) {
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      const ir::Stmt& stmt = method.stmt(s);
+      if (stmt.kind != ir::StmtKind::kTryCatch) {
+        continue;
+      }
+      for (size_t j = 0; j < stmt.catches.size(); ++j) {
+        bool shadowed = false;
+        for (size_t i = 0; i < j && !shadowed; ++i) {
+          if (program.ExceptionIsA(stmt.catches[j].type, stmt.catches[i].type)) {
+            Emit(report, LintSeverity::kError, "shadowed-catch", ir::GlobalStmt{method.id, s},
+                 StrFormat("catch clause %zu (%s) is shadowed by clause %zu (%s)", j,
+                           program.exception_type(stmt.catches[j].type).name.c_str(), i,
+                           program.exception_type(stmt.catches[i].type).name.c_str()));
+            shadowed = true;
+          }
+        }
+        if (!shadowed && flow.HandlerOrigins(method.id, s, j).empty()) {
+          Emit(report, LintSeverity::kWarning, "impossible-catch",
+               ir::GlobalStmt{method.id, s},
+               StrFormat("no exception raised in the try block can reach catch clause "
+                         "%zu (%s)",
+                         j, program.exception_type(stmt.catches[j].type).name.c_str()));
+        }
+      }
+    }
+  }
+}
+
+// Pass: write-only-var. Submit's future write is exempt: fire-and-forget
+// futures are an idiomatic pattern, not a bug.
+void LintWriteOnlyVars(const ir::Program& program, LintReport* report) {
+  std::vector<bool> read(program.var_count(), false);
+  std::vector<ir::GlobalStmt> first_write(program.var_count());
+  std::vector<ir::VarId> reads;
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      const ir::Stmt& stmt = method.stmt(s);
+      reads.clear();
+      switch (stmt.kind) {
+        case ir::StmtKind::kAssign:
+        case ir::StmtKind::kSubmit:
+          stmt.expr.CollectReads(&reads);
+          break;
+        case ir::StmtKind::kIf:
+        case ir::StmtKind::kWhile:
+        case ir::StmtKind::kAwait:
+          stmt.cond.CollectReads(&reads);
+          break;
+        case ir::StmtKind::kLog:
+          for (const ir::Expr& arg : stmt.log_args) {
+            arg.CollectReads(&reads);
+          }
+          break;
+        case ir::StmtKind::kSend:
+          stmt.expr.CollectReads(&reads);
+          if (stmt.target_index_var != ir::kInvalidId) {
+            reads.push_back(stmt.target_index_var);
+          }
+          break;
+        case ir::StmtKind::kFutureGet:
+          reads.push_back(stmt.future_var);
+          break;
+        default:
+          break;
+      }
+      for (ir::VarId var : reads) {
+        read[static_cast<size_t>(var)] = true;
+      }
+      if ((stmt.kind == ir::StmtKind::kAssign || stmt.kind == ir::StmtKind::kSignal) &&
+          first_write[static_cast<size_t>(stmt.assign_var)].method == ir::kInvalidId) {
+        first_write[static_cast<size_t>(stmt.assign_var)] = ir::GlobalStmt{method.id, s};
+      }
+    }
+  }
+  for (size_t v = 0; v < program.var_count(); ++v) {
+    if (first_write[v].method != ir::kInvalidId && !read[v]) {
+      Emit(report, LintSeverity::kWarning, "write-only-var", first_write[v],
+           StrFormat("variable '%s' is written but never read",
+                     program.var_name(static_cast<ir::VarId>(v)).c_str()));
+    }
+  }
+}
+
+// Pass: dead-fault-site (cluster-dependent).
+void LintDeadFaultSites(const ir::Program& program, const std::vector<bool>& live,
+                        LintReport* report) {
+  for (const ir::FaultSite& site : program.fault_sites()) {
+    if (!live[static_cast<size_t>(site.location.method)]) {
+      Emit(report, LintSeverity::kInfo, "dead-fault-site", site.location,
+           StrFormat("fault site '%s' sits in method '%s', which no cluster entry "
+                     "reaches",
+                     site.name.c_str(),
+                     program.method(site.location.method).name.c_str()));
+    }
+  }
+}
+
+// Pass: inert-log. Builds one causal graph with every Log statement as its
+// own sink/observable, then asks which observables no *injectable*
+// (external) source can reach.
+void LintInertLogs(const ir::Program& program, LintReport* report) {
+  std::vector<CausalSink> sinks;
+  std::vector<ir::GlobalStmt> log_stmts;
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      if (method.stmt(s).kind != ir::StmtKind::kLog) {
+        continue;
+      }
+      CausalSink sink;
+      sink.observable = static_cast<int32_t>(log_stmts.size());
+      sink.log_stmt = ir::GlobalStmt{method.id, s};
+      sinks.push_back(sink);
+      log_stmts.push_back(sink.log_stmt);
+    }
+  }
+  if (sinks.empty()) {
+    return;
+  }
+  CausalGraph graph(program, sinks);
+  for (size_t k = 0; k < log_stmts.size(); ++k) {
+    std::vector<int32_t> distances = graph.DistancesToObservable(static_cast<int32_t>(k));
+    bool reachable = false;
+    for (const CausalGraph::SourceSite& source : graph.sources()) {
+      if (program.fault_site(source.site).kind == ir::FaultSiteKind::kExternal &&
+          distances[static_cast<size_t>(source.node)] != CausalGraph::kUnreachable) {
+        reachable = true;
+        break;
+      }
+    }
+    if (!reachable) {
+      Emit(report, LintSeverity::kInfo, "inert-log", log_stmts[k],
+           "no injectable fault site has a static causal path to this log statement "
+           "(inert observable)");
+    }
+  }
+}
+
+// Pass: unregistered-send-target (cluster-dependent). Mirrors the
+// simulator's resolution: a static target must name a node exactly; a
+// dynamic target ("node prefix" + env[index_var]) must at least prefix-match
+// a node. Only sends in live methods count — dead code never executes, so
+// the runtime CHECK it would trip stays theoretical.
+void LintSendTargets(const ir::Program& program, const LintEnvironment& env,
+                     const std::vector<bool>& live, LintReport* report) {
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    if (!live[m]) {
+      continue;
+    }
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      const ir::Stmt& stmt = method.stmt(s);
+      if (stmt.kind != ir::StmtKind::kSend) {
+        continue;
+      }
+      bool matched = false;
+      for (const std::string& node : env.node_names) {
+        matched = stmt.target_index_var == ir::kInvalidId
+                      ? node == stmt.target_node
+                      : node.rfind(stmt.target_node, 0) == 0;
+        if (matched) {
+          break;
+        }
+      }
+      if (!matched) {
+        Emit(report, LintSeverity::kError, "unregistered-send-target",
+             ir::GlobalStmt{method.id, s},
+             StrFormat("send to '%s%s' matches no registered cluster node",
+                       stmt.target_node.c_str(),
+                       stmt.target_index_var == ir::kInvalidId ? "" : "<index>"));
+      }
+    }
+  }
+}
+
+// Pass: future-get-unsubmitted.
+void LintFutureGets(const ir::Program& program, const ProgramIndexes& indexes,
+                    LintReport* report) {
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    const ir::Method& method = program.method(static_cast<ir::MethodId>(m));
+    for (ir::StmtId s = 0; s < static_cast<ir::StmtId>(method.stmts.size()); ++s) {
+      const ir::Stmt& stmt = method.stmt(s);
+      if (stmt.kind == ir::StmtKind::kFutureGet &&
+          indexes.SubmitsFor(stmt.future_var).empty()) {
+        Emit(report, LintSeverity::kError, "future-get-unsubmitted",
+             ir::GlobalStmt{method.id, s},
+             StrFormat("FutureGet on '%s', which no Submit anywhere in the program "
+                       "writes — it can only block or time out",
+                       program.var_name(stmt.future_var).c_str()));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError:
+      return "error";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+size_t LintReport::CountOf(LintSeverity severity) const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const LintDiagnostic& d) { return d.severity == severity; }));
+}
+
+std::string LintReport::ToText(const ir::Program& program) const {
+  std::string out;
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    out += StrFormat("%s [%s] @%s#%d: %s\n", LintSeverityName(diagnostic.severity),
+                     diagnostic.pass.c_str(),
+                     program.method(diagnostic.location.method).name.c_str(),
+                     diagnostic.location.stmt, diagnostic.message.c_str());
+  }
+  out += StrFormat("%zu errors, %zu warnings, %zu infos (%.2f ms)\n",
+                   CountOf(LintSeverity::kError), CountOf(LintSeverity::kWarning),
+                   CountOf(LintSeverity::kInfo), seconds * 1000.0);
+  return out;
+}
+
+std::string LintReport::ToJson(const ir::Program& program) const {
+  JsonValue root = JsonValue::Object();
+  root.Set("errors", JsonValue::Int(static_cast<int64_t>(CountOf(LintSeverity::kError))));
+  root.Set("warnings",
+           JsonValue::Int(static_cast<int64_t>(CountOf(LintSeverity::kWarning))));
+  root.Set("infos", JsonValue::Int(static_cast<int64_t>(CountOf(LintSeverity::kInfo))));
+  root.Set("seconds", JsonValue::Double(seconds));
+  JsonValue list = JsonValue::Array();
+  for (const LintDiagnostic& diagnostic : diagnostics) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("severity", JsonValue::Str(LintSeverityName(diagnostic.severity)));
+    entry.Set("pass", JsonValue::Str(diagnostic.pass));
+    entry.Set("method",
+              JsonValue::Str(program.method(diagnostic.location.method).name));
+    entry.Set("stmt", JsonValue::Int(diagnostic.location.stmt));
+    entry.Set("message", JsonValue::Str(diagnostic.message));
+    list.Append(std::move(entry));
+  }
+  root.Set("diagnostics", std::move(list));
+  return root.Dump();
+}
+
+LintReport RunLints(const ir::Program& program, const LintEnvironment& env) {
+  Stopwatch timer;
+  LintReport report;
+  ExceptionFlow flow(program);
+  ProgramIndexes indexes(program);
+  std::vector<MethodCfg> cfgs;
+  cfgs.reserve(program.method_count());
+  for (size_t m = 0; m < program.method_count(); ++m) {
+    cfgs.emplace_back(program, static_cast<ir::MethodId>(m), &flow);
+  }
+
+  LintUnreachable(program, cfgs, &report);
+  LintCatchClauses(program, flow, &report);
+  LintWriteOnlyVars(program, &report);
+  LintInertLogs(program, &report);
+  LintFutureGets(program, indexes, &report);
+  if (env.provided) {
+    std::vector<bool> live = LiveMethods(program, env);
+    LintDeadFaultSites(program, live, &report);
+    LintSendTargets(program, env, live, &report);
+  }
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace anduril::analysis

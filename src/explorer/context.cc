@@ -131,6 +131,33 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
     }
   }
 
+  // Step 5.5 (opt-in): static candidate pruning. Drop candidates whose node
+  // reaches no observable. Defensive — every causal-graph node is backwards
+  // reachable from a sink by construction, so this is expected to remove
+  // nothing; a nonzero count here flags a graph-construction regression.
+  if (options.static_prune) {
+    size_t kept = 0;
+    for (size_t c = 0; c < candidates_.size(); ++c) {
+      bool reaches_observable = false;
+      for (int32_t distance : distances_[c]) {
+        if (distance != analysis::CausalGraph::kUnreachable) {
+          reaches_observable = true;
+          break;
+        }
+      }
+      if (reaches_observable) {
+        if (kept != c) {
+          candidates_[kept] = candidates_[c];
+          distances_[kept] = std::move(distances_[c]);
+        }
+        ++kept;
+      }
+    }
+    pruned_candidates_ = candidates_.size() - kept;
+    candidates_.resize(kept);
+    distances_.resize(kept);
+  }
+
   // Step 6: scale the fault-instance distribution onto the failure-log
   // timeline via the LCS alignment (§5.2.3).
   logdiff::TimelineAlignment alignment(comparison.matches,
@@ -141,10 +168,37 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
         InstanceEstimate{event.occurrence, alignment.MapPosition(event.log_clock)});
   }
 
-  for (const ir::FaultSite& site : program.fault_sites()) {
-    if (site.kind == ir::FaultSiteKind::kExternal) {
-      all_injectable_sites_.push_back(site.id);
+  // The injectable-site universe. With static_prune, only sites with a
+  // static causal path to at least one observable survive: the site must
+  // appear as a causal-graph source (external-exception node on some
+  // observable's backward slice) with a finite distance. Cold-module and
+  // otherwise causally-inert sites — which trace-driven baselines would
+  // blindly enumerate — are dropped before round 1.
+  std::unordered_set<ir::FaultSiteId> causal_sites;
+  if (options.static_prune) {
+    for (const analysis::CausalGraph::SourceSite& source : graph_->sources()) {
+      if (program.fault_site(source.site).kind != ir::FaultSiteKind::kExternal) {
+        continue;
+      }
+      for (const std::vector<int32_t>& to_observable : node_dists) {
+        if (to_observable[static_cast<size_t>(source.node)] !=
+            analysis::CausalGraph::kUnreachable) {
+          causal_sites.insert(source.site);
+          break;
+        }
+      }
     }
+  }
+  for (const ir::FaultSite& site : program.fault_sites()) {
+    if (site.kind != ir::FaultSiteKind::kExternal) {
+      continue;
+    }
+    if (options.static_prune && causal_sites.count(site.id) == 0) {
+      ++pruned_sites_;
+      continue;
+    }
+    all_injectable_sites_.push_back(site.id);
+    injectable_site_set_.insert(site.id);
   }
 
   init_seconds_ = init_timer.ElapsedSeconds();
@@ -154,6 +208,12 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
                               static_cast<int64_t>(observables_.size()));
     options_.metrics->Observe("explore.context_candidates",
                               static_cast<int64_t>(candidates_.size()));
+    if (options_.static_prune) {
+      options_.metrics->Observe("explore.pruned_sites",
+                                static_cast<int64_t>(pruned_sites_));
+      options_.metrics->Observe("explore.pruned_candidates",
+                                static_cast<int64_t>(pruned_candidates_));
+    }
   }
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/analysis/causal_graph.h"
@@ -87,10 +88,27 @@ class ExplorerContext {
   // Instances of `site` from the fault-free run (empty if never executed).
   const std::vector<InstanceEstimate>& InstancesOf(ir::FaultSiteId site) const;
 
-  // All injectable fault sites of the whole program (for coverage baselines
-  // that skip the causal-graph pruning) with their dynamic occurrence counts.
+  // All injectable fault sites of the program (for coverage baselines that
+  // skip the causal-graph candidate selection). With options.static_prune
+  // this universe is pre-filtered to sites that have a static causal path to
+  // at least one observable.
   const std::vector<ir::FaultSiteId>& all_injectable_sites() const {
     return all_injectable_sites_;
+  }
+  // Membership test for the (possibly pruned) injectable-site universe.
+  // Trace-driven strategies use this instead of a raw fault-kind check so
+  // static pruning applies to them uniformly.
+  bool SiteInjectable(ir::FaultSiteId site) const {
+    return injectable_site_set_.count(site) != 0;
+  }
+
+  // Pruning statistics (meaningful whether or not static_prune is set; both
+  // are zero when it is off).
+  size_t pruned_sites() const { return pruned_sites_; }
+  size_t pruned_candidates() const { return pruned_candidates_; }
+  // Injectable-site universe size before static pruning.
+  size_t total_injectable_sites() const {
+    return all_injectable_sites_.size() + pruned_sites_;
   }
 
   // The fault-free run's instance trace in execution order.
@@ -115,6 +133,9 @@ class ExplorerContext {
   std::vector<std::vector<int32_t>> distances_;
   std::unordered_map<ir::FaultSiteId, std::vector<InstanceEstimate>> instances_;
   std::vector<ir::FaultSiteId> all_injectable_sites_;
+  std::unordered_set<ir::FaultSiteId> injectable_site_set_;
+  size_t pruned_sites_ = 0;
+  size_t pruned_candidates_ = 0;
   std::vector<interp::FaultInstanceEvent> normal_trace_;
   std::unique_ptr<const ir::FlatProgram> flat_program_;
   std::vector<InstanceEstimate> empty_;

@@ -84,6 +84,16 @@ struct ExplorerOptions {
   // candidates per send site widen the space and change search trajectories,
   // so only scenarios rooted in message-layer faults opt in.
   bool network_candidates = false;
+  // Static candidate pruning: before round 1, drop injectable fault sites
+  // with no static causal path to any failure-log observable from the
+  // context's site universe (and, defensively, any candidate whose causal
+  // node reaches no observable). Graph-driven strategies are unaffected by
+  // construction — every causal-graph source reaches a sink — so scripts are
+  // byte-identical with pruning on or off; trace-driven baselines (fate,
+  // crashtuner, exhaustive-site listings) skip statically-inert sites and
+  // converge in fewer rounds. Off by default to keep baseline numbers
+  // comparable with prior measurements.
+  bool static_prune = false;
   // Transient-round retry policy: a round whose runs were killed by the host
   // wall-clock watchdog (environmental slowness, not a fault-induced
   // outcome) is re-executed up to max_run_retries times with bounded

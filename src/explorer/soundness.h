@@ -1,0 +1,57 @@
+// Causal-soundness cross-validation: dynamic ⊆ static.
+//
+// The site-distance ranking (§5.2) is only sound if the static causal graph
+// over-approximates the dynamic behavior: whenever injecting candidate i
+// actually flips observable k on, the graph must already contain a path from
+// i's node to k's sink (a finite L_{i,k}). If the graph misses such a path,
+// the distance-ranked strategies may starve the true root cause — a silent
+// Algorithm 1 regression. This validator replays candidates on the
+// simulator and turns any dynamically-observed fault→observable pair with
+// an infinite static distance into a checkable violation.
+//
+// Contract: the check covers kException candidates — the kinds the causal
+// graph models directly. Crash/stall/network candidates reuse exception
+// nodes heuristically (a deliberate approximation documented in context.h),
+// so holding them to path-exactness would flag the approximation, not a
+// regression.
+
+#ifndef ANDURIL_SRC_EXPLORER_SOUNDNESS_H_
+#define ANDURIL_SRC_EXPLORER_SOUNDNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/explorer/context.h"
+
+namespace anduril::explorer {
+
+// One dynamically-observed fault→observable pair the static graph misses.
+struct SoundnessViolation {
+  size_t candidate = 0;          // index into context.candidates()
+  size_t observable = 0;         // index into context.observables()
+  std::string observable_key;    // the observable's sanitized log key
+  int64_t occurrence = 0;        // the occurrence level that was armed
+};
+
+struct SoundnessReport {
+  size_t candidates_checked = 0;  // candidates actually replayed
+  size_t candidates_skipped = 0;  // non-exception kinds / never-executed sites
+  size_t pairs_observed = 0;      // dynamic fault→observable pairs seen
+  std::vector<SoundnessViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  // "sound" summary or one line per violation, lint-style.
+  std::string ToText(const ExplorerContext& context) const;
+};
+
+// Replays each exception-kind candidate once (armed at its first dynamic
+// occurrence, run with the spec's base seed) and checks every observable the
+// injection newly turned on against the precomputed static distances.
+// `max_candidates` caps the replay count for very large candidate sets
+// (0 = check all).
+SoundnessReport CheckCausalSoundness(const ExplorerContext& context,
+                                     size_t max_candidates = 0);
+
+}  // namespace anduril::explorer
+
+#endif  // ANDURIL_SRC_EXPLORER_SOUNDNESS_H_

@@ -172,8 +172,9 @@ class FateStrategy : public ListStrategy {
     std::vector<ir::FaultSiteId> discovery_order;
     std::unordered_set<ir::FaultSiteId> seen;
     for (const interp::FaultInstanceEvent& event : context.normal_trace()) {
-      if (program.fault_site(event.site).kind == ir::FaultSiteKind::kExternal &&
-          seen.insert(event.site).second) {
+      // Injectability goes through the context so static pruning (when on)
+      // filters this baseline's blind site list too.
+      if (context.SiteInjectable(event.site) && seen.insert(event.site).second) {
         discovery_order.push_back(event.site);
       }
     }
@@ -209,7 +210,7 @@ class CrashTunerStrategy : public ListStrategy {
         continue;
       }
       previous_clock = event.log_clock;
-      if (program.fault_site(event.site).kind != ir::FaultSiteKind::kExternal) {
+      if (!context.SiteInjectable(event.site)) {
         continue;
       }
       list_.push_back(interp::InjectionCandidate{event.site, event.occurrence,

@@ -504,6 +504,124 @@ TEST_F(AnalysisTest, DotExportHonorsNodeCap) {
   EXPECT_NE(dot.find("truncated: 2 of"), std::string::npos);
 }
 
+TEST_F(AnalysisTest, EscapeDotLabelHostileTemplate) {
+  // Quotes, backslashes, newlines, tabs, and raw control bytes must all come
+  // out as valid double-quoted DOT label content.
+  std::string hostile = "say \"hi\"\\\nnext\tline";
+  hostile.push_back('\x01');
+  hostile.push_back('\x7f');
+  std::string escaped = EscapeDotLabel(hostile);
+  EXPECT_EQ(escaped, "say \\\"hi\\\"\\\\\\nnext\\tline\\\\x01\\\\x7f");
+
+  // The cap counts source characters and never cuts an escape in half: four
+  // characters of "a\"b\"" keep both full quote escapes.
+  EXPECT_EQ(EscapeDotLabel("a\"b\"cdef", 4), "a\\\"b\\\"...");
+  EXPECT_EQ(EscapeDotLabel("short", 10), "short");
+
+  // Multi-byte UTF-8 is never split: "héllo" capped at 2 keeps all of "é".
+  std::string utf8 = "h\xc3\xa9llo";
+  EXPECT_EQ(EscapeDotLabel(utf8, 2), "h\xc3\xa9...");
+}
+
+TEST_F(AnalysisTest, HostileLogTemplateProducesValidDot) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("root.site", {"IOException"}); },
+             {{"IOException",
+               [&] { b.Log(LogLevel::kWarn, "t", "bad \"quote\" and \\ and \n newline"); }}});
+  b.Build();
+  program_.Finalize();
+  CausalGraph graph = GraphFromLog(program_, FindStmt("m", ir::StmtKind::kLog));
+  std::string dot = ExportDot(program_, graph);
+  // No raw newline may survive inside a label: every line of the output
+  // must have balanced (even) unescaped quotes.
+  size_t line_start = 0;
+  while (line_start < dot.size()) {
+    size_t line_end = dot.find('\n', line_start);
+    if (line_end == std::string::npos) {
+      line_end = dot.size();
+    }
+    int unescaped_quotes = 0;
+    for (size_t i = line_start; i < line_end; ++i) {
+      if (dot[i] == '"' && (i == line_start || dot[i - 1] != '\\')) {
+        ++unescaped_quotes;
+      }
+    }
+    EXPECT_EQ(unescaped_quotes % 2, 0) << dot.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+  }
+}
+
+// --- exception-flow edge cases ---------------------------------------------------
+
+TEST_F(AnalysisTest, RethrowInHandlerEscapesAsCaughtType) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("site", {"FileNotFoundException"}); },
+             {{"IOException", [&] { b.Rethrow(); }}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  // The rethrow re-raises under the clause's static type: IOException.
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].type, program_.FindException("IOException"));
+  EXPECT_EQ(escapes[0].kind, OriginKind::kRethrow);
+}
+
+TEST_F(AnalysisTest, NestedTryCatchRethrowAbsorbedByOuter) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch(
+      [&] {
+        b.TryCatch([&] { b.External("site", {"FileNotFoundException"}); },
+                   {{"FileNotFoundException", [&] { b.Rethrow(); }}});
+      },
+      {{"IOException", [&] { b.Log(LogLevel::kWarn, "t", "outer caught"); }}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  // The inner rethrow escapes the inner try but the outer base-type clause
+  // absorbs it: nothing leaves the method.
+  EXPECT_TRUE(flow.Escapes(program_.FindMethod("m")).empty());
+  // And the outer handler sees the rethrown FileNotFoundException.
+  ir::GlobalStmt outer = FindStmt("m", ir::StmtKind::kTryCatch, 0);
+  EXPECT_FALSE(flow.HandlerOrigins(outer.method, outer.stmt, 0).empty());
+}
+
+TEST_F(AnalysisTest, SubmittedTaskEscapeSurfacesViaFutureGet) {
+  MethodBuilder worker(&program_, "worker");
+  worker.External("task.site", {"IOException"});
+  worker.Build();
+  MethodBuilder b(&program_, "m");
+  b.Submit("worker", "fut", "executor");
+  b.TryCatch([&] { b.FutureGet("fut", /*timeout_ms=*/100, "TimeoutException"); },
+             {{"ExecutionException", [&] { b.Log(LogLevel::kWarn, "t", "task failed"); }}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  // The worker's IOException escapes the worker but reaches m only as the
+  // future's ExecutionException wrapper, which the handler absorbs. The
+  // await-timeout TimeoutException escapes m.
+  ASSERT_EQ(flow.Escapes(program_.FindMethod("worker")).size(), 1u);
+  const auto& escapes = flow.Escapes(program_.FindMethod("m"));
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].type, program_.FindException("TimeoutException"));
+  ir::GlobalStmt trycatch = FindStmt("m", ir::StmtKind::kTryCatch);
+  EXPECT_FALSE(flow.HandlerOrigins(trycatch.method, trycatch.stmt, 0).empty());
+}
+
+TEST_F(AnalysisTest, ShadowedHandlerClauseHasNoOrigins) {
+  MethodBuilder b(&program_, "m");
+  b.TryCatch([&] { b.External("site", {"FileNotFoundException"}); },
+             {{"IOException", [&] {}}, {"FileNotFoundException", [&] {}}});
+  b.Build();
+  program_.Finalize();
+  ExceptionFlow flow(program_);
+  ir::GlobalStmt trycatch = FindStmt("m", ir::StmtKind::kTryCatch);
+  // Clause precedence: the base-type clause 0 wins, the exact-type clause 1
+  // is shadowed and can never fire.
+  EXPECT_FALSE(flow.HandlerOrigins(trycatch.method, trycatch.stmt, 0).empty());
+  EXPECT_TRUE(flow.HandlerOrigins(trycatch.method, trycatch.stmt, 1).empty());
+}
+
 TEST_F(AnalysisTest, DescribeNodeNamesEveryKind) {
   MethodBuilder b(&program_, "m");
   b.TryCatch([&] { b.External("root.site", {"IOException"}); },

@@ -1,0 +1,187 @@
+// Registry-wide integration tests for the static-analysis stack: the lint
+// suite is error-clean on every shipped scenario, the causal graph is sound
+// against dynamic replay (dynamic ⊆ static), and static candidate pruning
+// never changes what the feedback-driven search reproduces.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/analysis/lint.h"
+#include "src/explorer/explorer.h"
+#include "src/explorer/soundness.h"
+#include "src/explorer/strategy.h"
+#include "src/systems/common.h"
+
+namespace anduril {
+namespace {
+
+std::vector<const systems::FailureCase*> EveryCase() {
+  std::vector<const systems::FailureCase*> cases;
+  for (const std::vector<systems::FailureCase>* registry :
+       {&systems::AllCases(), &systems::CrashStallCases(), &systems::NetworkCases()}) {
+    for (const systems::FailureCase& failure_case : *registry) {
+      cases.push_back(&failure_case);
+    }
+  }
+  return cases;
+}
+
+analysis::LintEnvironment EnvironmentOf(const systems::BuiltCase& built) {
+  analysis::LintEnvironment env;
+  env.provided = true;
+  std::unordered_set<std::string> node_seen;
+  std::unordered_set<ir::MethodId> method_seen;
+  for (const interp::ClusterSpec* cluster : {&built.cluster, &built.failure_cluster}) {
+    for (const std::string& node : cluster->nodes) {
+      if (node_seen.insert(node).second) {
+        env.node_names.push_back(node);
+      }
+    }
+    for (const interp::InitialTask& task : cluster->tasks) {
+      if (method_seen.insert(task.method).second) {
+        env.entry_methods.push_back(task.method);
+      }
+    }
+  }
+  return env;
+}
+
+explorer::ExplorerOptions OptionsFor(const systems::FailureCase& failure_case) {
+  explorer::ExplorerOptions options;
+  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
+                                   failure_case.root_kind == interp::FaultKind::kStall;
+  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
+  return options;
+}
+
+// Every shipped scenario must be lint-error-clean: unreachable statements,
+// shadowed handlers, unknown send targets, and never-submitted futures are
+// scenario bugs, and CI gates on them via `anduril_lint all`.
+TEST(StaticAnalysisTest, AllRegisteredCasesLintErrorClean) {
+  for (const systems::FailureCase* failure_case : EveryCase()) {
+    systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+    analysis::LintReport report = analysis::RunLints(*built.program, EnvironmentOf(built));
+    EXPECT_EQ(report.error_count(), 0u)
+        << failure_case->id << ":\n" << report.ToText(*built.program);
+  }
+}
+
+// Dynamic ⊆ static on every case: injecting any exception candidate must not
+// flip an observable the causal graph says it cannot reach. A violation here
+// is an Algorithm 1 regression (the exact class the zk-3006 / hb-16144
+// divergence-prior fixes closed). Replays are capped per case to keep the
+// test fast; the CI lint job runs the uncapped sweep.
+TEST(StaticAnalysisTest, CausalGraphSoundOnAllCases) {
+  for (const systems::FailureCase* failure_case : EveryCase()) {
+    systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+    explorer::Explorer ex(built.spec, OptionsFor(*failure_case));
+    explorer::SoundnessReport report =
+        explorer::CheckCausalSoundness(ex.context(), /*max_candidates=*/30);
+    EXPECT_TRUE(report.ok()) << failure_case->id << ":\n" << report.ToText(ex.context());
+    EXPECT_GT(report.candidates_checked, 0u) << failure_case->id;
+  }
+}
+
+// The safety property of static_prune: the feedback-driven search produces a
+// byte-identical reproduction script with pruning on or off, on every
+// exception-rooted case.
+TEST(StaticAnalysisTest, StaticPruneScriptEquivalence) {
+  for (const systems::FailureCase& failure_case : systems::AllCases()) {
+    systems::BuiltCase built = systems::BuildCase(failure_case, /*verify=*/false);
+
+    explorer::ExplorerOptions plain = OptionsFor(failure_case);
+    explorer::Explorer baseline(built.spec, plain);
+    auto strategy = explorer::MakeStrategy("full");
+    explorer::ExploreResult without = baseline.Explore(strategy.get());
+
+    explorer::ExplorerOptions pruned_options = plain;
+    pruned_options.static_prune = true;
+    explorer::Explorer pruned(built.spec, pruned_options);
+    auto pruned_strategy = explorer::MakeStrategy("full");
+    explorer::ExploreResult with = pruned.Explore(pruned_strategy.get());
+
+    ASSERT_TRUE(without.reproduced) << failure_case.id;
+    ASSERT_TRUE(with.reproduced) << failure_case.id;
+    EXPECT_EQ(without.rounds, with.rounds) << failure_case.id;
+    EXPECT_EQ(without.script->ToText(*built.program), with.script->ToText(*built.program))
+        << failure_case.id;
+
+    // Candidate-level pruning removes nothing: every causal-graph source is
+    // backwards-reachable from a sink by construction. A nonzero count would
+    // flag a graph regression.
+    EXPECT_EQ(pruned.context().pruned_candidates(), 0u) << failure_case.id;
+  }
+}
+
+// The payoff of static_prune: the injectable-site universe shrinks (cold
+// modules carry injectable sites with no causal path), while the unpruned
+// universe stays intact for baselines that want it.
+TEST(StaticAnalysisTest, StaticPruneShrinksInjectableSites) {
+  const systems::FailureCase* failure_case = systems::FindCase("zk-2247");
+  ASSERT_NE(failure_case, nullptr);
+  systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+
+  explorer::Explorer plain(built.spec, explorer::ExplorerOptions{});
+  explorer::ExplorerOptions options;
+  options.static_prune = true;
+  explorer::Explorer pruned(built.spec, options);
+
+  EXPECT_EQ(plain.context().pruned_sites(), 0u);
+  EXPECT_GT(pruned.context().pruned_sites(), 0u);
+  EXPECT_LT(pruned.context().all_injectable_sites().size(),
+            plain.context().all_injectable_sites().size());
+  EXPECT_EQ(pruned.context().total_injectable_sites(),
+            plain.context().all_injectable_sites().size());
+
+  // Membership agrees with the pruned list, and every surviving site still
+  // has kExternal kind.
+  for (ir::FaultSiteId site : pruned.context().all_injectable_sites()) {
+    EXPECT_TRUE(pruned.context().SiteInjectable(site));
+    EXPECT_EQ(built.program->fault_site(site).kind, ir::FaultSiteKind::kExternal);
+  }
+  // A pruned site answers false.
+  size_t pruned_count = 0;
+  for (ir::FaultSiteId site : plain.context().all_injectable_sites()) {
+    if (!pruned.context().SiteInjectable(site)) {
+      ++pruned_count;
+    }
+  }
+  EXPECT_EQ(pruned_count, pruned.context().pruned_sites());
+}
+
+// Trace-driven baselines consult the pruned universe: with static_prune the
+// fate strategy's blind list skips causally-inert sites, so it reproduces in
+// no more rounds than without pruning (strictly fewer when cold-module sites
+// precede the root cause in discovery order).
+TEST(StaticAnalysisTest, StaticPruneNeverSlowsFateBaseline) {
+  for (const std::string& id : {std::string("zk-2247"), std::string("hd-4233")}) {
+    const systems::FailureCase* failure_case = systems::FindCase(id);
+    ASSERT_NE(failure_case, nullptr);
+    systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+
+    explorer::ExplorerOptions plain;
+    plain.max_rounds = 3000;
+    explorer::Explorer baseline(built.spec, plain);
+    auto strategy = explorer::MakeStrategy("fate");
+    explorer::ExploreResult without = baseline.Explore(strategy.get());
+
+    explorer::ExplorerOptions options = plain;
+    options.static_prune = true;
+    explorer::Explorer pruned(built.spec, options);
+    auto pruned_strategy = explorer::MakeStrategy("fate");
+    explorer::ExploreResult with = pruned.Explore(pruned_strategy.get());
+
+    ASSERT_TRUE(without.reproduced) << id;
+    ASSERT_TRUE(with.reproduced) << id;
+    EXPECT_LE(with.rounds, without.rounds) << id;
+    // Pruning must not change WHAT is reproduced, only how fast.
+    EXPECT_EQ(without.script->site, with.script->site) << id;
+    EXPECT_EQ(without.script->occurrence, with.script->occurrence) << id;
+  }
+}
+
+}  // namespace
+}  // namespace anduril

@@ -18,8 +18,9 @@
 //       Inject the case's ground-truth site at a chosen occurrence/seed and
 //       dump the resulting log — the tool for studying a scenario's timing
 //       window.
-//   anduril_case graph <case> [max_nodes]
-//       Emit the causal graph in Graphviz DOT.
+//   anduril_case graph <case> [max_nodes] [--graph-out=<path>]
+//       Emit the causal graph in Graphviz DOT — to stdout, or to the
+//       --graph-out path (the same flag anduril_lint accepts).
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,7 +53,7 @@ int Usage() {
       "           --metrics-out: write the metrics registry (counters, gauges,\n"
       "                          histograms) as JSON\n"
       "       anduril_case replay <case> <occurrence> <seed>\n"
-      "       anduril_case graph <case> [max_nodes]\n");
+      "       anduril_case graph <case> [max_nodes] [--graph-out=<path>]\n");
   return 2;
 }
 
@@ -258,15 +259,23 @@ int Replay(const std::string& id, int64_t occurrence, uint64_t seed) {
   return 0;
 }
 
-int Graph(const std::string& id, size_t max_nodes) {
+int Graph(const std::string& id, size_t max_nodes, const std::string& graph_out) {
   const systems::FailureCase* failure_case = Lookup(id);
   if (failure_case == nullptr) {
     return 1;
   }
   systems::BuiltCase built = systems::BuildCase(*failure_case);
   explorer::Explorer ex(built.spec, explorer::ExplorerOptions{});
-  std::fputs(analysis::ExportDot(*built.program, ex.context().graph(), max_nodes).c_str(),
-             stdout);
+  std::string dot = analysis::ExportDot(*built.program, ex.context().graph(), max_nodes);
+  if (graph_out.empty()) {
+    std::fputs(dot.c_str(), stdout);
+    return 0;
+  }
+  if (!WriteTextFile(graph_out, dot, "causal graph")) {
+    return 1;
+  }
+  std::printf("causal graph: %zu nodes -> %s\n", ex.context().graph().node_count(),
+              graph_out.c_str());
   return 0;
 }
 
@@ -276,11 +285,14 @@ int Main(int argc, char** argv) {
   std::string checkpoint_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string graph_out;
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--checkpoint=", 0) == 0) {
       checkpoint_path = arg.substr(std::string("--checkpoint=").size());
+    } else if (arg.rfind("--graph-out=", 0) == 0) {
+      graph_out = arg.substr(std::string("--graph-out=").size());
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_path = arg.substr(std::string("--trace-out=").size());
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -315,7 +327,8 @@ int Main(int argc, char** argv) {
                   std::strtoull(args[3].c_str(), nullptr, 10));
   }
   if (command == "graph") {
-    return Graph(id, args.size() > 2 ? static_cast<size_t>(std::atoll(args[2].c_str())) : 0);
+    return Graph(id, args.size() > 2 ? static_cast<size_t>(std::atoll(args[2].c_str())) : 0,
+                 graph_out);
   }
   return Usage();
 }
