@@ -49,21 +49,7 @@ bool CandidateFromJson(const JsonValue& value, interp::InjectionCandidate* out,
       value.Find("type") ? value.Find("type")->as_int(ir::kInvalidId) : ir::kInvalidId);
   const std::string& kind =
       value.Find("kind") ? value.Find("kind")->as_string() : std::string("exception");
-  if (kind == "exception") {
-    out->kind = interp::FaultKind::kException;
-  } else if (kind == "crash") {
-    out->kind = interp::FaultKind::kCrash;
-  } else if (kind == "stall") {
-    out->kind = interp::FaultKind::kStall;
-  } else if (kind == "drop") {
-    out->kind = interp::FaultKind::kDrop;
-  } else if (kind == "delay") {
-    out->kind = interp::FaultKind::kDelay;
-  } else if (kind == "duplicate") {
-    out->kind = interp::FaultKind::kDuplicate;
-  } else if (kind == "partition") {
-    out->kind = interp::FaultKind::kPartition;
-  } else {
+  if (!interp::FaultKindFromName(kind, &out->kind)) {
     *error = "unknown fault kind \"" + kind + "\"";
     return false;
   }
@@ -71,6 +57,38 @@ bool CandidateFromJson(const JsonValue& value, interp::InjectionCandidate* out,
 }
 
 }  // namespace
+
+uint64_t ChainSignatureHash(const ChainState& chain) {
+  uint64_t hash = 1469598103934665603ull;
+  auto mix_byte = [&hash](unsigned char c) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  };
+  auto mix_int = [&](int64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      mix_byte(static_cast<unsigned char>((static_cast<uint64_t>(value) >> shift) & 0xFF));
+    }
+  };
+  auto mix_str = [&](const std::string& text) {
+    for (unsigned char c : text) {
+      mix_byte(c);
+    }
+    mix_byte(0xFF);
+  };
+  for (const ChainStepCheckpoint& step : chain.steps) {
+    mix_int(step.candidate.site);
+    mix_int(step.candidate.occurrence);
+    mix_int(step.candidate.type);
+    mix_int(static_cast<int64_t>(step.candidate.kind));
+    mix_int(static_cast<int64_t>(step.seed));
+    mix_int(step.rounds);
+    for (const std::string& key : step.stitched_observables) {
+      mix_str(key);
+    }
+    mix_byte(0xFE);
+  }
+  return hash;
+}
 
 uint64_t ProgramFingerprint(const ir::Program& program) {
   // FNV-1a over the fault-site and exception-type names, in id order.
@@ -150,6 +168,43 @@ std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint) {
   strategy.Set("demotions", std::move(demotions));
   root.Set("strategy", std::move(strategy));
 
+  JsonValue chain = JsonValue::Object();
+  JsonValue steps = JsonValue::Array();
+  for (const ChainStepCheckpoint& step : checkpoint.chain.steps) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("candidate", CandidateToJson(step.candidate));
+    entry.Set("seed", JsonValue::Str(U64ToString(step.seed)));
+    entry.Set("rounds", JsonValue::Int(step.rounds));
+    JsonValue observables = JsonValue::Array();
+    for (const std::string& key : step.stitched_observables) {
+      observables.Append(JsonValue::Str(key));
+    }
+    entry.Set("stitched_observables", std::move(observables));
+    steps.Append(std::move(entry));
+  }
+  chain.Set("steps", std::move(steps));
+  chain.Set("phase", JsonValue::Int(checkpoint.chain.phase));
+  chain.Set("rounds_before_phase", JsonValue::Int(checkpoint.chain.rounds_before_phase));
+  JsonValue stitched = JsonValue::Array();
+  for (ir::FaultSiteId site : checkpoint.chain.stitched_sites) {
+    stitched.Append(JsonValue::Int(site));
+  }
+  chain.Set("stitched_sites", std::move(stitched));
+  JsonValue round_candidates = JsonValue::Array();
+  for (const ChainRoundCandidate& summary : checkpoint.chain.round_candidates) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("candidate", CandidateToJson(summary.candidate));
+    entry.Set("present_observables", JsonValue::Int(summary.present_observables));
+    entry.Set("round", JsonValue::Int(summary.round));
+    round_candidates.Append(std::move(entry));
+  }
+  chain.Set("round_candidates", std::move(round_candidates));
+  root.Set("chain", std::move(chain));
+  // Always recomputed from the chain block — the struct field is only the
+  // parsed-and-verified copy.
+  root.Set("chain_signature_hash",
+           JsonValue::Str(U64ToString(ChainSignatureHash(checkpoint.chain))));
+
   if (checkpoint.has_metrics) {
     root.Set("metrics", obs::MetricsSnapshotToJson(checkpoint.metrics));
   }
@@ -174,6 +229,16 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
     return false;
   }
   if (version->as_int() != kCheckpointVersion) {
+    if (version->as_int() == 2 && root.Find("chain") != nullptr) {
+      // A pre-release chain build wrote chain state without bumping the
+      // version; resuming it as v2 would silently drop the chain prefix.
+      *error = StrFormat(
+          "checkpoint declares version 2 but contains fault-chain state, which only "
+          "version %d defines; this file was written by a mismatched build — delete "
+          "the stale checkpoint and restart the chain search from round 0",
+          kCheckpointVersion);
+      return false;
+    }
     *error = StrFormat(
         "unsupported checkpoint version %lld (this build reads only version %d); "
         "checkpoint files are not forward/backward compatible — delete the stale "
@@ -271,6 +336,71 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
       out->strategy.demotions.push_back(demotion);
     }
   }
+  out->chain = ChainState{};
+  const JsonValue* chain = root.Find("chain");
+  if (chain == nullptr || chain->type() != JsonValue::Type::kObject) {
+    *error = "checkpoint has no chain object (required since version 3)";
+    return false;
+  }
+  if (const JsonValue* steps = chain->Find("steps"); steps != nullptr) {
+    for (const JsonValue& entry : steps->items()) {
+      ChainStepCheckpoint step;
+      const JsonValue* candidate = entry.Find("candidate");
+      if (candidate == nullptr || !CandidateFromJson(*candidate, &step.candidate, error)) {
+        if (error->empty()) {
+          *error = "chain step has no candidate";
+        }
+        return false;
+      }
+      step.seed = U64FromJson(entry.Find("seed"));
+      step.rounds = entry.Find("rounds") ? static_cast<int>(entry.Find("rounds")->as_int()) : 0;
+      if (const JsonValue* observables = entry.Find("stitched_observables");
+          observables != nullptr) {
+        for (const JsonValue& key : observables->items()) {
+          step.stitched_observables.push_back(key.as_string());
+        }
+      }
+      out->chain.steps.push_back(std::move(step));
+    }
+  }
+  out->chain.phase =
+      chain->Find("phase") ? static_cast<int>(chain->Find("phase")->as_int()) : 0;
+  out->chain.rounds_before_phase =
+      chain->Find("rounds_before_phase")
+          ? static_cast<int>(chain->Find("rounds_before_phase")->as_int())
+          : 0;
+  if (const JsonValue* stitched = chain->Find("stitched_sites"); stitched != nullptr) {
+    for (const JsonValue& entry : stitched->items()) {
+      out->chain.stitched_sites.push_back(static_cast<ir::FaultSiteId>(entry.as_int()));
+    }
+  }
+  if (const JsonValue* summaries = chain->Find("round_candidates"); summaries != nullptr) {
+    for (const JsonValue& entry : summaries->items()) {
+      ChainRoundCandidate summary;
+      const JsonValue* candidate = entry.Find("candidate");
+      if (candidate == nullptr || !CandidateFromJson(*candidate, &summary.candidate, error)) {
+        if (error->empty()) {
+          *error = "chain round candidate has no candidate";
+        }
+        return false;
+      }
+      summary.present_observables =
+          entry.Find("present_observables")
+              ? static_cast<int>(entry.Find("present_observables")->as_int())
+              : -1;
+      summary.round = entry.Find("round") ? static_cast<int>(entry.Find("round")->as_int()) : 0;
+      out->chain.round_candidates.push_back(summary);
+    }
+  }
+  out->chain_signature_hash = U64FromJson(root.Find("chain_signature_hash"));
+  if (out->chain_signature_hash != ChainSignatureHash(out->chain)) {
+    *error =
+        "chain signature hash mismatch: the checkpoint's chain state does not hash to "
+        "its recorded chain_signature_hash — the file is corrupt or was hand-edited; "
+        "delete the stale checkpoint and restart the chain search from round 0";
+    return false;
+  }
+
   out->has_metrics = false;
   out->metrics = obs::MetricsSnapshot{};
   if (const JsonValue* metrics = root.Find("metrics"); metrics != nullptr) {

@@ -7,7 +7,7 @@
 // The format is JSON with a version field:
 //
 //   {
-//     "version": 2,
+//     "version": 3,
 //     "program_fingerprint": "<hex>",   // guards against program drift
 //     "base_seed": "<u64 as string>",   // strings: no 2^53 precision loss
 //     "rounds_completed": N,
@@ -26,6 +26,17 @@
 //       "tried": [ {site, occurrence, type, kind}, ... ],
 //       "demotions": [ {candidate: {...}, count}, ... ]
 //     },
+//     "chain": {                        // v3: ChainExplorer search state
+//       "steps": [ {candidate: {...}, seed: "<u64>", rounds: N,
+//                   stitched_observables: ["key", ...]}, ... ],
+//       "phase": N,                     // completed chain phases
+//       "rounds_before_phase": N,       // rounds consumed by completed phases
+//       "stitched_sites": [ id, ... ],  // sites the last stitch run exposed
+//       "round_candidates": [           // injected rounds of the live phase
+//         {candidate: {...}, present_observables: N, round: N}, ... ]
+//     },
+//     "chain_signature_hash": "<u64>",  // v3: FNV-1a over the chain steps;
+//                                       // detects a tampered/corrupt chain
 //     "metrics": { counters/gauges/histograms }   // optional: only present
 //                                                 // when a MetricsRegistry
 //                                                 // was attached
@@ -34,11 +45,15 @@
 // Candidate identity uses numeric ids, which are deterministic functions of
 // the program build; the fingerprint rejects checkpoints from a different
 // program. Version history: v1 had no network block, no partitioned_stuck
-// count, and no drop/delay/duplicate/partition kind strings. v2 checkpoints
-// persist the network-fault configuration so a resumed search replays the
-// same candidate space (and partition/delay timing) byte-identically; v1
-// files are rejected with an actionable error rather than silently resumed
-// into a different search space.
+// count, and no drop/delay/duplicate/partition kind strings. v2 added the
+// network block so a resumed search replays the same candidate space (and
+// partition/delay timing) byte-identically. v3 added the chain block and its
+// signature hash so a killed ChainExplorer search resumes mid-chain with the
+// accepted prefix, the stitched-site seeds, and the live phase's candidate
+// summaries intact; plain (non-chain) searches still write version 3 files
+// with an empty chain. Old versions — including a version-2 file that
+// smuggles a chain block — are rejected with an actionable error rather than
+// silently resumed into a different search space.
 
 #ifndef ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
 #define ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
@@ -53,7 +68,48 @@
 
 namespace anduril::explorer {
 
-inline constexpr int kCheckpointVersion = 2;
+inline constexpr int kCheckpointVersion = 3;
+
+// One accepted step of a fault chain (v3). `seed` is the seed of the run
+// that validated the step: the stitch run for intermediate steps, the
+// successful search round for the final one.
+struct ChainStepCheckpoint {
+  interp::InjectionCandidate candidate;
+  uint64_t seed = 0;
+  int rounds = 0;  // search rounds the step's phase consumed
+  std::vector<std::string> stitched_observables;
+  friend bool operator==(const ChainStepCheckpoint&, const ChainStepCheckpoint&) = default;
+};
+
+// Summary of one injected (unsuccessful) round of the live chain phase.
+// Persisting these makes mid-chain resume byte-identical even when the kill
+// lands between the inner search capping out and the stitch decision.
+struct ChainRoundCandidate {
+  interp::InjectionCandidate candidate;
+  int present_observables = -1;
+  int round = 0;
+  friend bool operator==(const ChainRoundCandidate&, const ChainRoundCandidate&) = default;
+};
+
+// Complete ChainExplorer search state (v3). Empty for plain searches.
+struct ChainState {
+  std::vector<ChainStepCheckpoint> steps;  // accepted chain prefix, in order
+  int phase = 0;                           // completed phases
+  int rounds_before_phase = 0;             // rounds consumed by completed phases
+  std::vector<ir::FaultSiteId> stitched_sites;  // seeds for the live phase
+  std::vector<ChainRoundCandidate> round_candidates;
+  bool empty() const {
+    return steps.empty() && phase == 0 && rounds_before_phase == 0 &&
+           stitched_sites.empty() && round_candidates.empty();
+  }
+  friend bool operator==(const ChainState&, const ChainState&) = default;
+};
+
+// FNV-1a over the chain's accepted steps (site/occurrence/type/kind, seed,
+// rounds, stitched observables). Serialized next to the chain block and
+// re-verified on parse: a hand-edited or bit-rotted chain prefix fails fast
+// instead of resuming a subtly different search.
+uint64_t ChainSignatureHash(const ChainState& chain);
 
 struct SearchCheckpoint {
   int version = kCheckpointVersion;
@@ -72,6 +128,11 @@ struct SearchCheckpoint {
   ExperimentRecord experiment;
   std::vector<interp::InjectionCandidate> pinned;
   StrategyCheckpoint strategy;
+  // v3: chain search state (empty for plain searches) and its integrity
+  // hash. SerializeCheckpoint always recomputes the hash from `chain`;
+  // ParseCheckpoint stores the verified value here.
+  ChainState chain;
+  uint64_t chain_signature_hash = 0;
   // Optional (still version 2): snapshot of the attached MetricsRegistry at
   // the end of the checkpointed round. Serialized only when `has_metrics`;
   // parsing a checkpoint without a "metrics" member leaves it false, so

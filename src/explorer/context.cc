@@ -77,7 +77,9 @@ ExplorerContext::ExplorerContext(const ExperimentSpec& spec, const ExplorerOptio
     std::unordered_set<ir::FaultSiteId> sites_seen;
     size_t exception_candidates = candidates_.size();
     for (size_t c = 0; c < exception_candidates; ++c) {
-      const FaultCandidate& base = candidates_[c];
+      // By value: the push_backs below can reallocate candidates_, and a
+      // reference would dangle between the crash and the stall append.
+      const FaultCandidate base = candidates_[c];
       if (!sites_seen.insert(base.site).second) {
         continue;
       }

@@ -46,6 +46,12 @@ struct ExplorerOptions {
   int initial_window = 10;      // k of §5.2.5 (doubles when a round injects nothing)
   int feedback_adjustment = 1;  // s of §8.5 (observable priority increment)
   int max_rounds = 2000;        // exploration budget (paper's default limit)
+  // Chain searches only: hard cap on search rounds summed over every phase
+  // (0 = unbounded). When the budget runs out mid-phase the chain search
+  // returns immediately — no stitch pass — leaving its checkpoint file in
+  // the same state a process kill at that round would, which is also how the
+  // resume tests emulate mid-chain kills deterministically.
+  int max_total_rounds = 0;
   // For ablation variants: consider only the first N occurrences per site
   // (0 = unlimited).
   int instance_limit = 0;

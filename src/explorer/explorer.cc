@@ -292,6 +292,17 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
     ANDURIL_CHECK(snap.network_candidates == options_.network_candidates);
     ANDURIL_CHECK(snap.partition_heal_ms == spec_->cluster->partition_heal_ms);
     ANDURIL_CHECK(snap.network_delay_ms == spec_->cluster->network_delay_ms);
+    // A chain checkpoint only resumes under the ChainExplorer that supplies
+    // the matching chain prefix; a plain search resuming one would silently
+    // drop the accepted chain steps.
+    {
+      const ChainState empty_chain;
+      const ChainState& expected =
+          checkpoint.chain != nullptr ? *checkpoint.chain : empty_chain;
+      ANDURIL_CHECK(snap.chain == expected)
+          << "checkpoint chain state does not match this search (chain checkpoints "
+             "resume only under ChainExplorer with the same chain prefix)";
+    }
     ANDURIL_CHECK(strategy->RestoreState(snap.strategy));
     retry_backoff.FastForward(snap.retry_rng_draws);
     result.experiment = snap.experiment;
@@ -582,6 +593,19 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
       snap.experiment = result.experiment;
       snap.pinned = spec_->pinned_faults;
       ANDURIL_CHECK(strategy->SaveState(&snap.strategy));
+      if (checkpoint.chain != nullptr) {
+        snap.chain = *checkpoint.chain;
+        // Persist the live phase's injected-round summaries so a mid-chain
+        // resume can still merge them into the stitch-candidate pick even
+        // though the records themselves die with this process.
+        for (const RoundRecord& rec : result.records) {
+          if (!rec.injected) {
+            continue;
+          }
+          snap.chain.round_candidates.push_back(
+              ChainRoundCandidate{rec.candidate, rec.present_observables, rec.round});
+        }
+      }
       if (metrics != nullptr) {
         snap.has_metrics = true;
         snap.metrics = metrics->Snapshot();

@@ -89,6 +89,12 @@ struct ExploreResult {
 struct CheckpointConfig {
   std::string path;
   const SearchCheckpoint* resume = nullptr;
+  // Chain mode (ChainExplorer): the chain search state to persist alongside
+  // every snapshot. The explorer copies it and appends one ChainRoundCandidate
+  // per injected round of the live inner search. Plain searches leave it null
+  // (an empty chain is written) and refuse to resume chain-bearing
+  // checkpoints.
+  const ChainState* chain = nullptr;
 };
 
 class Explorer {

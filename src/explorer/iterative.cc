@@ -1,7 +1,15 @@
 #include "src/explorer/iterative.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "src/interp/simulator.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/backoff.h"
 #include "src/util/check.h"
 
 namespace anduril::explorer {
@@ -94,6 +102,294 @@ bool IterativeExplorer::Replay(ExperimentSpec spec, const IterativeResult& resul
         interp::InjectionCandidate{fault.site, fault.occurrence, fault.type, fault.kind});
   }
   return Explorer::Replay(spec, result.faults.back());
+}
+
+namespace {
+
+// Relevant observable keys (of the *phase* context, whose baseline already
+// includes the chain prefix) present in `run`'s log: the symptoms this run
+// newly flipped. Context observable order, so deterministic.
+std::vector<std::string> FlippedObservables(const ExplorerContext& context,
+                                            const interp::RunResult& run) {
+  std::unordered_set<std::string> keys;
+  logdiff::ParsedLog log = logdiff::ParseLogFile(interp::FormatLogFile(run.log));
+  for (const logdiff::ParsedLine& line : log.lines) {
+    keys.insert(line.key);
+  }
+  std::vector<std::string> present;
+  for (const ObservableInfo& observable : context.observables()) {
+    if (keys.contains(observable.key)) {
+      present.push_back(observable.key);
+    }
+  }
+  return present;
+}
+
+// Fault sites `run` executed that the phase baseline never reached (zero
+// instance estimates): the causal stitches — the places the cascade can only
+// continue from once this fault is in the workload. Sorted by id.
+std::vector<ir::FaultSiteId> NewlyExecutedSites(const ExplorerContext& context,
+                                                const interp::RunResult& run) {
+  std::unordered_set<ir::FaultSiteId> seen;
+  std::vector<ir::FaultSiteId> sites;
+  for (const interp::FaultInstanceEvent& event : run.trace) {
+    if (!seen.insert(event.site).second) {
+      continue;
+    }
+    if (context.InstancesOf(event.site).empty()) {
+      sites.push_back(event.site);
+    }
+  }
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
+}  // namespace
+
+StitchRunResult RunChainStitch(const ExperimentSpec& spec,
+                               const interp::InjectionCandidate& candidate,
+                               const ExplorerOptions& options) {
+  StitchRunResult result;
+  // Same bounded exponential backoff (and seed derivation) as the search
+  // rounds: only wall-budget kills are transient; every other outcome is
+  // deterministic and re-occurs on retry by construction.
+  ExponentialBackoff::Options backoff_options;
+  backoff_options.initial_delay_ms = options.retry_initial_delay_ms;
+  backoff_options.max_delay_ms = options.retry_max_delay_ms;
+  backoff_options.max_retries = options.max_run_retries;
+  ExponentialBackoff backoff(backoff_options, spec.base_seed ^ 0x9e3779b97f4a7c15ull);
+
+  std::vector<interp::InjectionCandidate> pinned = spec.pinned_faults;
+  pinned.push_back(candidate);
+  for (;;) {
+    interp::FaultRuntime runtime(spec.program);
+    runtime.set_tracing(true);
+    runtime.SetPinned(pinned);
+    interp::Simulator simulator(spec.program, spec.cluster, spec.base_seed, &runtime);
+    result.run = simulator.Run();
+    if (result.run.hit_wall_budget && backoff.ShouldRetry()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff.NextDelayMs()));
+      ++result.retries;
+      continue;
+    }
+    break;
+  }
+  // A wedged stitch run condemns the whole chain candidate: pinning this
+  // fault makes the degraded system hang (or stay partition-stuck), so no
+  // continuation searched on top of it can ever run to an oracle verdict.
+  result.demote_chain = result.run.outcome == interp::RunOutcome::kHung ||
+                        result.run.outcome == interp::RunOutcome::kPartitionedStuck;
+  return result;
+}
+
+ChainResult ChainExplorer::Explore(int max_chain_length) {
+  return Explore(max_chain_length, CheckpointConfig{});
+}
+
+ChainResult ChainExplorer::Explore(int max_chain_length, const CheckpointConfig& checkpoint) {
+  ANDURIL_CHECK_GE(max_chain_length, 1);
+  ChainResult result;
+
+  // The persisted search state (v3 chain block): accepted prefix, completed
+  // phases, the stitched-site seeds for the live phase, and the live phase's
+  // injected-round summaries (filled in by the inner Explorer's snapshots).
+  ChainState chain_state;
+  const SearchCheckpoint* resume = checkpoint.resume;
+  if (resume != nullptr) {
+    chain_state = resume->chain;
+    ANDURIL_CHECK_LE(static_cast<int>(chain_state.steps.size()), max_chain_length)
+        << "checkpoint chain is longer than this search's max_chain_length";
+    for (const ChainStepCheckpoint& step : chain_state.steps) {
+      spec_.pinned_faults.push_back(step.candidate);
+      result.chain.steps.push_back(FaultChainStep{step.candidate, step.seed, step.rounds,
+                                                  step.stitched_observables});
+    }
+    result.phases = chain_state.phase;
+    result.total_rounds = chain_state.rounds_before_phase;
+  }
+
+  for (int phase = chain_state.phase; phase < max_chain_length; ++phase) {
+    ++result.phases;
+    if (options_.metrics != nullptr) {
+      options_.metrics->Add("chain.phases");
+    }
+    const int64_t phase_base = static_cast<int64_t>(phase) * obs::kPhaseStride;
+    if (options_.tracer != nullptr) {
+      options_.tracer->Instant("explore", "chain_phase", phase_base, 0,
+                               {obs::ArgInt("phase", phase),
+                                obs::ArgInt("pinned", static_cast<int64_t>(
+                                                          spec_.pinned_faults.size()))});
+    }
+    // Global round budget (kill emulation / hard bound): cut this phase's
+    // per-phase cap down to whatever the budget still allows.
+    if (options_.max_total_rounds > 0 &&
+        result.total_rounds >= options_.max_total_rounds) {
+      return result;
+    }
+    ExplorerOptions phase_options = options_;
+    phase_options.trace_phase = phase;
+    if (options_.max_total_rounds > 0) {
+      const int remaining = options_.max_total_rounds - result.total_rounds;
+      if (remaining < phase_options.max_rounds) {
+        phase_options.max_rounds = remaining;
+      }
+    }
+    // No shared analysis cache here — that sharing is exactly what blinds
+    // the independent iterative mode to cascades. Each phase rebuilds the
+    // context over the *degraded* baseline (chain prefix pinned): sites the
+    // prefix newly exposed gain instance estimates, and observables the
+    // prefix already flipped drop out of the relevant set.
+    Explorer explorer(spec_, phase_options);
+    auto strategy = MakeFullFeedbackStrategy();
+    strategy->SeedStitchedSites(chain_state.stitched_sites);
+
+    CheckpointConfig inner;
+    inner.path = checkpoint.path;
+    inner.chain = &chain_state;
+    if (resume != nullptr) {
+      inner.resume = resume;  // only the phase the kill interrupted
+      resume = nullptr;
+    }
+    ExploreResult search = explorer.Explore(strategy.get(), inner);
+    result.total_rounds += search.rounds;
+
+    if (search.reproduced) {
+      result.reproduced = true;
+      result.chain.steps.push_back(FaultChainStep{
+          interp::InjectionCandidate{search.script->site, search.script->occurrence,
+                                     search.script->type, search.script->kind},
+          search.script->seed, search.rounds, {}});
+      if (options_.metrics != nullptr) {
+        options_.metrics->Add("chain.reproduced");
+      }
+      return result;
+    }
+    if (phase + 1 == max_chain_length) {
+      break;
+    }
+    // Budget exhausted mid-phase: behave like a kill — return without a
+    // stitch pass, so a resume from the checkpoint continues this phase.
+    if (options_.max_total_rounds > 0 &&
+        result.total_rounds >= options_.max_total_rounds) {
+      return result;
+    }
+
+    // Stitch-candidate pick. Merge the summaries restored from the
+    // checkpoint (rounds that died with the killed process) with this
+    // search's records, dedup by candidate keeping the most-promising entry,
+    // and order by (observables present desc, round asc) — the fault that
+    // moved the system closest to the production failure, earliest, gets the
+    // first stitch attempt.
+    std::vector<ChainRoundCandidate> merged = chain_state.round_candidates;
+    for (const RoundRecord& record : search.records) {
+      if (!record.injected) {
+        continue;
+      }
+      merged.push_back(
+          ChainRoundCandidate{record.candidate, record.present_observables, record.round});
+    }
+    std::vector<ChainRoundCandidate> summaries;
+    for (const ChainRoundCandidate& entry : merged) {
+      ChainRoundCandidate* existing = nullptr;
+      for (ChainRoundCandidate& summary : summaries) {
+        if (summary.candidate == entry.candidate) {
+          existing = &summary;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        summaries.push_back(entry);
+      } else if (entry.present_observables > existing->present_observables ||
+                 (entry.present_observables == existing->present_observables &&
+                  entry.round < existing->round)) {
+        *existing = entry;
+      }
+    }
+    std::stable_sort(summaries.begin(), summaries.end(),
+                     [](const ChainRoundCandidate& a, const ChainRoundCandidate& b) {
+                       if (a.present_observables != b.present_observables) {
+                         return a.present_observables > b.present_observables;
+                       }
+                       return a.round < b.round;
+                     });
+
+    bool extended = false;
+    for (const ChainRoundCandidate& summary : summaries) {
+      StitchRunResult stitch = RunChainStitch(spec_, summary.candidate, options_);
+      if (options_.metrics != nullptr) {
+        options_.metrics->Add("chain.stitch_runs");
+        if (stitch.retries > 0) {
+          options_.metrics->Add("chain.stitch_retries", stitch.retries);
+        }
+      }
+      if (stitch.demote_chain) {
+        ++result.demoted_chain_candidates;
+        if (options_.metrics != nullptr) {
+          options_.metrics->Add("chain.demoted");
+        }
+        continue;
+      }
+      // Causal stitching: accept the candidate only if pinning it genuinely
+      // moved the system — it flipped still-missing observables, or executed
+      // fault sites the degraded baseline never reached.
+      std::vector<std::string> flipped = FlippedObservables(explorer.context(), stitch.run);
+      std::vector<ir::FaultSiteId> new_sites = NewlyExecutedSites(explorer.context(), stitch.run);
+      if (flipped.empty() && new_sites.empty()) {
+        continue;
+      }
+
+      spec_.pinned_faults.push_back(summary.candidate);
+      result.chain.steps.push_back(
+          FaultChainStep{summary.candidate, spec_.base_seed, search.rounds, flipped});
+      chain_state.steps.push_back(
+          ChainStepCheckpoint{summary.candidate, spec_.base_seed, search.rounds, flipped});
+      chain_state.phase = phase + 1;
+      chain_state.rounds_before_phase += search.rounds;
+      chain_state.stitched_sites = std::move(new_sites);
+      chain_state.round_candidates.clear();
+
+      if (options_.metrics != nullptr) {
+        options_.metrics->Add("chain.stitched");
+      }
+      if (options_.tracer != nullptr) {
+        options_.tracer->Instant(
+            "explore", "chain.stitch",
+            phase_base + static_cast<int64_t>(search.rounds + 1) * obs::kRoundStride, 0,
+            {obs::ArgInt("phase", phase), obs::ArgInt("site", summary.candidate.site),
+             obs::ArgInt("occurrence", summary.candidate.occurrence),
+             obs::ArgInt("flipped", static_cast<int64_t>(
+                                        result.chain.steps.back().stitched_observables.size())),
+             obs::ArgInt("new_sites",
+                         static_cast<int64_t>(chain_state.stitched_sites.size()))});
+      }
+      extended = true;
+      break;
+    }
+    if (!extended) {
+      break;  // no injectable fault moves the degraded system any further
+    }
+  }
+  return result;
+}
+
+bool ChainExplorer::Replay(ExperimentSpec spec, const ChainResult& result) {
+  if (!result.reproduced || result.chain.steps.empty()) {
+    return false;
+  }
+  // All but the last step are pinned; the last is the window injection at
+  // its recorded seed.
+  spec.pinned_faults.clear();
+  for (size_t i = 0; i + 1 < result.chain.steps.size(); ++i) {
+    spec.pinned_faults.push_back(result.chain.steps[i].candidate);
+  }
+  const FaultChainStep& last = result.chain.steps.back();
+  ReproductionScript script;
+  script.site = last.candidate.site;
+  script.occurrence = last.candidate.occurrence;
+  script.type = last.candidate.type;
+  script.kind = last.candidate.kind;
+  script.seed = last.seed;
+  return Explorer::Replay(spec, script);
 }
 
 }  // namespace anduril::explorer

@@ -1,4 +1,5 @@
-// Iterative multi-fault reproduction (paper §3 "Assumptions" / §6).
+// Iterative multi-fault reproduction (paper §3 "Assumptions" / §6), and its
+// cascading generalization: ordered fault chains with causal stitching.
 //
 // ANDURIL injects a single fault per run, so a failure that needs several
 // causally-independent root-cause faults cannot be reproduced in one search.
@@ -12,11 +13,28 @@
 // contained the most relevant observables) into the experiment's
 // pinned_faults and restarts the search, up to `max_faults` pinned faults.
 //
-// All phases share one immutable ExplorerContext (the shared analysis
-// cache): the causal graph, distance matrix, and timeline are computed once
-// in the first phase and reused, instead of re-running the static analysis
-// per phase. The feedback loop absorbs the pinned fault's now-expected
-// observables by deprioritizing them.
+// All IterativeExplorer phases share one immutable ExplorerContext (the
+// shared analysis cache): the causal graph, distance matrix, and timeline
+// are computed once in the first phase and reused, instead of re-running the
+// static analysis per phase. The feedback loop absorbs the pinned fault's
+// now-expected observables by deprioritizing them.
+//
+// That sharing is exactly what makes IterativeExplorer blind to *cascading*
+// failures. The context's instance estimates come from the fault-free
+// baseline run, so a fault site that only executes while an earlier fault is
+// active has zero instances and is never armed — independent multi-fault
+// search provably caps out on such cases. ChainExplorer closes the gap
+// (CSnake-style): it searches an *ordered* FaultChain, rebuilding the
+// analysis context at every phase with the accepted chain prefix pinned into
+// the baseline. The degraded baseline (a) gives instances to the sites the
+// previous fault newly exposed and (b) shrinks the observable set to the
+// still-missing symptoms. Between phases it runs a *stitch run* for the most
+// promising injected candidate (prefix + candidate pinned, no window) and
+// accepts the candidate as the next chain step only if the stitch run
+// genuinely moved the system: it flipped relevant observables or executed
+// fault sites the phase baseline never reached. Those newly-executed sites
+// are the causal stitches — they seed the next phase's candidate ranking via
+// InjectionStrategy::SeedStitchedSites.
 
 #ifndef ANDURIL_SRC_EXPLORER_ITERATIVE_H_
 #define ANDURIL_SRC_EXPLORER_ITERATIVE_H_
@@ -24,6 +42,7 @@
 #include <vector>
 
 #include "src/explorer/explorer.h"
+#include "src/interp/run_result.h"
 
 namespace anduril::explorer {
 
@@ -49,6 +68,80 @@ class IterativeExplorer {
 
  private:
   ExperimentSpec spec_;  // by value: pinned_faults grows per phase
+  ExplorerOptions options_;
+};
+
+// One accepted step of an ordered fault chain. `seed` is the seed of the run
+// that validated the step: the stitch run (== base_seed) for intermediate
+// steps, the successful search round's seed for the final step.
+struct FaultChainStep {
+  interp::InjectionCandidate candidate;
+  uint64_t seed = 0;
+  int rounds = 0;  // search rounds the step's phase consumed
+  // Relevant observable keys the step's stitch run newly flipped (empty for
+  // the final step — its run satisfied the oracle outright).
+  std::vector<std::string> stitched_observables;
+  friend bool operator==(const FaultChainStep&, const FaultChainStep&) = default;
+};
+
+// An ordered sequence of faults that together reproduce a cascading
+// failure. Unlike IterativeResult's independent faults, order matters: step
+// N's candidate typically has no dynamic instance until steps 1..N-1 fired.
+struct FaultChain {
+  std::vector<FaultChainStep> steps;
+  friend bool operator==(const FaultChain&, const FaultChain&) = default;
+};
+
+struct ChainResult {
+  bool reproduced = false;
+  // On success the full ordered chain; the last step is the window injection
+  // that satisfied the oracle.
+  FaultChain chain;
+  int total_rounds = 0;
+  int phases = 0;  // searches executed (1 = single-fault success)
+  // Stitch candidates discarded because their stitch run wedged (hung or
+  // partition-stuck): a wedged intermediate step demotes the whole chain
+  // candidate, not just the step.
+  int demoted_chain_candidates = 0;
+};
+
+// Result of one chain-stitch run: the accepted chain prefix plus one
+// candidate, all pinned, no window, at the experiment's base seed.
+struct StitchRunResult {
+  interp::RunResult run;
+  // Wall-budget-kill retries burned (bounded exponential backoff; all other
+  // outcomes are deterministic and never retried).
+  int retries = 0;
+  // The run hung or got partition-stuck: extending the chain through this
+  // candidate wedges the system, so the whole chain candidate is demoted.
+  bool demote_chain = false;
+};
+
+// Executes the stitch run for `candidate` over `spec` (whose pinned_faults
+// hold the accepted chain prefix). Exposed for tests; ChainExplorer calls it
+// between phases.
+StitchRunResult RunChainStitch(const ExperimentSpec& spec,
+                               const interp::InjectionCandidate& candidate,
+                               const ExplorerOptions& options);
+
+// Ordered-chain search (header comment above). Deterministic under a fixed
+// seed at any thread count; supports checkpoint/resume mid-chain via the v3
+// chain block.
+class ChainExplorer {
+ public:
+  ChainExplorer(const ExperimentSpec& spec, const ExplorerOptions& options)
+      : spec_(spec), options_(options) {}
+
+  // Searches chains of up to `max_chain_length` steps (>= 1).
+  ChainResult Explore(int max_chain_length);
+  ChainResult Explore(int max_chain_length, const CheckpointConfig& checkpoint);
+
+  // Replays a full chain reproduction: all but the last step pinned, the
+  // last as the window injection at its recorded seed.
+  static bool Replay(ExperimentSpec spec, const ChainResult& result);
+
+ private:
+  ExperimentSpec spec_;  // by value: the accepted prefix is pinned per phase
   ExplorerOptions options_;
 };
 

@@ -42,6 +42,12 @@ constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
 // a demoted instance behind every fresh one, small enough to never overflow.
 constexpr int64_t kDemotionPenalty = 1'000'000;
 
+// Subtracted from the stage-1 F_i of a causally-stitched site (chain mode):
+// large enough to outrank any finite L+I (spatial distances are graph-sized,
+// priorities grow by the feedback adjustment per round), small enough that
+// f_values never get near overflow.
+constexpr int64_t kStitchBoost = 1'000'000'000;
+
 class FeedbackStrategyBase : public InjectionStrategy {
  public:
   void Initialize(const ExplorerContext& context) override {
@@ -140,6 +146,10 @@ class FeedbackStrategyBase : public InjectionStrategy {
 
   bool WantsLogFeedback() const override { return true; }
 
+  void SeedStitchedSites(const std::vector<ir::FaultSiteId>& sites) override {
+    stitched_sites_.insert(sites.begin(), sites.end());
+  }
+
   bool Exhausted() const override { return exhausted_; }
 
   int RankOfSite(ir::FaultSiteId site) const override {
@@ -174,6 +184,13 @@ class FeedbackStrategyBase : public InjectionStrategy {
     std::vector<size_t> order;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if ((*f_values)[i] < kInfinity) {
+        // Chain mode: a site the previous step's stitch run newly executed
+        // outranks every ordinary candidate — it is where the cascade
+        // continues — while stitched sites still order among themselves (and
+        // against each other's kinds) by their ordinary F.
+        if (stitched_sites_.count(candidates[i].site) != 0) {
+          (*f_values)[i] -= kStitchBoost;
+        }
         order.push_back(i);
       }
     }
@@ -203,6 +220,7 @@ class FeedbackStrategyBase : public InjectionStrategy {
   const ExplorerContext* context_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   FeedbackState feedback_;
+  std::unordered_set<ir::FaultSiteId> stitched_sites_;
   TriedSet tried_;
   std::unordered_map<TriedKey, int, TriedKeyHash> demotions_;
   int window_size_ = 10;

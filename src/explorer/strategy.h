@@ -85,6 +85,13 @@ class InjectionStrategy {
   // round). Coverage baselines skip that cost.
   virtual bool WantsLogFeedback() const { return false; }
 
+  // Chain mode (ChainExplorer): ranks these sites ahead of everything else
+  // for the whole search. Called at most once, before the search starts,
+  // with the sites the previous chain step's stitch run *newly* executed —
+  // the causally-stitched continuation points of the cascade. Strategies
+  // without a site ranking ignore it.
+  virtual void SeedStitchedSites(const std::vector<ir::FaultSiteId>& /*sites*/) {}
+
   // Rank (1-based) of `site` in the strategy's current candidate ordering,
   // or -1 if unranked. Used only for Fig. 6 reporting.
   virtual int RankOfSite(ir::FaultSiteId /*site*/) const { return -1; }

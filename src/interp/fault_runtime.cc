@@ -27,6 +27,18 @@ const char* FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+bool FaultKindFromName(const std::string& name, FaultKind* out) {
+  for (FaultKind kind :
+       {FaultKind::kException, FaultKind::kCrash, FaultKind::kStall, FaultKind::kDrop,
+        FaultKind::kDelay, FaultKind::kDuplicate, FaultKind::kPartition}) {
+    if (name == FaultKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 void FaultRuntime::BeginRun() {
   // Compile the fault plan: dense zeroed counters sized to the program's
   // site registry plus the armed-site bitmap over window + pinned. assign()

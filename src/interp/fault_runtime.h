@@ -60,6 +60,10 @@ enum class FaultKind : uint8_t { kException, kCrash, kStall, kDrop, kDelay, kDup
 
 const char* FaultKindName(FaultKind kind);
 
+// Inverse of FaultKindName. Returns false (leaving *out untouched) for an
+// unrecognized name — callers turn that into their own actionable error.
+bool FaultKindFromName(const std::string& name, FaultKind* out);
+
 // True for the message-layer kinds, which fire at kSend fault sites; the
 // other kinds fire at kExternal sites.
 inline bool IsNetworkFaultKind(FaultKind kind) {

@@ -1,0 +1,355 @@
+// Cascading-failure scenarios: each case's production outage is an ordered
+// fault *chain* — a first fault degrades the system onto a recovery path
+// that does not execute at all in healthy runs, and only a second fault
+// striking that recovery path produces the failure. By construction no
+// single injection reproduces any of them (BuildCase verifies this per
+// step), and a search that layers faults independently over the healthy
+// baseline can never even arm the second site: its fault-instance
+// distribution is taken from a run where the recovery path is cold.
+//
+// The three cases cover the classic cascade shapes: a retry-amplification
+// storm (exception -> exception), a quorum-loss feedback loop
+// (crash -> exception), and a partition-heal thundering herd
+// (partition -> exception).
+
+#include "src/ir/builder.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// --- casc-retry-1: retry-amplification storm (kafka flavor) ------------------
+//
+// A producer streams eight appends to the broker. A failed append queues
+// three replay entries; the retry worker drains the queue one entry per
+// tick, but a failed *replay* re-queues the entry plus one sibling
+// (amplification). One append failure alone is fully absorbed (three clean
+// drains); the storm needs a second fault inside the drain loop — which
+// never executes while appends succeed.
+void RegisterCascRetry1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "casc-retry-1";
+  c.paper_id = "x1";
+  c.system = "kafka";
+  c.title = "Log-append failure seeds a retry queue that a replay failure amplifies into a storm";
+  c.injected_fault = "IOException";
+  c.root_site = "kr.retry_append";
+  c.root_exception = "IOException";
+  c.root_occurrence = 2;
+  c.root_chain = {
+      {"kr.log_append", "IOException", 3, interp::FaultKind::kException},
+      {"kr.retry_append", "IOException", 2, interp::FaultKind::kException},
+  };
+  c.build = [](Program* p) {
+    {
+      MethodBuilder b(p, "kr.produce");
+      b.While(b.Lt("sent", 8), [&] {
+        b.Assign("sent", b.Plus("sent", 1));
+        b.Send("kr.append", "k2", ir::SendOpts{.payload = b.V("sent")});
+        b.Sleep(15);
+      });
+      b.Log(LogLevel::kInfo, "kr.producer", "producer finished, {} appends submitted",
+            {b.V("sent")});
+    }
+    {
+      MethodBuilder b(p, "kr.append");
+      b.TryCatch(
+          [&] {
+            b.External("kr.log_append", {"IOException"});
+            b.Assign("appended", b.Plus("appended", 1));
+            b.Log(LogLevel::kDebug, "kr.broker", "append {} committed", {b.V("appended")});
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "kr.broker",
+                       "append failed, queueing segment replay");
+              b.Assign("retryQueue", b.Plus("retryQueue", 3));
+            }}});
+    }
+    {
+      MethodBuilder b(p, "kr.retry_worker");
+      b.While(b.Lt("rwTick", 40), [&] {
+        b.Assign("rwTick", b.Plus("rwTick", 1));
+        b.If(b.Gt("retryQueue", 0), [&] {
+          b.TryCatch(
+              [&] {
+                b.External("kr.retry_append", {"IOException"});
+                b.Assign("retryQueue", b.Minus("retryQueue", 1));
+                b.Assign("drained", b.Plus("drained", 1));
+                b.Log(LogLevel::kInfo, "kr.broker", "retry drained, {} entries left",
+                      {b.V("retryQueue")});
+              },
+              {{"IOException",
+                [&] {
+                  b.LogExc(LogLevel::kWarn, "kr.broker",
+                           "retry replay failed, re-queueing with amplification");
+                  b.Assign("retryQueue", b.Plus("retryQueue", 2));
+                  b.Assign("amplified", b.Plus("amplified", 1));
+                  b.If(b.Gt("retryQueue", 3), [&] {
+                    b.Log(LogLevel::kError, "kr.broker",
+                          "retry storm: queue saturated at {} entries, appends stalled",
+                          {b.V("retryQueue")});
+                  });
+                }}});
+        });
+        b.Sleep(20);
+      });
+    }
+    AddNoisyServices(p, "kr", /*services=*/2, /*sites_per_service=*/2);
+    AddColdModule(p, "kr.cold", /*methods=*/2, /*sites_per_method=*/3);
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster;
+    cluster.AddNode("k1");
+    cluster.AddNode("k2");
+    cluster.AddTask("k1", "Producer", p->FindMethod("kr.produce"), 0);
+    cluster.AddTask("k2", "RetryWorker", p->FindMethod("kr.retry_worker"), 0);
+    StartNoisyServices(&cluster, p, "kr", "k1", /*services=*/2, /*rounds=*/3);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program& prog, const interp::RunResult& run) {
+    // The storm line plus at least one amplified replay: a lone append
+    // failure drains its three entries cleanly and never amplifies.
+    return run.HasLogContaining(ir::LogLevel::kError, "retry storm: queue saturated") &&
+           run.NodeVar(prog, "k2", "amplified") >= 1;
+  };
+  cases->push_back(std::move(c));
+}
+
+// --- casc-quorum-1: quorum-loss feedback loop (zookeeper flavor) -------------
+//
+// A follower applies eight transactions and acks each to the leader. An
+// IOException during an apply merely loses that one txn (7 of 8 acks keeps
+// the quorum healthy); only the follower *crashing* mid-apply starves the
+// ack counter below the degraded threshold. The leader then re-replicates
+// the backlog — a path that is cold in healthy runs — and a read failure
+// there aborts recovery: quorum lost.
+void RegisterCascQuorum1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "casc-quorum-1";
+  c.paper_id = "x2";
+  c.system = "zookeeper";
+  c.title = "Follower crash drops the quorum into re-replication, where a read failure loses it";
+  c.injected_fault = "IOException";
+  c.root_site = "zq.rereplicate";
+  c.root_exception = "IOException";
+  c.root_occurrence = 2;
+  c.root_chain = {
+      {"zq.txn_io", "", 3, interp::FaultKind::kCrash},
+      {"zq.rereplicate", "IOException", 2, interp::FaultKind::kException},
+  };
+  c.root_kind = interp::FaultKind::kException;
+  c.build = [](Program* p) {
+    {
+      MethodBuilder b(p, "zq.txn_source");
+      b.While(b.Lt("txSent", 8), [&] {
+        b.Assign("txSent", b.Plus("txSent", 1));
+        b.Send("zq.txn_apply", "qz2");
+        b.Sleep(12);
+      });
+    }
+    {
+      MethodBuilder b(p, "zq.txn_apply");
+      b.TryCatch(
+          [&] {
+            b.External("zq.txn_io", {"IOException"});
+            b.Assign("applied", b.Plus("applied", 1));
+            b.Send("zq.txn_ack", "qz1");
+          },
+          {{"IOException",
+            [&] {
+              b.LogExc(LogLevel::kWarn, "zq.follower", "transaction apply failed, txn lost");
+            }}});
+    }
+    {
+      MethodBuilder b(p, "zq.txn_ack");
+      b.Assign("acks", b.Plus("acks", 1));
+    }
+    {
+      MethodBuilder b(p, "zq.quorum_monitor");
+      b.Sleep(600);
+      b.If(
+          b.Lt("acks", 5),
+          [&] {
+            b.Log(LogLevel::kWarn, "zq.leader",
+                  "follower behind, {} of 8 txns acked - entering degraded re-replication",
+                  {b.V("acks")});
+            // backlog = 8 - acks, by repeated addition (no var-var subtract).
+            b.Assign("bkCursor", b.V("acks"));
+            b.While(b.Lt("bkCursor", 8), [&] {
+              b.Assign("bkCursor", b.Plus("bkCursor", 1));
+              b.Assign("backlog", b.Plus("backlog", 1));
+            });
+            b.While(b.Gt("backlog", 0), [&] {
+              b.TryCatch(
+                  [&] {
+                    b.External("zq.rereplicate", {"IOException"});
+                    b.Assign("backlog", b.Minus("backlog", 1));
+                    b.Assign("rereplicated", b.Plus("rereplicated", 1));
+                    b.Log(LogLevel::kInfo, "zq.leader", "re-replicated txn, {} remaining",
+                          {b.V("backlog")});
+                  },
+                  {{"IOException",
+                    [&] {
+                      b.LogExc(LogLevel::kWarn, "zq.leader",
+                               "re-replication failed under degraded quorum");
+                      b.Assign("rrFailures", b.Plus("rrFailures", 1));
+                      b.Break();
+                    }}});
+            });
+            b.If(
+                b.Gt("rrFailures", 0),
+                [&] {
+                  b.Log(LogLevel::kError, "zq.leader",
+                        "quorum lost: degraded re-replication aborted, cluster is read-only");
+                },
+                [&] {
+                  b.Log(LogLevel::kInfo, "zq.leader",
+                        "re-replication complete, quorum restored");
+                });
+          },
+          [&] {
+            b.Log(LogLevel::kInfo, "zq.leader", "quorum healthy, {} of 8 txns acked",
+                  {b.V("acks")});
+          });
+    }
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster;
+    cluster.AddNode("qz1");
+    cluster.AddNode("qz2");
+    cluster.AddTask("qz1", "TxnSource", p->FindMethod("zq.txn_source"), 0);
+    cluster.AddTask("qz1", "QuorumMonitor", p->FindMethod("zq.quorum_monitor"), 0);
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    // The recovery abort must coincide with an actually-dead follower: an
+    // apply exception alone keeps 7 acks (healthy), and a re-replication
+    // failure without the crash is unreachable.
+    return run.HasLogContaining(ir::LogLevel::kError, "quorum lost") &&
+           run.DidNodeCrash("qz2");
+  };
+  cases->push_back(std::move(c));
+}
+
+// --- casc-herd-1: partition-heal thundering herd (hdfs flavor) ---------------
+//
+// A datanode renews its lease every 30 ms; the namenode schedules a block
+// resync only when at least four renewals went missing — a single dropped,
+// delayed, or duplicated message cannot trip it, only a partition that
+// stands for several renewal periods. The link heals before the check, so
+// the resync stampede runs against the *recovered* datanode; a read failure
+// in that herd aborts recovery.
+void RegisterCascHerd1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "casc-herd-1";
+  c.paper_id = "x3";
+  c.system = "hdfs";
+  c.title = "Healed partition triggers a resync stampede that a read failure turns into an outage";
+  c.injected_fault = "IOException";
+  c.root_site = "hh.resync_read";
+  c.root_exception = "IOException";
+  c.root_occurrence = 2;
+  c.root_chain = {
+      {"send:hh.renew->hn1", "", 2, interp::FaultKind::kPartition},
+      {"hh.resync_read", "IOException", 2, interp::FaultKind::kException},
+  };
+  c.root_kind = interp::FaultKind::kException;
+  c.build = [](Program* p) {
+    {
+      MethodBuilder b(p, "hh.lease_loop");
+      b.While(b.Lt("leaseTick", 10), [&] {
+        b.Assign("leaseTick", b.Plus("leaseTick", 1));
+        b.Send("hh.renew", "hn1");
+        b.Sleep(30);
+      });
+    }
+    {
+      MethodBuilder b(p, "hh.renew");
+      b.Assign("renewals", b.Plus("renewals", 1));
+    }
+    {
+      MethodBuilder b(p, "hh.lease_monitor");
+      b.Sleep(700);
+      b.If(
+          b.Lt("renewals", 7),
+          [&] {
+            b.Log(LogLevel::kWarn, "hh.namenode",
+                  "datanode lease stale, {} of 10 renewals seen - scheduling block resync",
+                  {b.V("renewals")});
+            // backlog = 10 - renewals, by repeated addition.
+            b.Assign("rsCursor", b.V("renewals"));
+            b.While(b.Lt("rsCursor", 10), [&] {
+              b.Assign("rsCursor", b.Plus("rsCursor", 1));
+              b.Assign("rsBacklog", b.Plus("rsBacklog", 1));
+            });
+            b.While(b.Gt("rsBacklog", 0), [&] {
+              b.TryCatch(
+                  [&] {
+                    b.External("hh.resync_read", {"IOException"});
+                    b.Assign("rsBacklog", b.Minus("rsBacklog", 1));
+                    b.Assign("resynced", b.Plus("resynced", 1));
+                    b.Log(LogLevel::kInfo, "hh.namenode", "resynced block, {} remaining",
+                          {b.V("rsBacklog")});
+                  },
+                  {{"IOException",
+                    [&] {
+                      b.LogExc(LogLevel::kWarn, "hh.namenode",
+                               "resync read failed under stampede load");
+                      b.Assign("herdFailures", b.Plus("herdFailures", 1));
+                      b.Break();
+                    }}});
+            });
+            b.If(
+                b.Gt("herdFailures", 0),
+                [&] {
+                  b.Log(LogLevel::kError, "hh.namenode",
+                        "thundering herd: post-heal resync stampede aborted, blocks "
+                        "under-replicated");
+                },
+                [&] {
+                  b.Log(LogLevel::kInfo, "hh.namenode", "resync complete, lease restored");
+                });
+          },
+          [&] {
+            b.Log(LogLevel::kInfo, "hh.namenode", "lease healthy, {} renewals seen",
+                  {b.V("renewals")});
+          });
+    }
+  };
+  c.workload = [](Program* p) {
+    interp::ClusterSpec cluster;
+    cluster.AddNode("hn1");
+    cluster.AddNode("hn2");
+    cluster.AddTask("hn2", "LeaseRenewer", p->FindMethod("hh.lease_loop"), 0);
+    cluster.AddTask("hn1", "LeaseMonitor", p->FindMethod("hh.lease_monitor"), 0);
+    // A severed hn1<->hn2 link heals after five renewal periods — long
+    // enough to trip the stale-lease threshold, short enough that the herd
+    // runs after recovery.
+    cluster.partition_heal_ms = 150;
+    return cluster;
+  };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    // The herd abort must follow a partition that actually healed: the
+    // resync path is unreachable without the stale lease, and only a
+    // partition starves four-plus renewals.
+    return run.HasLogContaining(ir::LogLevel::kError, "thundering herd") &&
+           run.network.partitions_healed >= 1;
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterCascadeCases(std::vector<FailureCase>* cases) {
+  RegisterCascRetry1(cases);
+  RegisterCascQuorum1(cases);
+  RegisterCascHerd1(cases);
+}
+
+}  // namespace anduril::systems

@@ -38,11 +38,47 @@ ir::FaultSiteId FindSiteByName(const ir::Program& program, const std::string& si
 
 interp::RunResult RunOnce(const ir::Program& program, const interp::ClusterSpec& cluster,
                           uint64_t seed,
-                          const std::vector<interp::InjectionCandidate>& window) {
+                          const std::vector<interp::InjectionCandidate>& window,
+                          const std::vector<interp::InjectionCandidate>& pinned) {
   interp::FaultRuntime runtime(&program);
   runtime.SetWindow(window);
+  runtime.SetPinned(pinned);
   interp::Simulator simulator(&program, &cluster, seed, &runtime);
   return simulator.Run();
+}
+
+namespace {
+bool AnyFaultOfKind(const FailureCase& failure_case,
+                    std::initializer_list<interp::FaultKind> kinds) {
+  auto matches = [&](interp::FaultKind kind) {
+    for (interp::FaultKind k : kinds) {
+      if (kind == k) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (matches(failure_case.root_kind)) {
+    return true;
+  }
+  for (const GroundTruthStep& step : failure_case.root_chain) {
+    if (matches(step.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool NeedsCrashStallCandidates(const FailureCase& failure_case) {
+  return AnyFaultOfKind(failure_case,
+                        {interp::FaultKind::kCrash, interp::FaultKind::kStall});
+}
+
+bool NeedsNetworkCandidates(const FailureCase& failure_case) {
+  return AnyFaultOfKind(failure_case,
+                        {interp::FaultKind::kDrop, interp::FaultKind::kDelay,
+                         interp::FaultKind::kDuplicate, interp::FaultKind::kPartition});
 }
 
 namespace {
@@ -122,16 +158,30 @@ BuiltCase BuildCase(const FailureCase& failure_case, bool verify) {
                               : failure_case.workload(built.program.get());
   g_workload_scale = 1;
 
-  // Resolve the ground truth.
-  built.ground_truth.site = FindSiteByName(*built.program, failure_case.root_site);
-  built.ground_truth.occurrence = failure_case.root_occurrence;
-  built.ground_truth.kind = failure_case.root_kind;
-  if (failure_case.root_kind == interp::FaultKind::kException) {
-    built.ground_truth.type = built.program->FindException(failure_case.root_exception);
-    ANDURIL_CHECK_NE(built.ground_truth.type, ir::kInvalidId)
-        << "unknown exception " << failure_case.root_exception;
-  } else {
-    built.ground_truth.type = ir::kInvalidId;
+  // Resolve the ground truth (single fault, or every step of the chain).
+  auto resolve = [&](const std::string& site, const std::string& exception,
+                     int64_t occurrence, interp::FaultKind kind) {
+    interp::InjectionCandidate candidate;
+    candidate.site = FindSiteByName(*built.program, site);
+    candidate.occurrence = occurrence;
+    candidate.kind = kind;
+    if (kind == interp::FaultKind::kException) {
+      candidate.type = built.program->FindException(exception);
+      ANDURIL_CHECK_NE(candidate.type, ir::kInvalidId) << "unknown exception " << exception;
+    } else {
+      candidate.type = ir::kInvalidId;
+    }
+    return candidate;
+  };
+  built.ground_truth = resolve(failure_case.root_site, failure_case.root_exception,
+                               failure_case.root_occurrence, failure_case.root_kind);
+  for (const GroundTruthStep& step : failure_case.root_chain) {
+    built.ground_truth_chain.push_back(
+        resolve(step.site, step.exception, step.occurrence, step.kind));
+  }
+  if (!built.ground_truth_chain.empty()) {
+    ANDURIL_CHECK(built.ground_truth_chain.back() == built.ground_truth)
+        << failure_case.id << ": root_* fields must describe the chain's final step";
   }
 
   // The workload alone must not satisfy the oracle (§2: the failure is
@@ -143,14 +193,34 @@ BuiltCase BuildCase(const FailureCase& failure_case, bool verify) {
         << failure_case.id << ": oracle satisfied without any fault";
   }
 
-  // Generate the production failure log by injecting the ground truth.
-  interp::RunResult failure_run = RunOnce(*built.program, built.failure_cluster,
-                                          failure_case.failure_seed, {built.ground_truth});
+  // Generate the production failure log by injecting the ground truth —
+  // every chain step pinned for cascading cases, a single window otherwise.
+  interp::RunResult failure_run =
+      built.ground_truth_chain.empty()
+          ? RunOnce(*built.program, built.failure_cluster, failure_case.failure_seed,
+                    {built.ground_truth})
+          : RunOnce(*built.program, built.failure_cluster, failure_case.failure_seed,
+                    /*window=*/{}, built.ground_truth_chain);
   if (verify) {
-    ANDURIL_CHECK(failure_run.injected.has_value())
-        << failure_case.id << ": ground-truth instance never occurred";
+    if (built.ground_truth_chain.empty()) {
+      ANDURIL_CHECK(failure_run.injected.has_value())
+          << failure_case.id << ": ground-truth instance never occurred";
+    } else {
+      ANDURIL_CHECK_EQ(failure_run.pinned_fired,
+                       static_cast<int64_t>(built.ground_truth_chain.size()))
+          << failure_case.id << ": not every chain step fired in the failure run";
+    }
     ANDURIL_CHECK(failure_case.oracle(*built.program, failure_run))
         << failure_case.id << ": ground truth does not reproduce the failure";
+    // Chain-only property: no individual step may reproduce the failure on
+    // its own — the cascade genuinely requires the ordered sequence.
+    for (size_t s = 0; s < built.ground_truth_chain.size(); ++s) {
+      interp::RunResult solo =
+          RunOnce(*built.program, built.failure_cluster, failure_case.failure_seed,
+                  /*window=*/{}, {built.ground_truth_chain[s]});
+      ANDURIL_CHECK(!failure_case.oracle(*built.program, solo))
+          << failure_case.id << ": chain step " << s << " reproduces the failure alone";
+    }
   }
   built.failure_log_text = interp::FormatLogFile(failure_run.log);
 
@@ -195,9 +265,18 @@ const std::vector<FailureCase>& NetworkCases() {
   return *cases;
 }
 
+const std::vector<FailureCase>& CascadeCases() {
+  static const std::vector<FailureCase>* cases = [] {
+    auto* all = new std::vector<FailureCase>();
+    RegisterCascadeCases(all);
+    return all;
+  }();
+  return *cases;
+}
+
 const FailureCase* FindCase(const std::string& id) {
   for (const std::vector<FailureCase>* registry :
-       {&AllCases(), &CrashStallCases(), &NetworkCases()}) {
+       {&AllCases(), &CrashStallCases(), &NetworkCases(), &CascadeCases()}) {
     for (const FailureCase& failure_case : *registry) {
       if (failure_case.id == id || failure_case.paper_id == id) {
         return &failure_case;

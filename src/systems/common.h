@@ -25,6 +25,15 @@
 
 namespace anduril::systems {
 
+// One step of a multi-fault ground-truth chain (cascading failures). Site
+// naming follows the same conventions as FailureCase::root_site.
+struct GroundTruthStep {
+  std::string site;
+  std::string exception;  // empty for non-exception kinds
+  int64_t occurrence = 1;
+  interp::FaultKind kind = interp::FaultKind::kException;
+};
+
 struct FailureCase {
   std::string id;        // e.g. "zk-2247"
   std::string paper_id;  // e.g. "f1"
@@ -43,6 +52,14 @@ struct FailureCase {
   int64_t root_occurrence = 1;
   interp::FaultKind root_kind = interp::FaultKind::kException;
 
+  // Cascading cases: an *ordered* ground-truth fault chain. When non-empty,
+  // the production failure is reproduced by injecting every step of the
+  // chain in one run (earlier steps pinned, the last step windowed), and the
+  // root_* fields above must describe the FINAL step. BuildCase verifies the
+  // chain-only property: the full chain satisfies the oracle while each
+  // individual step alone does not.
+  std::vector<GroundTruthStep> root_chain;
+
   uint64_t failure_seed = 9001;  // "production" run seed
   uint64_t explore_seed = 1;     // base seed for exploration runs
 
@@ -60,6 +77,9 @@ struct BuiltCase {
   interp::ClusterSpec cluster;          // exploration workload
   interp::ClusterSpec failure_cluster;  // production workload
   interp::InjectionCandidate ground_truth;
+  // Resolved root_chain (empty for single-fault cases). When non-empty, the
+  // last entry equals ground_truth.
+  std::vector<interp::InjectionCandidate> ground_truth_chain;
   std::string failure_log_text;
   explorer::ExperimentSpec spec;  // points at program/cluster above
 };
@@ -75,10 +95,18 @@ BuiltCase BuildCase(const FailureCase& failure_case, bool verify = true);
 ir::FaultSiteId FindSiteByName(const ir::Program& program, const std::string& site_name);
 
 // Runs one simulation of the case's cluster with an optional single
-// injection; used by BuildCase and by tests.
+// injection window and optional pinned (unconditional) faults; used by
+// BuildCase and by tests.
 interp::RunResult RunOnce(const ir::Program& program, const interp::ClusterSpec& cluster,
                           uint64_t seed,
-                          const std::vector<interp::InjectionCandidate>& window = {});
+                          const std::vector<interp::InjectionCandidate>& window = {},
+                          const std::vector<interp::InjectionCandidate>& pinned = {});
+
+// Candidate-space requirements of a case, derived from the root kind and
+// every chain-step kind. Tests and tools use these to set
+// ExplorerOptions::crash_stall_candidates / ::network_candidates.
+bool NeedsCrashStallCandidates(const FailureCase& failure_case);
+bool NeedsNetworkCandidates(const FailureCase& failure_case);
 
 // Registers the standard exception hierarchy every system uses.
 void RegisterStandardExceptions(ir::Program* program);
@@ -124,8 +152,17 @@ const std::vector<FailureCase>& CrashStallCases();
 // ExplorerOptions::network_candidates = true.
 const std::vector<FailureCase>& NetworkCases();
 
+// Cascading-failure scenarios: each is reproduced only by an ordered
+// *sequence* of faults (root_chain), never by any single injection — the
+// later faults strike code paths that only execute while the earlier
+// degradation is live. Searches over these need chain mode
+// (explorer::ChainExplorer) plus whatever candidate kinds the chain uses
+// (see NeedsCrashStallCandidates / NeedsNetworkCandidates).
+const std::vector<FailureCase>& CascadeCases();
+
 // Lookup by id ("zk-2247") or paper id ("f1") across AllCases,
-// CrashStallCases, and NetworkCases. Returns nullptr if unknown.
+// CrashStallCases, NetworkCases, and CascadeCases. Returns nullptr if
+// unknown.
 const FailureCase* FindCase(const std::string& id);
 
 // Per-system registration functions (defined in the system modules).
@@ -140,6 +177,8 @@ void RegisterHdfsStallCases(std::vector<FailureCase>* cases);
 // Network-rooted scenarios (drop/delay/duplicate/partition).
 void RegisterZooKeeperNetworkCases(std::vector<FailureCase>* cases);
 void RegisterHdfsNetworkCases(std::vector<FailureCase>* cases);
+// Cascading fault-chain scenarios (defined in cascade.cc).
+void RegisterCascadeCases(std::vector<FailureCase>* cases);
 
 }  // namespace anduril::systems
 

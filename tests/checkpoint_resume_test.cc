@@ -59,6 +59,19 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
       interp::InjectionCandidate{9, 3, ir::kInvalidId, interp::FaultKind::kDuplicate});
   snap.strategy.demotions.push_back(
       {interp::InjectionCandidate{8, 4, ir::kInvalidId, interp::FaultKind::kStall}, 2});
+  // v3 chain block: an accepted two-step prefix mid-search.
+  snap.chain.steps.push_back(ChainStepCheckpoint{
+      interp::InjectionCandidate{3, 9, 2, interp::FaultKind::kException},
+      (1ull << 62) + 5,
+      20,
+      {"ERROR append failed", "WARN retry queued"}});
+  snap.chain.steps.push_back(ChainStepCheckpoint{
+      interp::InjectionCandidate{5, 1, ir::kInvalidId, interp::FaultKind::kCrash}, 1, 13, {}});
+  snap.chain.phase = 2;
+  snap.chain.rounds_before_phase = 33;
+  snap.chain.stitched_sites = {7, 11};
+  snap.chain.round_candidates.push_back(ChainRoundCandidate{
+      interp::InjectionCandidate{9, 3, ir::kInvalidId, interp::FaultKind::kDelay}, 4, 17});
 
   std::string text = SerializeCheckpoint(snap);
   SearchCheckpoint parsed;
@@ -91,6 +104,8 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
   ASSERT_EQ(parsed.strategy.demotions.size(), 1u);
   EXPECT_EQ(parsed.strategy.demotions[0].candidate, snap.strategy.demotions[0].candidate);
   EXPECT_EQ(parsed.strategy.demotions[0].count, snap.strategy.demotions[0].count);
+  EXPECT_EQ(parsed.chain, snap.chain);
+  EXPECT_EQ(parsed.chain_signature_hash, ChainSignatureHash(snap.chain));
 
   // Serialization is canonical: re-serializing the parse is byte-identical.
   EXPECT_EQ(SerializeCheckpoint(parsed), text);
@@ -126,9 +141,57 @@ TEST(CheckpointTest, RejectsVersion1FileWithActionableError) {
   std::string error;
   EXPECT_FALSE(ParseCheckpoint(v1_text, &out, &error));
   EXPECT_NE(error.find("version 1"), std::string::npos) << error;
-  EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
   EXPECT_NE(error.find("delete"), std::string::npos)
       << "error must be actionable: " << error;
+}
+
+TEST(CheckpointTest, RejectsVersion2FileWithChainStateWithActionableError) {
+  // A pre-release chain build that wrote chain state without bumping the
+  // schema version. Resuming it as plain v2 would silently drop the accepted
+  // chain prefix, so the parser must refuse with a chain-specific message —
+  // not the generic version mismatch.
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(R"({"version": 2, "chain": {"steps": []}})", &out, &error));
+  EXPECT_NE(error.find("version 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("fault-chain state"), std::string::npos) << error;
+  EXPECT_NE(error.find("delete"), std::string::npos)
+      << "error must be actionable: " << error;
+}
+
+TEST(CheckpointTest, RejectsTamperedChainSignatureHash) {
+  SearchCheckpoint snap;
+  snap.chain.steps.push_back(ChainStepCheckpoint{
+      interp::InjectionCandidate{3, 9, 2, interp::FaultKind::kException}, 1, 20, {"obs"}});
+  std::string text = SerializeCheckpoint(snap);
+  // Flip one digit of the recorded hash: the chain state no longer matches.
+  const std::string key = "\"chain_signature_hash\": \"";
+  size_t pos = text.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  pos += key.size();
+  text[pos] = text[pos] == '1' ? '2' : '1';
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(text, &out, &error));
+  EXPECT_NE(error.find("chain signature hash mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("delete"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, RejectsTamperedChainStep) {
+  // Editing the chain block itself (not the hash) must fail the same check:
+  // the recomputed hash diverges from the recorded one.
+  SearchCheckpoint snap;
+  snap.chain.steps.push_back(ChainStepCheckpoint{
+      interp::InjectionCandidate{3, 777, 2, interp::FaultKind::kException}, 1, 20, {}});
+  std::string text = SerializeCheckpoint(snap);
+  size_t pos = text.find("777");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, "778");
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(text, &out, &error));
+  EXPECT_NE(error.find("chain signature hash mismatch"), std::string::npos) << error;
 }
 
 TEST(CheckpointTest, ParseRejectsUnknownFaultKind) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/explorer/iterative.h"
 #include "src/interp/log_entry.h"
 #include "src/interp/simulator.h"
 #include "src/ir/builder.h"
@@ -313,6 +314,69 @@ TEST_F(HardenedRuntimeTest, CrashAndNetworkDropFaultsCompose) {
   // (message 5): three completions despite ten sends.
   EXPECT_EQ(Var(result, "handled", "n2"), 3);
   EXPECT_TRUE(result.DidNodeCrash("n2"));
+}
+
+// --- chain-stitch runs: retry policy and whole-chain demotion -------------------
+
+TEST_F(HardenedRuntimeTest, ChainStitchRetriesWallBudgetKillsWithBoundedBackoff) {
+  // A workload that reliably trips the 1ms wall-clock watchdog, with a fault
+  // site so the stitch has something to pin.
+  {
+    MethodBuilder b(&program_, "spin");
+    b.While(b.Lt("i", 900'000), [&] { b.Assign("i", b.Plus("i", 1)); });
+    b.External("op", {"IOException"});  // never reached: the watchdog fires first
+  }
+  program_.Finalize();
+  cluster_.AddNode("n1");
+  cluster_.AddNode("n2");
+  cluster_.AddTask("n1", "main", program_.FindMethod("spin"), 0);
+  cluster_.wall_budget_ms = 1;
+
+  explorer::ExperimentSpec spec;
+  spec.program = &program_;
+  spec.cluster = &cluster_;
+  explorer::ExplorerOptions options;
+  options.max_run_retries = 3;
+  options.retry_initial_delay_ms = 1;
+  options.retry_max_delay_ms = 2;
+  ir::ExceptionTypeId io = program_.FindException("IOException");
+  explorer::StitchRunResult stitch =
+      explorer::RunChainStitch(spec, InjectionCandidate{Site("op"), 1, io}, options);
+  EXPECT_TRUE(stitch.run.hit_wall_budget);
+  EXPECT_EQ(stitch.run.outcome, RunOutcome::kBudgetExceeded);
+  // The stitch reuses the same bounded exponential backoff as search rounds:
+  // exactly max_run_retries re-executions of the wall-budget-killed run,
+  // then it gives up rather than spinning forever.
+  EXPECT_EQ(stitch.retries, options.max_run_retries);
+  // A budget kill is environmental, not a wedge: the chain candidate lives.
+  EXPECT_FALSE(stitch.demote_chain);
+}
+
+TEST_F(HardenedRuntimeTest, WedgedStitchRunDemotesWholeChainCandidate) {
+  BuildPipeline(10);
+  program_.Finalize();
+  cluster_.AddNode("n1");
+  cluster_.AddNode("n2");
+  cluster_.AddTask("n1", "main", program_.FindMethod("pump"), 0);
+
+  explorer::ExperimentSpec spec;
+  spec.program = &program_;
+  spec.cluster = &cluster_;
+  // The accepted chain prefix: a message-drop step is already pinned.
+  spec.pinned_faults.push_back(
+      InjectionCandidate{Site("send:handler->n2"), 2, ir::kInvalidId, FaultKind::kDrop});
+  // Candidate under stitch: a stall that wedges the degraded pipeline.
+  explorer::StitchRunResult stitch = explorer::RunChainStitch(
+      spec, InjectionCandidate{Site("h_op"), 4, ir::kInvalidId, FaultKind::kStall},
+      explorer::ExplorerOptions{});
+  EXPECT_EQ(stitch.run.outcome, RunOutcome::kHung);
+  // Prefix and candidate both fired in the same ordered run.
+  EXPECT_EQ(stitch.run.pinned_fired, 2);
+  // A hung intermediate step condemns the *whole* chain candidate — the
+  // explorer drops it instead of searching continuations on a wedged system.
+  EXPECT_TRUE(stitch.demote_chain);
+  // Hangs are deterministic outcomes, never retried as transient.
+  EXPECT_EQ(stitch.retries, 0);
 }
 
 // --- determinism of the new kinds ----------------------------------------------

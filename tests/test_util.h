@@ -77,16 +77,16 @@ inline std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-// Options whose candidate space can reach the case's root fault: crash/stall
-// kinds for crash- and stall-rooted cases, message-layer kinds for
-// network-rooted ones, the stock exception space otherwise.
+// Options whose candidate space can reach the case's ground-truth faults:
+// crash/stall kinds for cases with a crash- or stall fault anywhere in the
+// chain, message-layer kinds for network faults, the stock exception space
+// otherwise.
 inline ExplorerOptions OptionsForCase(const systems::FailureCase& failure_case,
                                       int threads = 1) {
   ExplorerOptions options;
   options.num_threads = threads;
-  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
-                                   failure_case.root_kind == interp::FaultKind::kStall;
-  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
+  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(failure_case);
+  options.network_candidates = systems::NeedsNetworkCandidates(failure_case);
   return options;
 }
 

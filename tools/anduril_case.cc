@@ -14,10 +14,20 @@
 //       chrome://tracing or Perfetto), or compact JSONL when the path ends
 //       in ".jsonl". --metrics-out writes the metrics registry (counters,
 //       gauges, histograms) as JSON.
+//   anduril_case chain <case> [max_chain_length] [max_rounds]
+//                      [--checkpoint=<path>] [--resume] [--signature-out=<path>]
+//       Ordered-fault-chain search (ChainExplorer): per-phase context rebuild
+//       with the accepted prefix pinned, causal stitching between phases.
+//       --signature-out writes the minimized fault signature of a successful
+//       reproduction; --checkpoint/--resume use the v3 chain checkpoint.
 //   anduril_case replay <case> <occurrence> <seed>
 //       Inject the case's ground-truth site at a chosen occurrence/seed and
 //       dump the resulting log — the tool for studying a scenario's timing
 //       window.
+//   anduril_case replay <case> --signature=<path>
+//       Re-execute a fault signature deterministically: one run, zero search
+//       rounds. Exits nonzero when the oracle (or an oracle key) fails to
+//       fire — the CI guard for committed signatures.
 //   anduril_case graph <case> [max_nodes] [--graph-out=<path>]
 //       Emit the causal graph in Graphviz DOT — to stdout, or to the
 //       --graph-out path (the same flag anduril_lint accepts).
@@ -31,6 +41,8 @@
 
 #include "src/analysis/graph_export.h"
 #include "src/explorer/explorer.h"
+#include "src/explorer/iterative.h"
+#include "src/explorer/signature.h"
 #include "src/interp/log_entry.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -52,7 +64,13 @@ int Usage() {
       "                          ends in \".jsonl\"\n"
       "           --metrics-out: write the metrics registry (counters, gauges,\n"
       "                          histograms) as JSON\n"
+      "       anduril_case chain <case> [max_chain_length] [max_rounds] "
+      "[--checkpoint=<path>]\n"
+      "                    [--resume] [--signature-out=<path>]\n"
+      "           chain search for cascading failures; --signature-out writes the\n"
+      "           minimized fault signature of a successful reproduction\n"
       "       anduril_case replay <case> <occurrence> <seed>\n"
+      "       anduril_case replay <case> --signature=<path>\n"
       "       anduril_case graph <case> [max_nodes] [--graph-out=<path>]\n");
   return 2;
 }
@@ -70,6 +88,11 @@ int List() {
                   failure_case.paper_id.c_str(), failure_case.system.c_str(),
                   failure_case.title.c_str(), interp::FaultKindName(failure_case.root_kind));
     }
+  }
+  for (const systems::FailureCase& failure_case : systems::CascadeCases()) {
+    std::printf("%-10s %-5s %-10s %s [chain:%zu]\n", failure_case.id.c_str(),
+                failure_case.paper_id.c_str(), failure_case.system.c_str(),
+                failure_case.title.c_str(), failure_case.root_chain.size());
   }
   return 0;
 }
@@ -137,11 +160,11 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
   explorer::ExplorerOptions options;
   options.max_rounds = max_rounds;
   options.track_site = built.ground_truth.site;
-  // Crash/stall- and network-rooted cases are only reachable with their
-  // extended candidate spaces; exception-rooted cases keep the stock space.
-  options.crash_stall_candidates = failure_case->root_kind == interp::FaultKind::kCrash ||
-                                   failure_case->root_kind == interp::FaultKind::kStall;
-  options.network_candidates = interp::IsNetworkFaultKind(failure_case->root_kind);
+  // Crash/stall- and network-rooted cases (anywhere in the ground-truth
+  // chain) are only reachable with their extended candidate spaces;
+  // exception-rooted cases keep the stock space.
+  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(*failure_case);
+  options.network_candidates = systems::NeedsNetworkCandidates(*failure_case);
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   if (!trace_path.empty()) {
@@ -218,6 +241,144 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
   return 0;
 }
 
+int ChainCase(const std::string& id, int max_chain_length, int max_rounds,
+              const std::string& checkpoint_path, bool resume,
+              const std::string& signature_out, const std::string& trace_path,
+              const std::string& metrics_path) {
+  const systems::FailureCase* failure_case = Lookup(id);
+  if (failure_case == nullptr) {
+    return 1;
+  }
+  systems::BuiltCase built = systems::BuildCase(*failure_case);
+  explorer::ExplorerOptions options;
+  options.max_rounds = max_rounds;
+  options.track_site = built.ground_truth.site;
+  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(*failure_case);
+  options.network_candidates = systems::NeedsNetworkCandidates(*failure_case);
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (!trace_path.empty()) {
+    options.tracer = &tracer;
+  }
+  if (!metrics_path.empty()) {
+    options.metrics = &metrics;
+  }
+
+  explorer::CheckpointConfig checkpoint;
+  checkpoint.path = checkpoint_path;
+  explorer::SearchCheckpoint resumed;
+  if (resume) {
+    if (checkpoint_path.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint=<path>\n");
+      return 2;
+    }
+    std::string error;
+    if (!explorer::LoadCheckpointFile(checkpoint_path, &resumed, &error)) {
+      std::fprintf(stderr, "cannot resume: %s\n", error.c_str());
+      return 1;
+    }
+    checkpoint.resume = &resumed;
+    std::printf("resuming chain search: phase %d, %d steps accepted, round %d (%s)\n",
+                resumed.chain.phase, static_cast<int>(resumed.chain.steps.size()),
+                resumed.rounds_completed + 1, checkpoint_path.c_str());
+  }
+
+  explorer::ChainExplorer ex(built.spec, options);
+  explorer::ChainResult result = ex.Explore(max_chain_length, checkpoint);
+  if (!trace_path.empty()) {
+    const bool jsonl = trace_path.size() >= 6 &&
+                       trace_path.compare(trace_path.size() - 6, 6, ".jsonl") == 0;
+    const std::string text = jsonl ? tracer.DumpJsonl(/*include_wall=*/true)
+                                   : tracer.DumpChromeTrace(/*include_wall=*/true);
+    if (!WriteTextFile(trace_path, text, "trace")) {
+      return 1;
+    }
+    std::printf("trace: %zu events -> %s (%s)\n", tracer.event_count(), trace_path.c_str(),
+                jsonl ? "jsonl" : "chrome trace_event");
+  }
+  if (!metrics_path.empty()) {
+    if (!WriteTextFile(metrics_path, metrics.DumpJson(), "metrics")) {
+      return 1;
+    }
+    std::printf("metrics: -> %s\n", metrics_path.c_str());
+  }
+  std::printf("phases: %d, total rounds: %d, demoted chain candidates: %d\n", result.phases,
+              result.total_rounds, result.demoted_chain_candidates);
+  for (size_t i = 0; i < result.chain.steps.size(); ++i) {
+    const explorer::FaultChainStep& step = result.chain.steps[i];
+    const char* what = step.candidate.kind == interp::FaultKind::kException
+                           ? built.program->exception_type(step.candidate.type).name.c_str()
+                           : interp::FaultKindName(step.candidate.kind);
+    std::printf("  step %zu: %s, %s at occurrence %lld (seed %llu, %d rounds",
+                i + 1, built.program->fault_site(step.candidate.site).name.c_str(), what,
+                static_cast<long long>(step.candidate.occurrence),
+                static_cast<unsigned long long>(step.seed), step.rounds);
+    if (!step.stitched_observables.empty()) {
+      std::printf(", flipped %zu observables", step.stitched_observables.size());
+    }
+    std::printf(")\n");
+  }
+  if (!result.reproduced) {
+    std::printf("NOT reproduced: chain capped at %zu steps within %d rounds/phase\n",
+                result.chain.steps.size(), max_rounds);
+    return 1;
+  }
+  std::printf("reproduced: %zu-step chain, %d total rounds\n", result.chain.steps.size(),
+              result.total_rounds);
+  if (!signature_out.empty()) {
+    explorer::FaultSignature signature =
+        explorer::BuildSignature(built.spec, failure_case->id, result);
+    int replays = 0;
+    signature = explorer::MinimizeSignature(built.spec, std::move(signature), &replays);
+    if (!explorer::SaveSignatureFile(signature_out, signature)) {
+      std::fprintf(stderr, "cannot write signature to %s\n", signature_out.c_str());
+      return 1;
+    }
+    std::printf("signature: %zu steps, %zu tasks, %zu methods (%d minimization replays) -> %s\n",
+                signature.steps.size(), signature.retained_tasks.size(),
+                signature.ir_methods.size(), replays, signature_out.c_str());
+  }
+  return 0;
+}
+
+int ReplayFromSignature(const std::string& id, const std::string& signature_path) {
+  const systems::FailureCase* failure_case = Lookup(id);
+  if (failure_case == nullptr) {
+    return 1;
+  }
+  explorer::FaultSignature signature;
+  std::string error;
+  if (!explorer::LoadSignatureFile(signature_path, &signature, &error)) {
+    std::fprintf(stderr, "cannot load signature: %s\n", error.c_str());
+    return 1;
+  }
+  if (signature.case_id != failure_case->id) {
+    std::fprintf(stderr, "signature %s was emitted for case %s, not %s\n",
+                 signature_path.c_str(), signature.case_id.c_str(), failure_case->id.c_str());
+    return 1;
+  }
+  // verify=false: a signature replay must not depend on re-running the
+  // search-side verification sweeps — it is one deterministic run.
+  systems::BuiltCase built = systems::BuildCase(*failure_case, /*verify=*/false);
+  explorer::SignatureReplay replay = explorer::ReplaySignature(built.spec, signature);
+  if (!replay.error.empty()) {
+    std::fprintf(stderr, "signature replay failed: %s\n", replay.error.c_str());
+    return 1;
+  }
+  std::printf("signature: %zu steps, %zu tasks, %zu methods, %s\n", signature.steps.size(),
+              signature.retained_tasks.size(), signature.ir_methods.size(),
+              signature.minimized ? "minimized" : "unminimized");
+  std::printf("%s", interp::FormatLogFile(replay.run.log).c_str());
+  std::printf("run outcome: %s\n", interp::RunOutcomeName(replay.run.outcome));
+  if (!replay.fired) {
+    std::printf("signature did NOT fire (oracle or oracle keys missing)\n");
+    return 1;
+  }
+  std::printf("signature fired: oracle and all %zu oracle keys present, zero search rounds\n",
+              signature.oracle_keys.size());
+  return 0;
+}
+
 int Replay(const std::string& id, int64_t occurrence, uint64_t seed) {
   const systems::FailureCase* failure_case = Lookup(id);
   if (failure_case == nullptr) {
@@ -286,11 +447,17 @@ int Main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string graph_out;
+  std::string signature_path;
+  std::string signature_out;
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--checkpoint=", 0) == 0) {
       checkpoint_path = arg.substr(std::string("--checkpoint=").size());
+    } else if (arg.rfind("--signature=", 0) == 0) {
+      signature_path = arg.substr(std::string("--signature=").size());
+    } else if (arg.rfind("--signature-out=", 0) == 0) {
+      signature_out = arg.substr(std::string("--signature-out=").size());
     } else if (arg.rfind("--graph-out=", 0) == 0) {
       graph_out = arg.substr(std::string("--graph-out=").size());
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -321,6 +488,14 @@ int Main(int argc, char** argv) {
     return RunCase(id, args.size() > 2 ? args[2] : "full",
                    args.size() > 3 ? std::atoi(args[3].c_str()) : 1500, checkpoint_path,
                    resume, trace_path, metrics_path);
+  }
+  if (command == "chain") {
+    return ChainCase(id, args.size() > 2 ? std::atoi(args[2].c_str()) : 4,
+                     args.size() > 3 ? std::atoi(args[3].c_str()) : 1500, checkpoint_path,
+                     resume, signature_out, trace_path, metrics_path);
+  }
+  if (command == "replay" && !signature_path.empty()) {
+    return ReplayFromSignature(id, signature_path);
   }
   if (command == "replay" && args.size() >= 4) {
     return Replay(id, std::atoll(args[2].c_str()),

@@ -7,9 +7,9 @@
 //       machine-readable report; --graph-out writes the causal graph in
 //       Graphviz DOT (same flag as anduril_case).
 //   anduril_lint all [--json]
-//       Lint every registered case (exception, crash/stall, and network
-//       registries). Prints one summary line per case; exits nonzero if any
-//       case has lint errors.
+//       Lint every registered case (exception, crash/stall, network, and
+//       cascade registries). Prints one summary line per case; exits nonzero
+//       if any case has lint errors.
 //   anduril_lint soundness <case|all> [max_candidates]
 //       Causal-soundness cross-validation: replay each exception candidate
 //       on the simulator and check every dynamically-observed
@@ -49,7 +49,8 @@ int Usage() {
 std::vector<const systems::FailureCase*> EveryCase() {
   std::vector<const systems::FailureCase*> cases;
   for (const std::vector<systems::FailureCase>* registry :
-       {&systems::AllCases(), &systems::CrashStallCases(), &systems::NetworkCases()}) {
+       {&systems::AllCases(), &systems::CrashStallCases(), &systems::NetworkCases(),
+        &systems::CascadeCases()}) {
     for (const systems::FailureCase& failure_case : *registry) {
       cases.push_back(&failure_case);
     }
@@ -82,9 +83,10 @@ analysis::LintEnvironment EnvironmentOf(const systems::BuiltCase& built) {
 
 explorer::ExplorerOptions OptionsFor(const systems::FailureCase& failure_case) {
   explorer::ExplorerOptions options;
-  options.crash_stall_candidates = failure_case.root_kind == interp::FaultKind::kCrash ||
-                                   failure_case.root_kind == interp::FaultKind::kStall;
-  options.network_candidates = interp::IsNetworkFaultKind(failure_case.root_kind);
+  // Chain-aware: a cascade case's crash/stall or network fault may sit
+  // anywhere in its ground-truth chain, not just at the root.
+  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(failure_case);
+  options.network_candidates = systems::NeedsNetworkCandidates(failure_case);
   return options;
 }
 
