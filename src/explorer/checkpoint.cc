@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/hash.h"
 #include "src/util/json.h"
 #include "src/util/strings.h"
 
@@ -59,55 +60,32 @@ bool CandidateFromJson(const JsonValue& value, interp::InjectionCandidate* out,
 }  // namespace
 
 uint64_t ChainSignatureHash(const ChainState& chain) {
-  uint64_t hash = 1469598103934665603ull;
-  auto mix_byte = [&hash](unsigned char c) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  };
-  auto mix_int = [&](int64_t value) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      mix_byte(static_cast<unsigned char>((static_cast<uint64_t>(value) >> shift) & 0xFF));
-    }
-  };
-  auto mix_str = [&](const std::string& text) {
-    for (unsigned char c : text) {
-      mix_byte(c);
-    }
-    mix_byte(0xFF);
-  };
+  Fnv1aHasher hasher;
   for (const ChainStepCheckpoint& step : chain.steps) {
-    mix_int(step.candidate.site);
-    mix_int(step.candidate.occurrence);
-    mix_int(step.candidate.type);
-    mix_int(static_cast<int64_t>(step.candidate.kind));
-    mix_int(static_cast<int64_t>(step.seed));
-    mix_int(step.rounds);
+    hasher.MixInt(step.candidate.site);
+    hasher.MixInt(step.candidate.occurrence);
+    hasher.MixInt(step.candidate.type);
+    hasher.MixInt(static_cast<int64_t>(step.candidate.kind));
+    hasher.MixInt(static_cast<int64_t>(step.seed));
+    hasher.MixInt(step.rounds);
     for (const std::string& key : step.stitched_observables) {
-      mix_str(key);
+      hasher.MixStr(key);
     }
-    mix_byte(0xFE);
+    hasher.MixSeparator();
   }
-  return hash;
+  return hasher.hash();
 }
 
 uint64_t ProgramFingerprint(const ir::Program& program) {
   // FNV-1a over the fault-site and exception-type names, in id order.
-  uint64_t hash = 1469598103934665603ull;
-  auto mix = [&hash](const std::string& text) {
-    for (unsigned char c : text) {
-      hash ^= c;
-      hash *= 1099511628211ull;
-    }
-    hash ^= 0xFF;
-    hash *= 1099511628211ull;
-  };
+  Fnv1aHasher hasher;
   for (const ir::FaultSite& site : program.fault_sites()) {
-    mix(site.name);
+    hasher.MixStr(site.name);
   }
   for (size_t i = 0; i < program.exception_type_count(); ++i) {
-    mix(program.exception_type(static_cast<ir::ExceptionTypeId>(i)).name);
+    hasher.MixStr(program.exception_type(static_cast<ir::ExceptionTypeId>(i)).name);
   }
-  return hash;
+  return hasher.hash();
 }
 
 std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint) {

@@ -5,6 +5,7 @@
 #ifndef ANDURIL_SRC_EXPLORER_EXPERIMENT_H_
 #define ANDURIL_SRC_EXPLORER_EXPERIMENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -125,6 +126,13 @@ struct ExplorerOptions {
   // logical quantities whose accumulation is commutative.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Cooperative cancellation, checked at round (and chain-phase) boundaries:
+  // when the pointee becomes true the search stops *between* rounds, with the
+  // latest checkpoint already flushed, and the result reports interrupted.
+  // Signal handlers (anduril_case, the service worker's SIGTERM drain) set
+  // the flag; null = never cancelled. Rounds are atomic: a cancelled search
+  // never loses a finished round and never checkpoints a half round.
+  const std::atomic<bool>* cancel = nullptr;
   // Logical-timeline phase offset (iterative multi-fault mode sets it to the
   // phase index so each phase's rounds occupy a disjoint trace range).
   int trace_phase = 0;

@@ -377,6 +377,12 @@ ExploreResult Explorer::Explore(InjectionStrategy* strategy, const CheckpointCon
   };
 
   for (int round = first_round; round <= options_.max_rounds; ++round) {
+    // Cooperative drain: stop between rounds. The previous round's checkpoint
+    // is already on disk, so a resume continues byte-identically from here.
+    if (options_.cancel != nullptr && options_.cancel->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
     Stopwatch decide_timer;
     std::vector<interp::InjectionCandidate> window = strategy->NextWindow();
     double decide_seconds = decide_timer.ElapsedSeconds();

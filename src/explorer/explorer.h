@@ -61,6 +61,10 @@ struct ReproductionScript {
 
 struct ExploreResult {
   bool reproduced = false;
+  // The search stopped at a round boundary because ExplorerOptions::cancel
+  // flipped (SIGTERM/SIGINT drain): not reproduced, not exhausted — resume
+  // from the checkpoint continues exactly where it stopped.
+  bool interrupted = false;
   int rounds = 0;  // rounds executed (== index of the successful round)
   double total_seconds = 0;
   double init_seconds = 0;

@@ -253,6 +253,12 @@ ChainResult ChainExplorer::Explore(int max_chain_length, const CheckpointConfig&
     ExploreResult search = explorer.Explore(strategy.get(), inner);
     result.total_rounds += search.rounds;
 
+    // Cooperative drain mid-phase: behave exactly like a kill — return with
+    // the checkpoint as the inner explorer last flushed it, no stitch pass.
+    if (search.interrupted) {
+      result.interrupted = true;
+      return result;
+    }
     if (search.reproduced) {
       result.reproduced = true;
       result.chain.steps.push_back(FaultChainStep{

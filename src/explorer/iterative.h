@@ -94,6 +94,9 @@ struct FaultChain {
 
 struct ChainResult {
   bool reproduced = false;
+  // ExplorerOptions::cancel flipped mid-search: the chain search stopped at a
+  // round boundary (checkpoint flushed, like a kill) and can be resumed.
+  bool interrupted = false;
   // On success the full ordered chain; the last step is the window injection
   // that satisfied the oracle.
   FaultChain chain;

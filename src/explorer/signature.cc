@@ -12,6 +12,7 @@
 #include "src/interp/simulator.h"
 #include "src/logdiff/compare.h"
 #include "src/util/check.h"
+#include "src/util/hash.h"
 #include "src/util/json.h"
 #include "src/util/strings.h"
 
@@ -116,13 +117,7 @@ JsonValue SignatureToJson(const FaultSignature& signature) {
 }
 
 uint64_t ContentHash(const FaultSignature& signature) {
-  std::string content = SignatureToJson(signature).Dump();
-  uint64_t hash = 1469598103934665603ull;
-  for (unsigned char c : content) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  return hash;
+  return Fnv1a(SignatureToJson(signature).Dump());
 }
 
 // Exact-name site resolution (FaultSite names are unique per program).

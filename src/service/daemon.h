@@ -1,0 +1,82 @@
+// The reproduction-service daemon: accepts a queue of failure cases, shards
+// round execution across supervised worker processes, streams per-case
+// progress, and survives being killed at any instant.
+//
+// Robustness model, layer by layer:
+//  - Queue: journaled to <state_dir>/queue.json (atomic writes, FNV
+//    integrity hash) after every state transition. A restarted daemon
+//    resumes the whole queue; per-case search state resumes from the v3
+//    checkpoint files, whose byte-identical-resume invariant makes the
+//    final scripts and metrics of an interrupted+resumed queue identical
+//    to an uninterrupted run — at any worker count.
+//  - Workers: forked `anduril_serve worker` processes supervised by
+//    waitpid and a heartbeat (the case checkpoint's mtime must advance
+//    within heartbeat_timeout_ms). A dead or wedged worker is SIGKILLed,
+//    its case requeued, and the slot respawned under bounded exponential
+//    backoff. A case that kills its worker max_case_crashes times in a row
+//    is demoted to kFailed — it cannot wedge the queue.
+//  - Scheduling: fair share with starve-out (see scheduler.h).
+//  - Degradation: the cancel flag (SIGTERM) drains in-flight slices at
+//    round boundaries — checkpoints flushed, manifest saved — and the next
+//    `anduril_serve run` picks up exactly where the drain stopped.
+//
+// Crash emulation for tests: crash_after_slices makes the *daemon* _exit()
+// after journaling N slice results (a kill between two commits);
+// worker_crash_slice/_rounds make one dispatched slice die mid-search like
+// a SIGKILLed worker.
+
+#ifndef ANDURIL_SRC_SERVICE_DAEMON_H_
+#define ANDURIL_SRC_SERVICE_DAEMON_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/service/manifest.h"
+
+namespace anduril::service {
+
+struct ServeOptions {
+  std::string state_dir;
+  // Queue to create when no manifest exists yet; ignored on resume.
+  std::vector<QueueCase> seed_cases;
+  int slice_rounds = 200;
+  // Worker processes. 0 = run every slice in-process (serial mode: no
+  // supervision layer, same queue/journal semantics — the bench baseline).
+  int workers = 2;
+  int poll_ms = 2;
+  int heartbeat_timeout_ms = 20000;
+  int max_case_crashes = 3;
+  // Test hooks (0 = off): see header comment.
+  int crash_after_slices = 0;
+  int worker_crash_slice = 0;   // 1-based index into dispatched slices
+  int worker_crash_rounds = 0;  // rounds into that slice (default: 1)
+  // Binary to exec for workers; defaults to /proc/self/exe.
+  std::string serve_binary;
+  const std::atomic<bool>* cancel = nullptr;
+  bool verbose = true;
+};
+
+struct ServeReport {
+  bool interrupted = false;
+  bool error = false;
+  std::string error_text;
+  QueueManifest manifest;  // final journaled state
+  int slices_applied = 0;
+  int worker_respawns = 0;
+};
+
+// Runs the queue to completion (all cases terminal), drain, or error.
+// On completion, merges every case's metrics into
+// <state_dir>/merged_metrics.json via MetricsRegistry::Merge.
+ServeReport RunService(const ServeOptions& options);
+
+// Per-case file locations inside the state dir (shared with tests).
+std::string ManifestPath(const std::string& state_dir);
+std::string CaseCheckpointPath(const std::string& state_dir, const std::string& case_id);
+std::string CaseMetricsPath(const std::string& state_dir, const std::string& case_id);
+std::string MergedMetricsPath(const std::string& state_dir);
+
+}  // namespace anduril::service
+
+#endif  // ANDURIL_SRC_SERVICE_DAEMON_H_

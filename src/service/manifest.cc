@@ -1,0 +1,201 @@
+#include "src/service/manifest.h"
+
+#include <charconv>
+
+#include "src/util/file.h"
+#include "src/util/hash.h"
+#include "src/util/json.h"
+
+namespace anduril::service {
+namespace {
+
+// u64 fields ride as strings, like the checkpoint format: JSON numbers lose
+// precision past 2^53.
+JsonValue U64(uint64_t value) { return JsonValue::Str(std::to_string(value)); }
+
+bool ParseU64(const JsonValue* value, uint64_t* out) {
+  if (value == nullptr || value->type() != JsonValue::Type::kString) {
+    return false;
+  }
+  const std::string& text = value->as_string();
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+const char* CaseStateName(CaseState state) {
+  switch (state) {
+    case CaseState::kPending:
+      return "pending";
+    case CaseState::kReproduced:
+      return "reproduced";
+    case CaseState::kStarved:
+      return "starved";
+    case CaseState::kFailed:
+      return "failed";
+  }
+  return "pending";
+}
+
+bool CaseStateFromName(const std::string& name, CaseState* out) {
+  for (CaseState state : {CaseState::kPending, CaseState::kReproduced, CaseState::kStarved,
+                          CaseState::kFailed}) {
+    if (name == CaseStateName(state)) {
+      *out = state;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool QueueManifest::AllTerminal() const {
+  for (const QueueCase& entry : cases) {
+    if (!IsTerminal(entry.state)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int QueueManifest::CountState(CaseState state) const {
+  int count = 0;
+  for (const QueueCase& entry : cases) {
+    if (entry.state == state) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t ManifestIntegrityHash(const QueueManifest& manifest) {
+  Fnv1aHasher hasher;
+  hasher.MixInt(kQueueFormatVersion);
+  hasher.MixInt(manifest.slice_rounds);
+  for (const QueueCase& entry : manifest.cases) {
+    hasher.MixSeparator();
+    hasher.MixStr(entry.id);
+    hasher.MixInt(entry.chain ? 1 : 0);
+    hasher.MixInt(entry.round_budget);
+    hasher.MixInt(entry.rounds_done);
+    hasher.MixInt(entry.slices_done);
+    hasher.MixInt(entry.crashes);
+    hasher.MixStr(CaseStateName(entry.state));
+    hasher.MixStr(entry.script);
+    hasher.MixInt(static_cast<int64_t>(entry.script_seed));
+  }
+  return hasher.hash();
+}
+
+std::string SerializeManifest(const QueueManifest& manifest) {
+  JsonValue root = JsonValue::Object();
+  root.Set("anduril_queue", JsonValue::Int(kQueueFormatVersion));
+  root.Set("slice_rounds", JsonValue::Int(manifest.slice_rounds));
+  JsonValue cases = JsonValue::Array();
+  for (const QueueCase& entry : manifest.cases) {
+    JsonValue item = JsonValue::Object();
+    item.Set("id", JsonValue::Str(entry.id));
+    item.Set("chain", JsonValue::Bool(entry.chain));
+    item.Set("round_budget", JsonValue::Int(entry.round_budget));
+    item.Set("rounds_done", JsonValue::Int(entry.rounds_done));
+    item.Set("slices_done", JsonValue::Int(entry.slices_done));
+    item.Set("crashes", JsonValue::Int(entry.crashes));
+    item.Set("state", JsonValue::Str(CaseStateName(entry.state)));
+    if (!entry.script.empty()) {
+      item.Set("script", JsonValue::Str(entry.script));
+      item.Set("script_seed", U64(entry.script_seed));
+    }
+    cases.Append(std::move(item));
+  }
+  root.Set("cases", std::move(cases));
+  root.Set("integrity", U64(ManifestIntegrityHash(manifest)));
+  return root.Dump();
+}
+
+bool ParseManifest(const std::string& text, QueueManifest* out, std::string* error) {
+  std::string parse_error;
+  JsonValue root = JsonValue::Parse(text, &parse_error);
+  if (root.is_null()) {
+    *error = "manifest: " + parse_error;
+    return false;
+  }
+  const JsonValue* version = root.Find("anduril_queue");
+  if (version == nullptr) {
+    *error = "manifest: missing \"anduril_queue\" version field";
+    return false;
+  }
+  if (version->as_int() != kQueueFormatVersion) {
+    *error = "manifest: unsupported version " + std::to_string(version->as_int()) +
+             " (this build reads version " + std::to_string(kQueueFormatVersion) + ")";
+    return false;
+  }
+  QueueManifest manifest;
+  manifest.slice_rounds = static_cast<int>(root.Find("slice_rounds") != nullptr
+                                               ? root.Find("slice_rounds")->as_int()
+                                               : 0);
+  const JsonValue* cases = root.Find("cases");
+  if (cases == nullptr || cases->type() != JsonValue::Type::kArray) {
+    *error = "manifest: missing \"cases\" array";
+    return false;
+  }
+  for (const JsonValue& item : cases->items()) {
+    QueueCase entry;
+    const JsonValue* id = item.Find("id");
+    if (id == nullptr || id->type() != JsonValue::Type::kString) {
+      *error = "manifest: case entry without \"id\"";
+      return false;
+    }
+    entry.id = id->as_string();
+    entry.chain = item.Find("chain") != nullptr && item.Find("chain")->as_bool();
+    entry.round_budget =
+        static_cast<int>(item.Find("round_budget") ? item.Find("round_budget")->as_int() : 0);
+    entry.rounds_done =
+        static_cast<int>(item.Find("rounds_done") ? item.Find("rounds_done")->as_int() : 0);
+    entry.slices_done =
+        static_cast<int>(item.Find("slices_done") ? item.Find("slices_done")->as_int() : 0);
+    entry.crashes =
+        static_cast<int>(item.Find("crashes") ? item.Find("crashes")->as_int() : 0);
+    const JsonValue* state = item.Find("state");
+    if (state == nullptr || !CaseStateFromName(state->as_string(), &entry.state)) {
+      *error = "manifest: case " + entry.id + " has an unknown state";
+      return false;
+    }
+    if (const JsonValue* script = item.Find("script"); script != nullptr) {
+      entry.script = script->as_string();
+      if (!ParseU64(item.Find("script_seed"), &entry.script_seed)) {
+        *error = "manifest: case " + entry.id + " has a script but no valid script_seed";
+        return false;
+      }
+    }
+    manifest.cases.push_back(std::move(entry));
+  }
+  uint64_t stored = 0;
+  if (!ParseU64(root.Find("integrity"), &stored)) {
+    *error = "manifest: missing or malformed \"integrity\" hash";
+    return false;
+  }
+  const uint64_t computed = ManifestIntegrityHash(manifest);
+  if (stored != computed) {
+    *error = "manifest: integrity hash mismatch (stored " + std::to_string(stored) +
+             ", computed " + std::to_string(computed) +
+             ") — the queue file was edited or corrupted";
+    return false;
+  }
+  *out = std::move(manifest);
+  return true;
+}
+
+bool SaveManifestFile(const std::string& path, const QueueManifest& manifest) {
+  return WriteFileAtomic(path, SerializeManifest(manifest));
+}
+
+bool LoadManifestFile(const std::string& path, QueueManifest* out, std::string* error) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    *error = "cannot read " + path;
+    return false;
+  }
+  return ParseManifest(text, out, error);
+}
+
+}  // namespace anduril::service

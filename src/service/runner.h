@@ -1,0 +1,43 @@
+// Executes one work unit: a bounded slice of one case's search.
+//
+// A slice is "resume the case's checkpoint (if any) and run at most
+// slice_rounds more rounds, never past the round budget". Slicing a plain
+// search needs no new explorer machinery: the explorer's
+// byte-identical-resume invariant means running rounds [1..N] in one
+// process is indistinguishable from running them as K slices across K
+// process lifetimes — same ReproductionScript, same round count, same final
+// metrics snapshot. Chain searches slice the same way through
+// ExplorerOptions::max_total_rounds.
+//
+// Every slice attaches a fresh MetricsRegistry; resuming restores the
+// checkpointed snapshot over it, and the slice's final registry state is
+// journaled to the unit's metrics_path. The last slice of a case therefore
+// leaves the case's complete, deterministic metrics on disk — including the
+// successful round, which the checkpoint itself never contains (checkpoints
+// are written after unsuccessful rounds only).
+
+#ifndef ANDURIL_SRC_SERVICE_RUNNER_H_
+#define ANDURIL_SRC_SERVICE_RUNNER_H_
+
+#include <atomic>
+
+#include "src/service/context_cache.h"
+#include "src/service/work.h"
+
+namespace anduril::service {
+
+// Chain searches dispatched by the service explore chains of up to this
+// many steps (matches the anduril_case default).
+inline constexpr int kServiceMaxChainLength = 4;
+
+// Runs the unit's slice in-process. `cancel` (optional) is the cooperative
+// drain flag, checked at round boundaries. If the unit requests crash
+// emulation this function does not return — it _exit()s mid-slice like a
+// killed worker. The returned result carries no daemon_pid; the caller
+// stamps it.
+WorkResult RunSlice(ContextCache* cache, const WorkUnit& unit,
+                    const std::atomic<bool>* cancel);
+
+}  // namespace anduril::service
+
+#endif  // ANDURIL_SRC_SERVICE_RUNNER_H_

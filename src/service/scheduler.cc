@@ -1,0 +1,35 @@
+#include "src/service/scheduler.h"
+
+namespace anduril::service {
+
+std::vector<int> ApplyStarveOut(QueueManifest* manifest) {
+  std::vector<int> demoted;
+  for (size_t i = 0; i < manifest->cases.size(); ++i) {
+    QueueCase& entry = manifest->cases[i];
+    if (entry.state == CaseState::kPending && entry.round_budget > 0 &&
+        entry.rounds_done >= entry.round_budget) {
+      entry.state = CaseState::kStarved;
+      demoted.push_back(static_cast<int>(i));
+    }
+  }
+  return demoted;
+}
+
+int PickNextCase(const QueueManifest& manifest, const std::vector<bool>& busy) {
+  int best = -1;
+  for (size_t i = 0; i < manifest.cases.size(); ++i) {
+    const QueueCase& entry = manifest.cases[i];
+    if (entry.state != CaseState::kPending) {
+      continue;
+    }
+    if (i < busy.size() && busy[i]) {
+      continue;
+    }
+    if (best == -1 || entry.rounds_done < manifest.cases[best].rounds_done) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace anduril::service

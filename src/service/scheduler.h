@@ -1,0 +1,36 @@
+// Fair-share scheduling policy over the queue manifest — pure functions, so
+// the policy is unit-testable without a daemon or workers.
+//
+// Policy:
+//  - Starve-out, not wedging: a pending case whose rounds_done has reached
+//    its round budget is demoted to kStarved (terminal) instead of being
+//    dispatched again, so one stubborn case can never monopolize workers or
+//    block queue completion. A case that crashes its worker
+//    `max_case_crashes` times in a row is demoted to kFailed the same way.
+//  - Fair share: among schedulable cases, dispatch the one with the fewest
+//    rounds_done (ties break toward the lowest queue index). Every case
+//    therefore advances at the same round rate regardless of queue position,
+//    and a case that reproduces quickly frees its share for the rest.
+
+#ifndef ANDURIL_SRC_SERVICE_SCHEDULER_H_
+#define ANDURIL_SRC_SERVICE_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/service/manifest.h"
+
+namespace anduril::service {
+
+// Demotes every pending case that is out of budget to kStarved. Returns the
+// indices demoted (for progress reporting / journaling).
+std::vector<int> ApplyStarveOut(QueueManifest* manifest);
+
+// Picks the next case to dispatch: pending, not in `busy` (indices currently
+// running on a worker), least rounds_done, tie → lowest index. Returns -1
+// when nothing is schedulable. Does not mutate the manifest — run
+// ApplyStarveOut first so out-of-budget cases are not considered.
+int PickNextCase(const QueueManifest& manifest, const std::vector<bool>& busy);
+
+}  // namespace anduril::service
+
+#endif  // ANDURIL_SRC_SERVICE_SCHEDULER_H_

@@ -1,0 +1,72 @@
+#include "src/service/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "src/service/context_cache.h"
+#include "src/service/runner.h"
+#include "src/service/work.h"
+#include "src/util/file.h"
+
+namespace anduril::service {
+
+int RunWorkerLoop(const WorkerOptions& options) {
+  const std::string cmd_path = options.work_dir + "/cmd.json";
+  const std::string result_path =
+      options.work_dir + "/result-" + std::to_string(getpid()) + ".json";
+  const pid_t parent =
+      options.parent_pid > 0 ? static_cast<pid_t>(options.parent_pid) : getppid();
+  ContextCache cache;
+
+  while (true) {
+    if (getppid() != parent) {
+      // Daemon died; a successor owns this spool now.
+      return 0;
+    }
+    if (!std::filesystem::exists(cmd_path)) {
+      if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+        return 0;
+      }
+      if (!std::filesystem::exists(options.work_dir)) {
+        return 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+      continue;
+    }
+
+    std::string text;
+    if (!ReadFileToString(cmd_path, &text)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+      continue;
+    }
+    WorkUnit unit;
+    std::string error;
+    WorkResult result;
+    const bool parsed = ParseWorkUnit(text, &unit, &error);
+    if (parsed && unit.daemon_pid != static_cast<int64_t>(parent)) {
+      // A successor daemon's command: this worker is an orphan that has not
+      // noticed the reparenting yet. Leave the file for the rightful worker.
+      return 0;
+    }
+    std::filesystem::remove(cmd_path);
+    if (parsed) {
+      result = RunSlice(&cache, unit, options.cancel);
+      result.daemon_pid = unit.daemon_pid;
+    } else {
+      result.case_id = "?";
+      result.status = SliceStatus::kError;
+      result.error = error;
+    }
+    if (!WriteFileAtomic(result_path, SerializeWorkResult(result))) {
+      std::fprintf(stderr, "worker %d: cannot write %s\n", getpid(), result_path.c_str());
+      return 1;
+    }
+  }
+}
+
+}  // namespace anduril::service

@@ -1,0 +1,22 @@
+#include "src/systems/harness.h"
+
+namespace anduril::systems {
+
+explorer::ExplorerOptions OptionsForCase(const FailureCase& failure_case, int threads) {
+  explorer::ExplorerOptions options;
+  options.num_threads = threads;
+  options.crash_stall_candidates = NeedsCrashStallCandidates(failure_case);
+  options.network_candidates = NeedsNetworkCandidates(failure_case);
+  return options;
+}
+
+explorer::ExploreResult RunSearch(const BuiltCase& built,
+                                  const explorer::ExplorerOptions& options,
+                                  const explorer::CheckpointConfig& checkpoint) {
+  explorer::Explorer explorer(built.spec, options);
+  std::unique_ptr<explorer::InjectionStrategy> strategy =
+      explorer::MakeFullFeedbackStrategy();
+  return explorer.Explore(strategy.get(), checkpoint);
+}
+
+}  // namespace anduril::systems

@@ -1,0 +1,31 @@
+// One-call search harness over the failure-case registry, shared by the
+// tests, the CLI tools, and the reproduction service. Promoted out of
+// tests/test_util.h so every driver derives a case's candidate-space options
+// the same way instead of re-declaring them per call site.
+
+#ifndef ANDURIL_SRC_SYSTEMS_HARNESS_H_
+#define ANDURIL_SRC_SYSTEMS_HARNESS_H_
+
+#include <memory>
+
+#include "src/explorer/explorer.h"
+#include "src/explorer/strategy.h"
+#include "src/systems/common.h"
+
+namespace anduril::systems {
+
+// Options whose candidate space can reach the case's ground-truth faults:
+// crash/stall kinds for cases with a crash- or stall fault anywhere in the
+// chain, message-layer kinds for network faults, the stock exception space
+// otherwise.
+explorer::ExplorerOptions OptionsForCase(const FailureCase& failure_case, int threads = 1);
+
+// Runs the full-feedback search over a built case, with optional
+// checkpoint/resume wiring.
+explorer::ExploreResult RunSearch(const BuiltCase& built,
+                                  const explorer::ExplorerOptions& options,
+                                  const explorer::CheckpointConfig& checkpoint = {});
+
+}  // namespace anduril::systems
+
+#endif  // ANDURIL_SRC_SYSTEMS_HARNESS_H_

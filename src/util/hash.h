@@ -1,0 +1,66 @@
+// FNV-1a streaming hasher shared by the checkpoint chain-signature hash, the
+// program fingerprint, and the service queue manifest's integrity hash.
+//
+// The constants match the values the checkpoint code has always used, so
+// refactoring onto this helper keeps every previously-written checkpoint and
+// fault-signature file verifiable.
+
+#ifndef ANDURIL_SRC_UTIL_HASH_H_
+#define ANDURIL_SRC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace anduril {
+
+class Fnv1aHasher {
+ public:
+  static constexpr uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void MixByte(unsigned char c) {
+    hash_ ^= c;
+    hash_ *= kPrime;
+  }
+
+  // Little-endian byte order, fixed 8 bytes per integer: the stream is
+  // position-dependent, so adjacent fields cannot alias each other.
+  void MixInt(int64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      MixByte(static_cast<unsigned char>((static_cast<uint64_t>(value) >> shift) & 0xFF));
+    }
+  }
+
+  // Raw bytes, no terminator: for pre-delimited payloads (whole documents).
+  void MixBytes(std::string_view text) {
+    for (unsigned char c : std::string_view(text)) {
+      MixByte(c);
+    }
+  }
+
+  // String with a 0xFF terminator byte so "ab","c" != "a","bc".
+  void MixStr(std::string_view text) {
+    MixBytes(text);
+    MixByte(0xFF);
+  }
+
+  // Field separator for composite records.
+  void MixSeparator() { MixByte(0xFE); }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = kOffsetBasis;
+};
+
+// One-shot convenience over a whole document.
+inline uint64_t Fnv1a(std::string_view text) {
+  Fnv1aHasher hasher;
+  hasher.MixBytes(text);
+  return hasher.hash();
+}
+
+}  // namespace anduril
+
+#endif  // ANDURIL_SRC_UTIL_HASH_H_

@@ -1,0 +1,605 @@
+// Reproduction-service tests: queue manifest integrity, scheduling policy,
+// slice execution, and the service-level robustness contract — a queue that
+// is killed (daemon crash, worker crash, SIGKILL, cooperative drain) and
+// resumed finishes with byte-identical scripts and metrics to an
+// uninterrupted run, at any worker count.
+//
+// Crash-emulation tests exec the real anduril_serve binary (the daemon
+// _exit()s mid-queue, which an in-process call could not survive); its path
+// arrives via the ANDURIL_SERVE_BIN compile definition. Everything else runs
+// the service in-process through RunService.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/service/context_cache.h"
+#include "src/service/daemon.h"
+#include "src/service/manifest.h"
+#include "src/service/runner.h"
+#include "src/service/scheduler.h"
+#include "src/service/work.h"
+#include "src/systems/common.h"
+#include "src/util/file.h"
+#include "tests/test_util.h"
+
+namespace anduril::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh (empty) state directory under the test temp dir.
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = explorer::TempPath(name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+QueueCase MakeCase(const std::string& id, int budget, bool chain = false) {
+  QueueCase entry;
+  entry.id = id;
+  entry.chain = chain;
+  entry.round_budget = budget;
+  return entry;
+}
+
+// The invariant fields a finished queue must agree on regardless of how it
+// was sliced, sharded, or interrupted. slices_done and crashes are *not*
+// invariant (a crashed slice is re-run), so they are compared only where the
+// test controls them.
+using Outcome = std::tuple<std::string, CaseState, int, std::string, uint64_t>;
+
+std::vector<Outcome> Outcomes(const QueueManifest& manifest) {
+  std::vector<Outcome> out;
+  for (const QueueCase& entry : manifest.cases) {
+    out.emplace_back(entry.id, entry.state, entry.rounds_done, entry.script,
+                     entry.script_seed);
+  }
+  return out;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::string text;
+  EXPECT_TRUE(ReadFileToString(path, &text)) << path;
+  return text;
+}
+
+ServeOptions BaseOptions(const std::string& state_dir, std::vector<QueueCase> seed) {
+  ServeOptions options;
+  options.state_dir = state_dir;
+  options.seed_cases = std::move(seed);
+  options.workers = 0;
+  options.verbose = false;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+QueueManifest SampleManifest() {
+  QueueManifest manifest;
+  manifest.slice_rounds = 50;
+  manifest.cases.push_back(MakeCase("zk-2247", 2000));
+  QueueCase done = MakeCase("ca-6415", 2000);
+  done.state = CaseState::kReproduced;
+  done.rounds_done = 17;
+  done.slices_done = 1;
+  done.script = "round 17: InjectionError at occurrence 2 (seed 99)\n";
+  done.script_seed = 99;
+  manifest.cases.push_back(done);
+  QueueCase starved = MakeCase("hd-4233", 10);
+  starved.state = CaseState::kStarved;
+  starved.rounds_done = 10;
+  starved.slices_done = 2;
+  manifest.cases.push_back(starved);
+  QueueCase chained = MakeCase("casc-retry-1", 500, /*chain=*/true);
+  chained.crashes = 1;
+  chained.rounds_done = 3;
+  manifest.cases.push_back(chained);
+  return manifest;
+}
+
+TEST(ManifestTest, SerializeParseRoundTrip) {
+  const QueueManifest manifest = SampleManifest();
+  QueueManifest parsed;
+  std::string error;
+  ASSERT_TRUE(ParseManifest(SerializeManifest(manifest), &parsed, &error)) << error;
+  EXPECT_EQ(manifest, parsed);
+}
+
+TEST(ManifestTest, FileRoundTripAndMissingFile) {
+  const std::string path = explorer::TempPath("service_manifest_roundtrip.json");
+  const QueueManifest manifest = SampleManifest();
+  ASSERT_TRUE(SaveManifestFile(path, manifest));
+  QueueManifest loaded;
+  std::string error;
+  ASSERT_TRUE(LoadManifestFile(path, &loaded, &error)) << error;
+  EXPECT_EQ(manifest, loaded);
+
+  EXPECT_FALSE(LoadManifestFile(explorer::TempPath("no_such_manifest.json"), &loaded,
+                                &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, RejectsFieldTampering) {
+  std::string text = SerializeManifest(SampleManifest());
+  // Same-length edit of a scheduling-relevant field: the JSON still parses,
+  // but the integrity hash must catch the change.
+  const size_t at = text.find("hd-4233");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 7, "hd-9999");
+  QueueManifest parsed;
+  std::string error;
+  EXPECT_FALSE(ParseManifest(text, &parsed, &error));
+  EXPECT_NE(error.find("integrity"), std::string::npos) << error;
+}
+
+TEST(ManifestTest, RejectsIntegrityCorruption) {
+  std::string text = SerializeManifest(SampleManifest());
+  const size_t at = text.find("\"integrity\"");
+  ASSERT_NE(at, std::string::npos);
+  // Flip the first digit of the stored hash.
+  const size_t digit = text.find_first_of("0123456789", at + 11);
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '9' ? '1' : '9';
+  QueueManifest parsed;
+  std::string error;
+  EXPECT_FALSE(ParseManifest(text, &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ManifestTest, RejectsGarbageAndWrongVersion) {
+  QueueManifest parsed;
+  std::string error;
+  EXPECT_FALSE(ParseManifest("not json at all", &parsed, &error));
+  EXPECT_FALSE(ParseManifest("{\"anduril_queue\": 999, \"cases\": []}", &parsed, &error));
+}
+
+TEST(ManifestTest, CountsAndTerminality) {
+  QueueManifest manifest = SampleManifest();
+  EXPECT_FALSE(manifest.AllTerminal());
+  EXPECT_EQ(manifest.CountState(CaseState::kPending), 2);
+  EXPECT_EQ(manifest.CountState(CaseState::kReproduced), 1);
+  EXPECT_EQ(manifest.CountState(CaseState::kStarved), 1);
+  for (QueueCase& entry : manifest.cases) {
+    if (entry.state == CaseState::kPending) {
+      entry.state = CaseState::kFailed;
+    }
+  }
+  EXPECT_TRUE(manifest.AllTerminal());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler policy
+
+TEST(SchedulerTest, PicksLeastRoundsWithLowestIndexTie) {
+  QueueManifest manifest;
+  manifest.cases.push_back(MakeCase("a", 100));
+  manifest.cases.push_back(MakeCase("b", 100));
+  manifest.cases.push_back(MakeCase("c", 100));
+  manifest.cases[0].rounds_done = 5;
+  manifest.cases[1].rounds_done = 2;
+  manifest.cases[2].rounds_done = 2;
+  std::vector<bool> busy(3, false);
+  // b and c tie on rounds; the lower index wins.
+  EXPECT_EQ(PickNextCase(manifest, busy), 1);
+  busy[1] = true;
+  EXPECT_EQ(PickNextCase(manifest, busy), 2);
+  busy[2] = true;
+  EXPECT_EQ(PickNextCase(manifest, busy), 0);
+  busy[0] = true;
+  EXPECT_EQ(PickNextCase(manifest, busy), -1);
+}
+
+TEST(SchedulerTest, SkipsTerminalCases) {
+  QueueManifest manifest;
+  manifest.cases.push_back(MakeCase("a", 100));
+  manifest.cases.push_back(MakeCase("b", 100));
+  manifest.cases[0].state = CaseState::kReproduced;
+  EXPECT_EQ(PickNextCase(manifest, std::vector<bool>(2, false)), 1);
+  manifest.cases[1].state = CaseState::kFailed;
+  EXPECT_EQ(PickNextCase(manifest, std::vector<bool>(2, false)), -1);
+}
+
+TEST(SchedulerTest, StarveOutDemotesOnlyExhaustedBudgets) {
+  QueueManifest manifest;
+  manifest.cases.push_back(MakeCase("under", 100));
+  manifest.cases.push_back(MakeCase("at-limit", 100));
+  manifest.cases.push_back(MakeCase("unbounded", 0));
+  manifest.cases[0].rounds_done = 99;
+  manifest.cases[1].rounds_done = 100;
+  manifest.cases[2].rounds_done = 100000;
+  const std::vector<int> demoted = ApplyStarveOut(&manifest);
+  EXPECT_EQ(demoted, std::vector<int>{1});
+  EXPECT_EQ(manifest.cases[0].state, CaseState::kPending);
+  EXPECT_EQ(manifest.cases[1].state, CaseState::kStarved);
+  // budget 0 means "no starve-out line".
+  EXPECT_EQ(manifest.cases[2].state, CaseState::kPending);
+  // Idempotent: the already-starved case is not demoted again.
+  EXPECT_TRUE(ApplyStarveOut(&manifest).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Work-unit handoff
+
+TEST(WorkTest, UnitAndResultRoundTrip) {
+  WorkUnit unit;
+  unit.case_id = "zk-net-1";
+  unit.chain = true;
+  unit.slice_rounds = 25;
+  unit.round_budget = 2000;
+  unit.checkpoint_path = "/tmp/ckpt.json";
+  unit.metrics_path = "/tmp/metrics.json";
+  unit.daemon_pid = 12345;
+  unit.emulate_crash_after_rounds = 2;
+  WorkUnit unit_parsed;
+  std::string error;
+  ASSERT_TRUE(ParseWorkUnit(SerializeWorkUnit(unit), &unit_parsed, &error)) << error;
+  EXPECT_EQ(unit, unit_parsed);
+
+  WorkResult result;
+  result.case_id = "zk-net-1";
+  result.status = SliceStatus::kReproduced;
+  result.rounds_done = 31;
+  result.script = "round 31: StallFault at occurrence 1 (seed 7)\n";
+  result.script_seed = 7;
+  result.daemon_pid = 12345;
+  WorkResult result_parsed;
+  ASSERT_TRUE(ParseWorkResult(SerializeWorkResult(result), &result_parsed, &error))
+      << error;
+  EXPECT_EQ(result, result_parsed);
+
+  EXPECT_FALSE(ParseWorkResult("{\"status\": \"bogus\"}", &result_parsed, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Context cache
+
+TEST(ContextCacheTest, KeyedByCaseIdNotFingerprint) {
+  // zk-2247 and zk-4203 share a program *shape* (same fault sites and
+  // exception types), so their fingerprints collide — the cache must still
+  // keep separate entries, or one case would be searched against the other's
+  // workload and oracle.
+  const systems::FailureCase* first = systems::FindCase("zk-2247");
+  const systems::FailureCase* second = systems::FindCase("zk-4203");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+
+  ContextCache cache;
+  ContextCache::Entry* entry_first = cache.Get(*first);
+  ContextCache::Entry* entry_second = cache.Get(*second);
+  ASSERT_NE(entry_first, nullptr);
+  ASSERT_NE(entry_second, nullptr);
+  EXPECT_NE(entry_first, entry_second);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(entry_first->fingerprint, entry_second->fingerprint);
+  EXPECT_NE(entry_first->built.spec.failure_log_text,
+            entry_second->built.spec.failure_log_text);
+
+  // Repeat lookups reuse the entry (stable pointer).
+  EXPECT_EQ(cache.Get(*first), entry_first);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Slice runner
+
+TEST(RunSliceTest, SlicedSearchMatchesOneShot) {
+  const systems::FailureCase* failure_case = systems::FindCase("zk-2247");
+  ASSERT_NE(failure_case, nullptr);
+
+  auto run_with_slices = [&](const std::string& tag, int slice_rounds) {
+    ContextCache cache;
+    WorkUnit unit;
+    unit.case_id = failure_case->id;
+    unit.slice_rounds = slice_rounds;
+    unit.round_budget = 2000;
+    unit.checkpoint_path = explorer::TempPath("service_slice_" + tag + ".ckpt");
+    unit.metrics_path = explorer::TempPath("service_slice_" + tag + ".metrics");
+    fs::remove(unit.checkpoint_path);
+    WorkResult result;
+    int slices = 0;
+    do {
+      result = RunSlice(&cache, unit, nullptr);
+      ++slices;
+      if (slices >= 1000) {
+        ADD_FAILURE() << "search failed to terminate within 1000 slices";
+        break;
+      }
+    } while (result.status == SliceStatus::kSliceDone);
+    EXPECT_EQ(result.status, SliceStatus::kReproduced);
+    return std::make_tuple(result, slices, ReadFileOrDie(unit.metrics_path));
+  };
+
+  const auto [one_shot, one_shot_slices, one_shot_metrics] =
+      run_with_slices("oneshot", 2000);
+  // zk-2247 reproduces in 5 rounds, so 2-round slices force several
+  // checkpoint/resume cycles.
+  const auto [sliced, sliced_slices, sliced_metrics] = run_with_slices("fine", 2);
+  EXPECT_EQ(one_shot_slices, 1);
+  EXPECT_GT(sliced_slices, 1);
+
+  // Byte-identical resume: same script, seed, round count, and final metrics
+  // no matter how the rounds were cut into slices.
+  EXPECT_EQ(one_shot.script, sliced.script);
+  EXPECT_EQ(one_shot.script_seed, sliced.script_seed);
+  EXPECT_EQ(one_shot.rounds_done, sliced.rounds_done);
+  EXPECT_FALSE(one_shot.script.empty());
+  EXPECT_EQ(one_shot_metrics, sliced_metrics);
+}
+
+TEST(RunSliceTest, UnknownCaseReportsError) {
+  ContextCache cache;
+  WorkUnit unit;
+  unit.case_id = "no-such-case";
+  unit.slice_rounds = 10;
+  unit.checkpoint_path = explorer::TempPath("service_slice_unknown.ckpt");
+  unit.metrics_path = explorer::TempPath("service_slice_unknown.metrics");
+  const WorkResult result = RunSlice(&cache, unit, nullptr);
+  EXPECT_EQ(result.status, SliceStatus::kError);
+  EXPECT_FALSE(result.error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Service end-to-end: in-process (workers=0) and sharded
+
+std::vector<QueueCase> MixedSeed() {
+  // Two plain cases from different systems plus a cascade (chain-mode) case.
+  return {MakeCase("zk-2247", 2000), MakeCase("ca-6415", 2000),
+          MakeCase("casc-retry-1", 2000, /*chain=*/true)};
+}
+
+TEST(ServiceTest, SerialQueueReproducesAndJournals) {
+  const std::string dir = FreshStateDir("service_serial");
+  const ServeReport report = RunService(BaseOptions(dir, MixedSeed()));
+  ASSERT_FALSE(report.error) << report.error_text;
+  EXPECT_FALSE(report.interrupted);
+  EXPECT_TRUE(report.manifest.AllTerminal());
+  EXPECT_EQ(report.manifest.CountState(CaseState::kReproduced), 3);
+  for (const QueueCase& entry : report.manifest.cases) {
+    EXPECT_FALSE(entry.script.empty()) << entry.id;
+    EXPECT_GT(entry.rounds_done, 0) << entry.id;
+  }
+
+  // The journaled manifest matches the report, and the merged metrics file
+  // exists — the queue's durable state is complete.
+  QueueManifest journaled;
+  std::string error;
+  ASSERT_TRUE(LoadManifestFile(ManifestPath(dir), &journaled, &error)) << error;
+  EXPECT_EQ(journaled, report.manifest);
+  EXPECT_TRUE(fs::exists(MergedMetricsPath(dir)));
+}
+
+TEST(ServiceTest, SliceWidthDoesNotChangeOutcomes) {
+  const std::string coarse_dir = FreshStateDir("service_width_coarse");
+  ServeOptions coarse = BaseOptions(coarse_dir, MixedSeed());
+  coarse.slice_rounds = 5000;  // every case in one slice
+  const ServeReport coarse_report = RunService(coarse);
+  ASSERT_FALSE(coarse_report.error) << coarse_report.error_text;
+
+  const std::string fine_dir = FreshStateDir("service_width_fine");
+  ServeOptions fine = BaseOptions(fine_dir, MixedSeed());
+  fine.slice_rounds = 10;  // many checkpoint/resume cycles per case
+  const ServeReport fine_report = RunService(fine);
+  ASSERT_FALSE(fine_report.error) << fine_report.error_text;
+
+  EXPECT_EQ(Outcomes(coarse_report.manifest), Outcomes(fine_report.manifest));
+  EXPECT_EQ(ReadFileOrDie(MergedMetricsPath(coarse_dir)),
+            ReadFileOrDie(MergedMetricsPath(fine_dir)));
+}
+
+TEST(ServiceTest, ShardedMatchesSerialAtOneAndEightWorkers) {
+  std::vector<QueueCase> seed = MixedSeed();
+  seed.push_back(MakeCase("hd-4233", 2000));
+  seed.push_back(MakeCase("hb-3315", 2000));
+  seed.push_back(MakeCase("ka-12508", 2000));
+
+  const std::string serial_dir = FreshStateDir("service_shard_serial");
+  ServeOptions serial = BaseOptions(serial_dir, seed);
+  serial.slice_rounds = 25;
+  const ServeReport serial_report = RunService(serial);
+  ASSERT_FALSE(serial_report.error) << serial_report.error_text;
+
+  for (const int workers : {1, 8}) {
+    const std::string dir =
+        FreshStateDir("service_shard_w" + std::to_string(workers));
+    ServeOptions sharded = BaseOptions(dir, seed);
+    sharded.slice_rounds = 25;
+    sharded.workers = workers;
+    sharded.serve_binary = ANDURIL_SERVE_BIN;
+    const ServeReport report = RunService(sharded);
+    ASSERT_FALSE(report.error) << report.error_text;
+    EXPECT_TRUE(report.manifest.AllTerminal());
+    EXPECT_EQ(Outcomes(serial_report.manifest), Outcomes(report.manifest))
+        << workers << " workers";
+    EXPECT_EQ(ReadFileOrDie(MergedMetricsPath(serial_dir)),
+              ReadFileOrDie(MergedMetricsPath(dir)))
+        << workers << " workers";
+  }
+}
+
+TEST(ServiceTest, StarveOutDoesNotWedgeQueue) {
+  // hd-4233 needs far more than 10 rounds; it must starve out while the
+  // solvable case still reproduces — one stubborn case cannot block the
+  // queue.
+  const std::string dir = FreshStateDir("service_starve");
+  ServeOptions options =
+      BaseOptions(dir, {MakeCase("zk-2247", 2000), MakeCase("hd-4233", 10)});
+  options.slice_rounds = 5;
+  const ServeReport report = RunService(options);
+  ASSERT_FALSE(report.error) << report.error_text;
+  EXPECT_TRUE(report.manifest.AllTerminal());
+  EXPECT_EQ(report.manifest.cases[0].state, CaseState::kReproduced);
+  EXPECT_EQ(report.manifest.cases[1].state, CaseState::kStarved);
+  EXPECT_EQ(report.manifest.cases[1].rounds_done, 10);
+  EXPECT_TRUE(report.manifest.cases[1].script.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: drain, worker crash, daemon crash, SIGKILL
+
+TEST(ServiceTest, DrainThenResumeMatchesUninterrupted) {
+  const std::string baseline_dir = FreshStateDir("service_drain_baseline");
+  const ServeReport baseline = RunService(BaseOptions(baseline_dir, MixedSeed()));
+  ASSERT_FALSE(baseline.error) << baseline.error_text;
+
+  // A drain flag that is already set stops the daemon before it dispatches
+  // anything — the deterministic extreme of SIGTERM-at-any-instant.
+  const std::string dir = FreshStateDir("service_drain");
+  std::atomic<bool> cancel{true};
+  ServeOptions options = BaseOptions(dir, MixedSeed());
+  options.cancel = &cancel;
+  const ServeReport drained = RunService(options);
+  EXPECT_TRUE(drained.interrupted);
+  EXPECT_FALSE(drained.manifest.AllTerminal());
+
+  // The drained queue was journaled; a fresh run resumes and finishes with
+  // the baseline's exact outcomes.
+  cancel.store(false);
+  const ServeReport resumed = RunService(options);
+  ASSERT_FALSE(resumed.error) << resumed.error_text;
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(Outcomes(baseline.manifest), Outcomes(resumed.manifest));
+  EXPECT_EQ(ReadFileOrDie(MergedMetricsPath(baseline_dir)),
+            ReadFileOrDie(MergedMetricsPath(dir)));
+}
+
+TEST(ServiceTest, WorkerKilledMidRoundConvergesToBaseline) {
+  std::vector<QueueCase> seed = MixedSeed();
+
+  const std::string baseline_dir = FreshStateDir("service_wcrash_baseline");
+  ServeOptions baseline_options = BaseOptions(baseline_dir, seed);
+  baseline_options.slice_rounds = 10;
+  baseline_options.workers = 2;
+  baseline_options.serve_binary = ANDURIL_SERVE_BIN;
+  const ServeReport baseline = RunService(baseline_options);
+  ASSERT_FALSE(baseline.error) << baseline.error_text;
+
+  // The third dispatched slice dies two rounds in, without reporting —
+  // indistinguishable from a SIGKILL between rounds. The daemon must requeue
+  // the case, respawn the slot, and still converge to the baseline.
+  const std::string dir = FreshStateDir("service_wcrash");
+  ServeOptions options = BaseOptions(dir, seed);
+  options.slice_rounds = 10;
+  options.workers = 2;
+  options.serve_binary = ANDURIL_SERVE_BIN;
+  options.worker_crash_slice = 3;
+  options.worker_crash_rounds = 2;
+  const ServeReport report = RunService(options);
+  ASSERT_FALSE(report.error) << report.error_text;
+  EXPECT_GE(report.worker_respawns, 1);
+  EXPECT_TRUE(report.manifest.AllTerminal());
+  EXPECT_EQ(Outcomes(baseline.manifest), Outcomes(report.manifest));
+  EXPECT_EQ(ReadFileOrDie(MergedMetricsPath(baseline_dir)),
+            ReadFileOrDie(MergedMetricsPath(dir)));
+}
+
+// Spawns `anduril_serve run <dir> <flags...>` and returns its exit code
+// (negative signal number if it died to a signal). When `kill_after_ms` is
+// positive the child gets SIGKILL after that delay.
+int RunServeCli(const std::vector<std::string>& args, int kill_after_ms = 0) {
+  std::vector<std::string> argv_storage = {ANDURIL_SERVE_BIN};
+  argv_storage.insert(argv_storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  argv.reserve(argv_storage.size() + 1);
+  for (std::string& arg : argv_storage) {
+    argv.push_back(arg.data());
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execv(ANDURIL_SERVE_BIN, argv.data());
+    _exit(127);
+  }
+  if (pid < 0) {
+    return -1000;
+  }
+  if (kill_after_ms > 0) {
+    usleep(static_cast<useconds_t>(kill_after_ms) * 1000);
+    kill(pid, SIGKILL);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (WIFEXITED(status)) {
+    return WEXITSTATUS(status);
+  }
+  if (WIFSIGNALED(status)) {
+    return -WTERMSIG(status);
+  }
+  return -1001;
+}
+
+constexpr const char* kCliCases = "--cases=zk-2247,ca-6415,casc-retry-1,hd-4233";
+
+std::vector<std::string> CliArgs(const std::string& dir,
+                                 const std::vector<std::string>& extra = {}) {
+  std::vector<std::string> args = {"run",  dir,  kCliCases, "--workers=2",
+                                   "--slice-rounds=10", "--quiet"};
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+TEST(ServiceCrashTest, DaemonKilledBetweenCommitsResumesByteIdentically) {
+  const std::string baseline_dir = FreshStateDir("service_dcrash_baseline");
+  ASSERT_EQ(RunServeCli(CliArgs(baseline_dir)), 0);
+
+  // The daemon _exit()s immediately after journaling its 4th slice result —
+  // a kill landing between two queue commits, with workers orphaned.
+  const std::string dir = FreshStateDir("service_dcrash");
+  ASSERT_EQ(RunServeCli(CliArgs(dir, {"--crash-after-slices=4"})), 42);
+
+  // The half-finished queue must be loadable and visibly partial.
+  QueueManifest partial;
+  std::string error;
+  ASSERT_TRUE(LoadManifestFile(ManifestPath(dir), &partial, &error)) << error;
+  EXPECT_FALSE(partial.AllTerminal());
+
+  // Rerunning the same command resumes and finishes with baseline outcomes.
+  ASSERT_EQ(RunServeCli(CliArgs(dir)), 0);
+  QueueManifest baseline_manifest;
+  QueueManifest resumed_manifest;
+  ASSERT_TRUE(
+      LoadManifestFile(ManifestPath(baseline_dir), &baseline_manifest, &error))
+      << error;
+  ASSERT_TRUE(LoadManifestFile(ManifestPath(dir), &resumed_manifest, &error)) << error;
+  EXPECT_EQ(Outcomes(baseline_manifest), Outcomes(resumed_manifest));
+  EXPECT_EQ(ReadFileOrDie(MergedMetricsPath(baseline_dir)),
+            ReadFileOrDie(MergedMetricsPath(dir)));
+}
+
+TEST(ServiceCrashTest, DaemonSigkilledResumesByteIdentically) {
+  const std::string baseline_dir = FreshStateDir("service_sigkill_baseline");
+  ASSERT_EQ(RunServeCli(CliArgs(baseline_dir)), 0);
+
+  // A real SIGKILL at an arbitrary instant. The daemon may or may not have
+  // finished by then; either way the follow-up run must land on the baseline
+  // outcomes — that is the whole point of the journal + checkpoint design.
+  const std::string dir = FreshStateDir("service_sigkill");
+  const int first = RunServeCli(CliArgs(dir), /*kill_after_ms=*/30);
+  EXPECT_TRUE(first == -SIGKILL || first == 0) << "exit " << first;
+
+  ASSERT_EQ(RunServeCli(CliArgs(dir)), 0);
+  QueueManifest baseline_manifest;
+  QueueManifest resumed_manifest;
+  std::string error;
+  ASSERT_TRUE(
+      LoadManifestFile(ManifestPath(baseline_dir), &baseline_manifest, &error))
+      << error;
+  ASSERT_TRUE(LoadManifestFile(ManifestPath(dir), &resumed_manifest, &error)) << error;
+  EXPECT_EQ(Outcomes(baseline_manifest), Outcomes(resumed_manifest));
+  EXPECT_EQ(ReadFileOrDie(MergedMetricsPath(baseline_dir)),
+            ReadFileOrDie(MergedMetricsPath(dir)));
+}
+
+}  // namespace
+}  // namespace anduril::service

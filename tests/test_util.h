@@ -23,6 +23,7 @@
 #include "src/interp/simulator.h"
 #include "src/ir/builder.h"
 #include "src/systems/common.h"
+#include "src/systems/harness.h"
 
 namespace anduril::interp {
 
@@ -77,26 +78,11 @@ inline std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-// Options whose candidate space can reach the case's ground-truth faults:
-// crash/stall kinds for cases with a crash- or stall fault anywhere in the
-// chain, message-layer kinds for network faults, the stock exception space
-// otherwise.
-inline ExplorerOptions OptionsForCase(const systems::FailureCase& failure_case,
-                                      int threads = 1) {
-  ExplorerOptions options;
-  options.num_threads = threads;
-  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(failure_case);
-  options.network_candidates = systems::NeedsNetworkCandidates(failure_case);
-  return options;
-}
-
-inline ExploreResult RunSearch(const systems::BuiltCase& built,
-                               const ExplorerOptions& options,
-                               const CheckpointConfig& checkpoint = {}) {
-  Explorer explorer(built.spec, options);
-  std::unique_ptr<InjectionStrategy> strategy = MakeFullFeedbackStrategy();
-  return explorer.Explore(strategy.get(), checkpoint);
-}
+// The search harness itself lives in src/systems/harness.h (shared with the
+// tools and the reproduction service); re-exported here so test code keeps
+// calling OptionsForCase/RunSearch unqualified.
+using systems::OptionsForCase;
+using systems::RunSearch;
 
 }  // namespace anduril::explorer
 

@@ -31,7 +31,14 @@
 //   anduril_case graph <case> [max_nodes] [--graph-out=<path>]
 //       Emit the causal graph in Graphviz DOT — to stdout, or to the
 //       --graph-out path (the same flag anduril_lint accepts).
+//
+// Exit codes for run/chain: 0 reproduced, 1 capped out (or setup error),
+// 2 usage, 3 interrupted. SIGTERM/SIGINT drain cooperatively: the search
+// stops at the next round boundary, after the active checkpoint (if any)
+// was flushed, so `--resume` continues exactly where the signal landed.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -47,9 +54,22 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/systems/common.h"
+#include "src/systems/harness.h"
 
 namespace anduril {
 namespace {
+
+std::atomic<bool> g_cancel{false};
+
+void HandleDrainSignal(int /*signum*/) { g_cancel.store(true, std::memory_order_relaxed); }
+
+// SIGTERM/SIGINT request a drain instead of killing the process: the search
+// finishes (and checkpoints) the in-flight round, then returns with
+// `interrupted` set and the tool exits 3.
+void InstallDrainHandlers() {
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+}
 
 int Usage() {
   std::fprintf(
@@ -157,14 +177,10 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
     return 1;
   }
   systems::BuiltCase built = systems::BuildCase(*failure_case);
-  explorer::ExplorerOptions options;
+  explorer::ExplorerOptions options = systems::OptionsForCase(*failure_case);
   options.max_rounds = max_rounds;
   options.track_site = built.ground_truth.site;
-  // Crash/stall- and network-rooted cases (anywhere in the ground-truth
-  // chain) are only reachable with their extended candidate spaces;
-  // exception-rooted cases keep the stock space.
-  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(*failure_case);
-  options.network_candidates = systems::NeedsNetworkCandidates(*failure_case);
+  options.cancel = &g_cancel;
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   if (!trace_path.empty()) {
@@ -232,6 +248,11 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
       experiment.completed_rounds, experiment.crashed_rounds, experiment.hung_rounds,
       experiment.partitioned_stuck_rounds, experiment.budget_exceeded_rounds,
       experiment.transient_retries);
+  if (result.interrupted) {
+    std::printf("interrupted after round %d%s\n", result.rounds,
+                checkpoint_path.empty() ? "" : " (checkpoint flushed; rerun with --resume)");
+    return 3;
+  }
   if (!result.reproduced) {
     std::printf("NOT reproduced within %d rounds\n", max_rounds);
     return 1;
@@ -250,11 +271,10 @@ int ChainCase(const std::string& id, int max_chain_length, int max_rounds,
     return 1;
   }
   systems::BuiltCase built = systems::BuildCase(*failure_case);
-  explorer::ExplorerOptions options;
+  explorer::ExplorerOptions options = systems::OptionsForCase(*failure_case);
   options.max_rounds = max_rounds;
   options.track_site = built.ground_truth.site;
-  options.crash_stall_candidates = systems::NeedsCrashStallCandidates(*failure_case);
-  options.network_candidates = systems::NeedsNetworkCandidates(*failure_case);
+  options.cancel = &g_cancel;
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
   if (!trace_path.empty()) {
@@ -317,6 +337,11 @@ int ChainCase(const std::string& id, int max_chain_length, int max_rounds,
       std::printf(", flipped %zu observables", step.stitched_observables.size());
     }
     std::printf(")\n");
+  }
+  if (result.interrupted) {
+    std::printf("interrupted after %d rounds%s\n", result.total_rounds,
+                checkpoint_path.empty() ? "" : " (checkpoint flushed; rerun with --resume)");
+    return 3;
   }
   if (!result.reproduced) {
     std::printf("NOT reproduced: chain capped at %zu steps within %d rounds/phase\n",
@@ -485,11 +510,13 @@ int Main(int argc, char** argv) {
     return Info(id);
   }
   if (command == "run") {
+    InstallDrainHandlers();
     return RunCase(id, args.size() > 2 ? args[2] : "full",
                    args.size() > 3 ? std::atoi(args[3].c_str()) : 1500, checkpoint_path,
                    resume, trace_path, metrics_path);
   }
   if (command == "chain") {
+    InstallDrainHandlers();
     return ChainCase(id, args.size() > 2 ? std::atoi(args[2].c_str()) : 4,
                      args.size() > 3 ? std::atoi(args[3].c_str()) : 1500, checkpoint_path,
                      resume, signature_out, trace_path, metrics_path);
