@@ -1,0 +1,294 @@
+// Storm-scale benchmark: the fault space grown 100-1000x. Emits
+// BENCH_storm.json.
+//
+// Part 1 reruns the Table 2 protocol on the StormCases() registry — the
+// cassandra/zookeeper storm scenarios whose fault-free traces carry >=5x10^4
+// dynamic fault instances. Full feedback must reproduce both; the blind
+// baselines (exhaustive, FATE, CrashTuner) are capped at kBaselineRounds and
+// MUST cap out — a storm case reproduced blind means the scenario no longer
+// needs feedback and fails the bench loudly.
+//
+// Part 2 is the scaling claim for the incremental priority engine: a
+// synthetic EngineSpec sweep at 10^3 / 10^4 / 10^5 candidates, driven by an
+// Algorithm 2-shaped round (raise I_k of a fixed "present" set, read the
+// top-10 window, retire one instance). Steady-state per-round cost must stay
+// flat — at 10^5 candidates no more than kFlatRatio x the 10^3 cost — while
+// the from-scratch re-rank (ExplorerOptions::full_rerank's O(C*K) path,
+// modeled by Reset) grows with the candidate count.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/explorer/priority_engine.h"
+#include "src/util/check.h"
+#include "src/util/stopwatch.h"
+
+namespace anduril::bench {
+namespace {
+
+using explorer::EngineSpec;
+using explorer::PriorityEngine;
+
+// Budget for the blind baselines. Full feedback reproduces the storms in a
+// handful of rounds; the baselines face ~6x10^4 instances and cannot.
+constexpr int kBaselineRounds = 150;
+// Every storm case must put at least this many dynamic fault instances in
+// the fault-free trace (the "100-1000x" floor; stock cases sit at 10^2-10^3).
+constexpr int64_t kMinDynamicInstances = 50'000;
+// Steady-state per-round cost at 10^5 candidates may be at most this many
+// times the 10^3 cost. log2(10^5)/log2(10^3) ~= 1.67 bounds the heap term;
+// the dirty-set term is scale-free once the argmin buckets drain.
+constexpr double kFlatRatio = 2.0;
+
+const char* kStrategies[] = {"full", "exhaustive", "fate", "crashtuner"};
+
+struct StormRun {
+  std::string case_id;
+  std::string paper_id;
+  int64_t dynamic_instances = 0;
+  size_t candidates = 0;
+  size_t observables = 0;
+  std::vector<CaseRun> runs;  // one per kStrategies entry
+};
+
+StormRun MeasureCase(const systems::FailureCase& failure_case) {
+  StormRun storm;
+  storm.case_id = failure_case.id;
+  storm.paper_id = failure_case.paper_id;
+  for (const char* strategy : kStrategies) {
+    CaseRun run = RunCase(failure_case, strategy, kBaselineRounds);
+    if (storm.runs.empty()) {
+      storm.dynamic_instances = run.dynamic_instances;
+      storm.candidates = run.candidates;
+      storm.observables = run.observables;
+      ANDURIL_CHECK(run.dynamic_instances >= kMinDynamicInstances)
+          << failure_case.id << " carries only " << run.dynamic_instances
+          << " dynamic instances; storm floor is " << kMinDynamicInstances;
+      ANDURIL_CHECK(run.reproduced)
+          << failure_case.id << " not reproduced by full feedback within "
+          << kBaselineRounds << " rounds";
+    } else {
+      ANDURIL_CHECK(!run.reproduced)
+          << failure_case.id << " reproduced blind by " << strategy
+          << ": the storm no longer separates feedback from the baselines";
+    }
+    storm.runs.push_back(std::move(run));
+    std::fflush(stdout);
+  }
+  return storm;
+}
+
+// --- Part 2: synthetic engine sweep ----------------------------------------------
+
+constexpr size_t kSweepObservables = 64;
+// Observables 0..3 play the role of Algorithm 2's "present" set: their I_k
+// rises every round, pushing candidate argmins onto the other 60 for good.
+constexpr size_t kRaisedObservables = 4;
+constexpr int kWarmupRounds = 64;   // drains the raised observables' buckets
+constexpr int kTimedRounds = 1024;
+constexpr int kRepetitions = 5;     // keep the minimum, standard bench practice
+constexpr int kWindow = 10;
+
+EngineSpec SweepSpec(size_t candidates, std::mt19937* rng) {
+  EngineSpec spec;
+  spec.observables = kSweepObservables;
+  spec.rows.resize(candidates);
+  spec.instance_counts.assign(candidates, 1'000'000);  // never exhausts
+  std::uniform_int_distribution<size_t> row_len(2, 6);
+  std::uniform_int_distribution<uint32_t> pick_obs(0, kSweepObservables - 1);
+  std::uniform_int_distribution<uint32_t> pick_quiet_obs(kRaisedObservables,
+                                                        kSweepObservables - 1);
+  std::uniform_int_distribution<int64_t> pick_dist(0, 50);
+  for (size_t i = 0; i < candidates; ++i) {
+    size_t len = row_len(*rng);
+    std::vector<bool> used(kSweepObservables, false);
+    // Every candidate reaches at least one never-raised observable, like the
+    // real storms, where each site is also a prior of non-noise observables.
+    // Without this a C-proportional sliver of rows lives entirely inside the
+    // raised set and gets re-dirtied every round, which is the full-rerank
+    // cost model, not the incremental one.
+    uint32_t quiet = pick_quiet_obs(*rng);
+    used[quiet] = true;
+    spec.rows[i].emplace_back(quiet, pick_dist(*rng));
+    for (size_t j = 1; j < len; ++j) {
+      uint32_t k = pick_obs(*rng);
+      if (used[k]) {
+        continue;
+      }
+      used[k] = true;
+      spec.rows[i].emplace_back(k, pick_dist(*rng));
+    }
+    std::sort(spec.rows[i].begin(), spec.rows[i].end());
+  }
+  return spec;
+}
+
+// One Algorithm 2-shaped round against the incremental engine: feedback
+// deltas, then the top-kWindow read, then one retirement.
+void RunIncrementalRound(PriorityEngine& engine) {
+  std::vector<std::pair<size_t, int64_t>> deltas;
+  deltas.reserve(kRaisedObservables);
+  for (size_t k = 0; k < kRaisedObservables; ++k) {
+    deltas.emplace_back(k, 1);
+  }
+  engine.ApplyDeltas(deltas);
+  size_t seen = 0;
+  size_t top = 0;
+  engine.VisitActive([&](size_t candidate, size_t) {
+    if (seen == 0) {
+      top = candidate;
+    }
+    return ++seen < static_cast<size_t>(kWindow);
+  });
+  if (seen > 0) {
+    engine.NoteTriedIndex(top);
+  }
+}
+
+struct SweepPoint {
+  size_t candidates = 0;
+  double incremental_round_nanos = 0;  // steady-state, min over repetitions
+  double full_rerank_round_nanos = 0;  // Reset-based recompute, same schedule
+};
+
+SweepPoint MeasurePoint(size_t candidates) {
+  std::mt19937 rng(0x5707 + candidates);
+  EngineSpec spec = SweepSpec(candidates, &rng);
+
+  SweepPoint point;
+  point.candidates = candidates;
+  point.incremental_round_nanos = 1e18;
+  point.full_rerank_round_nanos = 1e18;
+
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    PriorityEngine engine(spec);
+    engine.Reset(std::vector<int64_t>(kSweepObservables, 0));
+    for (int round = 0; round < kWarmupRounds; ++round) {
+      RunIncrementalRound(engine);
+    }
+    Stopwatch timer;
+    for (int round = 0; round < kTimedRounds; ++round) {
+      RunIncrementalRound(engine);
+    }
+    double nanos = static_cast<double>(timer.ElapsedNanos()) / kTimedRounds;
+    if (nanos < point.incremental_round_nanos) {
+      point.incremental_round_nanos = nanos;
+    }
+  }
+
+  // The reference cost: what full_rerank pays per round to reach the same
+  // ranking — a from-scratch recompute over every candidate and observable.
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    PriorityEngine engine(spec);
+    std::vector<int64_t> priorities(kSweepObservables, 0);
+    Stopwatch timer;
+    constexpr int kResetRounds = 20;
+    for (int round = 0; round < kResetRounds; ++round) {
+      for (size_t k = 0; k < kRaisedObservables; ++k) {
+        ++priorities[k];
+      }
+      engine.Reset(priorities);
+    }
+    double nanos = static_cast<double>(timer.ElapsedNanos()) / kResetRounds;
+    if (nanos < point.full_rerank_round_nanos) {
+      point.full_rerank_round_nanos = nanos;
+    }
+  }
+  return point;
+}
+
+int Main() {
+  std::printf("Storm scale: feedback vs blind baselines at >=5x10^4 dynamic instances\n");
+  std::printf("Baseline budget: %d rounds; '-' = not reproduced within budget\n\n",
+              kBaselineRounds);
+  const std::vector<int> widths = {14, 12, 12, 8, 16, 14, 14, 14};
+  std::vector<std::string> header = {"case", "instances", "candidates", "obs"};
+  for (const char* strategy : kStrategies) {
+    header.push_back(strategy);
+  }
+  PrintRow(header, widths);
+
+  std::vector<StormRun> storms;
+  for (const systems::FailureCase& failure_case : systems::StormCases()) {
+    StormRun storm = MeasureCase(failure_case);
+    std::vector<std::string> row = {storm.case_id, std::to_string(storm.dynamic_instances),
+                                    std::to_string(storm.candidates),
+                                    std::to_string(storm.observables)};
+    for (const CaseRun& run : storm.runs) {
+      row.push_back(RoundsCell(run) + " / " + TimeCell(run));
+    }
+    PrintRow(row, widths);
+    storms.push_back(std::move(storm));
+  }
+
+  std::printf("\nEngine sweep: steady-state per-round ranking cost vs candidate count\n");
+  PrintRow({"candidates", "incremental", "full-rerank", "speedup"}, {14, 14, 14, 10});
+  std::vector<SweepPoint> sweep;
+  for (size_t candidates : {1'000u, 10'000u, 100'000u}) {
+    SweepPoint point = MeasurePoint(candidates);
+    char incremental[32], rerank[32], speedup[32];
+    std::snprintf(incremental, sizeof(incremental), "%.0f ns", point.incremental_round_nanos);
+    std::snprintf(rerank, sizeof(rerank), "%.0f ns", point.full_rerank_round_nanos);
+    std::snprintf(speedup, sizeof(speedup), "%.0fx",
+                  point.full_rerank_round_nanos / point.incremental_round_nanos);
+    PrintRow({std::to_string(point.candidates), incremental, rerank, speedup},
+             {14, 14, 14, 10});
+    std::fflush(stdout);
+    sweep.push_back(point);
+  }
+
+  const double flat_ratio =
+      sweep.back().incremental_round_nanos / sweep.front().incremental_round_nanos;
+  std::printf("\nPer-round cost 10^3 -> 10^5: %.2fx (ceiling %.1fx)\n", flat_ratio,
+              kFlatRatio);
+  std::fflush(stdout);
+  ANDURIL_CHECK(flat_ratio <= kFlatRatio)
+      << "incremental per-round cost grew " << flat_ratio << "x from 10^3 to 10^5 "
+      << "candidates; the engine is supposed to keep it within " << kFlatRatio << "x";
+
+  FILE* json = std::fopen("BENCH_storm.json", "w");
+  ANDURIL_CHECK(json != nullptr);
+  std::fprintf(json, "{\n  \"baseline_round_cap\": %d,\n", kBaselineRounds);
+  std::fprintf(json, "  \"min_dynamic_instances\": %lld,\n",
+               static_cast<long long>(kMinDynamicInstances));
+  std::fprintf(json, "  \"cases\": [\n");
+  for (size_t i = 0; i < storms.size(); ++i) {
+    const StormRun& storm = storms[i];
+    std::fprintf(json,
+                 "    {\"case\": \"%s\", \"paper_id\": \"%s\", "
+                 "\"dynamic_instances\": %lld, \"candidates\": %zu, "
+                 "\"observables\": %zu, \"strategies\": {",
+                 storm.case_id.c_str(), storm.paper_id.c_str(),
+                 static_cast<long long>(storm.dynamic_instances), storm.candidates,
+                 storm.observables);
+    for (size_t s = 0; s < storm.runs.size(); ++s) {
+      const CaseRun& run = storm.runs[s];
+      std::fprintf(json, "\"%s\": {\"reproduced\": %s, \"rounds\": %d, \"seconds\": %.4f}%s",
+                   kStrategies[s], run.reproduced ? "true" : "false", run.rounds,
+                   run.seconds, s + 1 < storm.runs.size() ? ", " : "");
+    }
+    std::fprintf(json, "}}%s\n", i + 1 < storms.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"engine_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"candidates\": %zu, \"observables\": %zu, "
+                 "\"incremental_round_nanos\": %.1f, \"full_rerank_round_nanos\": %.1f}%s\n",
+                 sweep[i].candidates, kSweepObservables, sweep[i].incremental_round_nanos,
+                 sweep[i].full_rerank_round_nanos, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"flat_cost_ratio\": %.4f,\n  \"flat_cost_ceiling\": %.1f\n}\n",
+               flat_ratio, kFlatRatio);
+  std::fclose(json);
+  std::printf("\nWrote BENCH_storm.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace anduril::bench
+
+int main() { return anduril::bench::Main(); }

@@ -183,6 +183,12 @@ std::string SerializeCheckpoint(const SearchCheckpoint& checkpoint) {
   root.Set("chain_signature_hash",
            JsonValue::Str(U64ToString(ChainSignatureHash(checkpoint.chain))));
 
+  JsonValue engine = JsonValue::Object();
+  engine.Set("kind", JsonValue::Str(checkpoint.engine_kind));
+  engine.Set("candidates", JsonValue::Int(checkpoint.engine_candidates));
+  engine.Set("observables", JsonValue::Int(checkpoint.engine_observables));
+  root.Set("engine", std::move(engine));
+
   if (checkpoint.has_metrics) {
     root.Set("metrics", obs::MetricsSnapshotToJson(checkpoint.metrics));
   }
@@ -378,6 +384,22 @@ bool ParseCheckpoint(const std::string& text, SearchCheckpoint* out, std::string
         "delete the stale checkpoint and restart the chain search from round 0";
     return false;
   }
+
+  const JsonValue* engine = root.Find("engine");
+  if (engine == nullptr || engine->type() != JsonValue::Type::kObject) {
+    *error = "checkpoint has no engine object (required since version 4)";
+    return false;
+  }
+  out->engine_kind = engine->Find("kind") ? engine->Find("kind")->as_string() : std::string();
+  if (out->engine_kind != "incremental" && out->engine_kind != "full-rerank") {
+    *error = "checkpoint engine kind \"" + out->engine_kind +
+             "\" is not \"incremental\" or \"full-rerank\"";
+    return false;
+  }
+  out->engine_candidates =
+      engine->Find("candidates") ? engine->Find("candidates")->as_int() : 0;
+  out->engine_observables =
+      engine->Find("observables") ? engine->Find("observables")->as_int() : 0;
 
   out->has_metrics = false;
   out->metrics = obs::MetricsSnapshot{};

@@ -7,7 +7,7 @@
 // The format is JSON with a version field:
 //
 //   {
-//     "version": 3,
+//     "version": 4,
 //     "program_fingerprint": "<hex>",   // guards against program drift
 //     "base_seed": "<u64 as string>",   // strings: no 2^53 precision loss
 //     "rounds_completed": N,
@@ -37,6 +37,11 @@
 //     },
 //     "chain_signature_hash": "<u64>",  // v3: FNV-1a over the chain steps;
 //                                       // detects a tampered/corrupt chain
+//     "engine": {                       // v4: stage-1 ranking engine record
+//       "kind": "incremental" | "full-rerank",   // ExplorerOptions::full_rerank
+//       "candidates": N,                // candidate-array size when written
+//       "observables": N                // observable count when written
+//     },
 //     "metrics": { counters/gauges/histograms }   // optional: only present
 //                                                 // when a MetricsRegistry
 //                                                 // was attached
@@ -50,10 +55,18 @@
 // partition/delay timing) byte-identically. v3 added the chain block and its
 // signature hash so a killed ChainExplorer search resumes mid-chain with the
 // accepted prefix, the stitched-site seeds, and the live phase's candidate
-// summaries intact; plain (non-chain) searches still write version 3 files
-// with an empty chain. Old versions — including a version-2 file that
-// smuggles a chain block — are rejected with an actionable error rather than
-// silently resumed into a different search space.
+// summaries intact; plain (non-chain) searches write the same schema with an
+// empty chain. v4 added the engine block: the SoA candidate state of the
+// incremental priority engine (F_i, argmin k*, untried budgets, heap) is
+// *derivable* from (observable_priorities, tried), so the checkpoint stores
+// no engine arrays — restore recomputes them — but it does record which
+// stage-1 engine wrote the file and the candidate/observable counts it saw,
+// and resume validates all three against the live search: resuming under a
+// different ranking engine or over a differently-built candidate space would
+// break the byte-identical-resume invariant silently. Old versions —
+// including a version-2 file that smuggles a chain block — are rejected with
+// an actionable error rather than silently resumed into a different search
+// space.
 
 #ifndef ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
 #define ANDURIL_SRC_EXPLORER_CHECKPOINT_H_
@@ -68,7 +81,7 @@
 
 namespace anduril::explorer {
 
-inline constexpr int kCheckpointVersion = 3;
+inline constexpr int kCheckpointVersion = 4;
 
 // One accepted step of a fault chain (v3). `seed` is the seed of the run
 // that validated the step: the stitch run for intermediate steps, the
@@ -133,6 +146,12 @@ struct SearchCheckpoint {
   // ParseCheckpoint stores the verified value here.
   ChainState chain;
   uint64_t chain_signature_hash = 0;
+  // v4: which stage-1 ranking engine wrote the file ("incremental" or
+  // "full-rerank") and the candidate space it ranked. Validation metadata,
+  // not bulk state — see the header comment.
+  std::string engine_kind = "incremental";
+  int64_t engine_candidates = 0;
+  int64_t engine_observables = 0;
   // Optional (still version 2): snapshot of the attached MetricsRegistry at
   // the end of the checkpointed round. Serialized only when `has_metrics`;
   // parsing a checkpoint without a "metrics" member leaves it false, so

@@ -119,6 +119,13 @@ struct ExplorerOptions {
   // the tree walker is kept for one deprecation cycle as the differential
   // baseline and will be removed once the flattened path has burned in.
   bool tree_walk_interpreter = false;
+  // Run the full-feedback strategy's stage-1 ranking as a full per-round
+  // re-rank (recompute every F_i and sort the whole candidate array) instead
+  // of the incremental priority engine. The two are byte-identical on every
+  // scenario, seed, and thread count (asserted by priority_engine_test); the
+  // full re-rank is kept as the reference implementation and differential
+  // baseline, analogous to tree_walk_interpreter above.
+  bool full_rerank = false;
   // Observability sinks (src/obs/), not owned; null = disabled, and every
   // instrumentation hook reduces to a single pointer test. Both sinks are
   // deterministic under a fixed seed at any thread count: trace timestamps

@@ -11,12 +11,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <tuple>
 #include <unordered_map>
 
+#include "src/explorer/priority_engine.h"
 #include "src/explorer/strategies/strategy_util.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
+#include "src/util/hash.h"
 
 namespace anduril::explorer {
 
@@ -36,17 +39,13 @@ int64_t TemporalDistance(const InstanceEstimate& instance,
 
 namespace {
 
-constexpr int64_t kInfinity = std::numeric_limits<int64_t>::max() / 4;
+// Stage-1 sentinels and the stitch boost live in priority_engine.h now, so
+// the incremental engine and this reference path share one definition.
+constexpr int64_t kInfinity = kPriorityInfinity;
 
 // Added to the stage-2 temporal distance per demotion: large enough to push
 // a demoted instance behind every fresh one, small enough to never overflow.
 constexpr int64_t kDemotionPenalty = 1'000'000;
-
-// Subtracted from the stage-1 F_i of a causally-stitched site (chain mode):
-// large enough to outrank any finite L+I (spatial distances are graph-sized,
-// priorities grow by the feedback adjustment per round), small enough that
-// f_values never get near overflow.
-constexpr int64_t kStitchBoost = 1'000'000'000;
 
 class FeedbackStrategyBase : public InjectionStrategy {
  public:
@@ -55,11 +54,17 @@ class FeedbackStrategyBase : public InjectionStrategy {
     metrics_ = context.options().metrics;
     feedback_.Initialize(context);
     window_size_ = context.options().initial_window;
+    if (UsesEngine() && !context.options().full_rerank) {
+      // SeedStitchedSites (chain mode) runs before Initialize, so the engine
+      // sees the stitch boosts at build time. Its constructor installs the
+      // all-zero priorities feedback_ starts from.
+      engine_ = std::make_unique<PriorityEngine>(context, stitched_sites_);
+    }
   }
 
   void OnRound(const RoundOutcome& outcome) override {
     for (const interp::InjectionCandidate& preempted : outcome.preempted) {
-      MarkTried(&tried_, preempted);  // claimed by a pinned fault; never fires
+      Retire(preempted);  // claimed by a pinned fault; never fires
       Count("strategy.retired");
     }
     if (outcome.injected.has_value()) {
@@ -74,15 +79,15 @@ class FeedbackStrategyBase : public InjectionStrategy {
         int& count = demotions_[KeyOf(*outcome.injected)];
         Count("strategy.demoted");
         if (++count > context_->options().hang_demotions_before_retirement) {
-          MarkTried(&tried_, *outcome.injected);
+          Retire(*outcome.injected);
           Count("strategy.retired");
         }
       } else {
-        MarkTried(&tried_, *outcome.injected);
+        Retire(*outcome.injected);
         Count("strategy.retired");
       }
       for (const interp::InjectionCandidate& extra : outcome.also_injected) {
-        MarkTried(&tried_, extra);  // parallel-candidates: all fired instances
+        Retire(extra);  // parallel-candidates: all fired instances
         Count("strategy.retired");
       }
     } else {
@@ -95,7 +100,13 @@ class FeedbackStrategyBase : public InjectionStrategy {
       // deterministic.
       metrics_->Set("strategy.window_size", window_size_);
     }
-    feedback_.Digest(outcome.present_keys, context_->options().feedback_adjustment);
+    if (engine_ != nullptr) {
+      deltas_.clear();
+      feedback_.Digest(outcome.present_keys, context_->options().feedback_adjustment, &deltas_);
+      engine_->ApplyDeltas(deltas_);
+    } else {
+      feedback_.Digest(outcome.present_keys, context_->options().feedback_adjustment);
+    }
   }
 
   bool SaveState(StrategyCheckpoint* out) const override {
@@ -134,8 +145,15 @@ class FeedbackStrategyBase : public InjectionStrategy {
     exhausted_ = state.exhausted;
     feedback_.SetPriorities(state.observable_priorities);
     tried_.clear();
+    // The checkpoint carries no engine arrays — F_i / k*_i / untried budgets
+    // are all derivable from (priorities, tried), so a restore recomputes
+    // them from scratch and replays the tried set through Retire, landing on
+    // exactly the state an uninterrupted search would hold.
+    if (engine_ != nullptr) {
+      engine_->Reset(state.observable_priorities);
+    }
     for (const interp::InjectionCandidate& candidate : state.tried) {
-      MarkTried(&tried_, candidate);
+      Retire(candidate);
     }
     demotions_.clear();
     for (const StrategyCheckpoint::Demotion& demotion : state.demotions) {
@@ -153,6 +171,12 @@ class FeedbackStrategyBase : public InjectionStrategy {
   bool Exhausted() const override { return exhausted_; }
 
   int RankOfSite(ir::FaultSiteId site) const override {
+    // Queried by the explorer between NextWindow and OnRound, when the
+    // engine's ranking state is exactly what NextWindow ranked from — so the
+    // on-demand computation matches the reference path's cached order.
+    if (engine_ != nullptr) {
+      return engine_->RankOfSite(site);
+    }
     for (size_t rank = 0; rank < last_site_order_.size(); ++rank) {
       if (context_->candidates()[last_site_order_[rank]].site == site) {
         return static_cast<int>(rank) + 1;
@@ -161,7 +185,24 @@ class FeedbackStrategyBase : public InjectionStrategy {
     return -1;
   }
 
+  void SetRankAuditSink(std::vector<uint64_t>* sink) override { rank_audit_ = sink; }
+
  protected:
+  // Whether this strategy runs on the incremental priority engine when the
+  // options don't force full_rerank. Only the plain full-feedback strategy
+  // opts in; the ablations keep the reference ranking (they are
+  // evaluation-only and never see storm-scale candidate counts).
+  virtual bool UsesEngine() const { return false; }
+
+  // Marks a dynamic instance tried, feeding the engine's untried budget on
+  // fresh inserts only (re-retiring an already-tried instance must not
+  // double-count).
+  void Retire(const interp::InjectionCandidate& candidate) {
+    if (tried_.insert(KeyOf(candidate)).second && engine_ != nullptr) {
+      engine_->NoteTried(candidate);
+    }
+  }
+
   // Candidate indices sorted by F_i; fills per-candidate F and k*.
   std::vector<size_t> RankSites(std::vector<int64_t>* f_values,
                                 std::vector<size_t>* best_observable) const {
@@ -194,10 +235,32 @@ class FeedbackStrategyBase : public InjectionStrategy {
         order.push_back(i);
       }
     }
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return (*f_values)[a] < (*f_values)[b];
+    // Explicit total order (F, candidate index) shared with the incremental
+    // engine (Stage1Less): a plain sort over a total order is deterministic,
+    // and ties cannot depend on sort stability.
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return Stage1Less((*f_values)[a], a, (*f_values)[b], b);
     });
     return order;
+  }
+
+  // Reference-path twin of PriorityEngine::RankAuditHash: digests the same
+  // (index, effective F, k*) stream so the differential harness can compare
+  // per-round rankings across engines.
+  void PushRankAudit(const std::vector<int64_t>& f_values,
+                     const std::vector<size_t>& best_observable) {
+    if (rank_audit_ == nullptr) {
+      return;
+    }
+    Fnv1aHasher hasher;
+    for (size_t i = 0; i < f_values.size(); ++i) {
+      if (f_values[i] < kInfinity) {
+        hasher.MixInt(static_cast<int64_t>(i));
+        hasher.MixInt(f_values[i]);
+        hasher.MixInt(static_cast<int64_t>(best_observable[i]));
+      }
+    }
+    rank_audit_->push_back(hasher.hash());
   }
 
   // Demotion count per hung candidate (see OnRound); consulted as a stage-2
@@ -226,6 +289,10 @@ class FeedbackStrategyBase : public InjectionStrategy {
   int window_size_ = 10;
   bool exhausted_ = false;
   mutable std::vector<size_t> last_site_order_;
+  // Non-null only for the plain full-feedback strategy without full_rerank.
+  std::unique_ptr<PriorityEngine> engine_;
+  std::vector<std::pair<size_t, int64_t>> deltas_;  // reused per round
+  std::vector<uint64_t>* rank_audit_ = nullptr;
 };
 
 class FullFeedbackStrategy : public FeedbackStrategyBase {
@@ -250,6 +317,76 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
   }
 
   std::vector<interp::InjectionCandidate> NextWindow() override {
+    return engine_ != nullptr ? NextWindowIncremental() : NextWindowFullRerank();
+  }
+
+ private:
+  bool UsesEngine() const override { return !sum_aggregation_ && !order_temporal_; }
+
+  // Stage 2 (§5.2.3), shared verbatim by both stage-1 engines: the best
+  // untried instance of `candidate` against the chosen observable's
+  // positions, under the explicit order (T + demotion penalty, occurrence).
+  // The occurrence tie-break makes the "earliest instance wins" behavior of
+  // the historical strict-< scan an explicit part of the contract. Returns
+  // nullptr when every instance is tried; flags *any_untried otherwise.
+  const InstanceEstimate* BestUntriedInstance(const FaultCandidate& candidate,
+                                              const std::vector<int64_t>& positions,
+                                              bool* any_untried) const {
+    const auto& instances = context_->InstancesOf(candidate.site);
+    const InstanceEstimate* best = nullptr;
+    int64_t best_distance = 0;
+    for (size_t j = 0; j < instances.size(); ++j) {
+      const InstanceEstimate& instance = instances[j];
+      interp::InjectionCandidate armed = Arm(candidate, instance.occurrence);
+      if (WasTried(tried_, armed)) {
+        continue;
+      }
+      *any_untried = true;
+      int64_t distance = order_temporal_ ? OrderTemporalDistance(instances, j, positions)
+                                         : TemporalDistance(instance, positions);
+      distance += DemotionPenalty(armed);
+      if (best == nullptr || std::tie(distance, instance.occurrence) <
+                                 std::tie(best_distance, best->occurrence)) {
+        best = &instance;
+        best_distance = distance;
+      }
+    }
+    return best;
+  }
+
+  // Incremental path: stage-1 order comes from the engine's top-k heap —
+  // the round visits window_size ranked candidates plus the fully-tried ones
+  // the heap already excluded, never the whole candidate array.
+  std::vector<interp::InjectionCandidate> NextWindowIncremental() {
+    std::vector<interp::InjectionCandidate> window;
+    if (window_size_ > 0) {
+      engine_->VisitActive([&](size_t index, size_t best_k) {
+        const FaultCandidate& candidate = context_->candidates()[index];
+        const auto& positions = context_->observables()[best_k].failure_positions;
+        bool any_untried = false;
+        const InstanceEstimate* best = BestUntriedInstance(candidate, positions, &any_untried);
+        // Active candidates have untried instances by construction — the
+        // engine's budget counts down on exactly the fresh Retire inserts.
+        ANDURIL_CHECK(best != nullptr)
+            << "engine ranked candidate " << index << " active with no untried instance";
+        window.push_back(Arm(candidate, best->occurrence));
+        return static_cast<int>(window.size()) < window_size_;
+      });
+    }
+    if (!engine_->AnyActive()) {
+      // No candidate has an untried instance left: the same condition the
+      // reference path establishes with its global re-scan.
+      exhausted_ = true;
+    }
+    if (rank_audit_ != nullptr) {
+      rank_audit_->push_back(engine_->RankAuditHash());
+    }
+    return window;
+  }
+
+  // Reference path (ExplorerOptions::full_rerank): recompute and sort
+  // everything, every round.
+  std::vector<interp::InjectionCandidate> NextWindowFullRerank() {
     std::vector<int64_t> f_values;
     std::vector<size_t> best_observable;
     std::vector<size_t> order =
@@ -266,26 +403,7 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
       const FaultCandidate& candidate = context_->candidates()[index];
       const auto& positions =
           context_->observables()[best_observable[index]].failure_positions;
-      // Stage 2: the best untried instance of this site by temporal distance.
-      const auto& instances = context_->InstancesOf(candidate.site);
-      const InstanceEstimate* best = nullptr;
-      int64_t best_distance = 0;
-      for (size_t j = 0; j < instances.size(); ++j) {
-        const InstanceEstimate& instance = instances[j];
-        interp::InjectionCandidate armed = Arm(candidate, instance.occurrence);
-        if (WasTried(tried_, armed)) {
-          continue;
-        }
-        any_untried = true;
-        int64_t distance = order_temporal_
-                               ? OrderTemporalDistance(instances, j, positions)
-                               : TemporalDistance(instance, positions);
-        distance += DemotionPenalty(armed);
-        if (best == nullptr || distance < best_distance) {
-          best = &instance;
-          best_distance = distance;
-        }
-      }
+      const InstanceEstimate* best = BestUntriedInstance(candidate, positions, &any_untried);
       if (best != nullptr) {
         window.push_back(Arm(candidate, best->occurrence));
       }
@@ -306,10 +424,11 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
         }
       }
     }
+    if (!sum_aggregation_) {
+      PushRankAudit(f_values, best_observable);
+    }
     return window;
   }
-
- private:
   // §5.2.4 alternative: sum over observables instead of min.
   std::vector<size_t> RankSitesSum(std::vector<int64_t>* f_values,
                                    std::vector<size_t>* best_observable) const {
@@ -343,8 +462,8 @@ class FullFeedbackStrategy : public FeedbackStrategyBase {
         order.push_back(i);
       }
     }
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return (*f_values)[a] < (*f_values)[b];
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return Stage1Less((*f_values)[a], a, (*f_values)[b], b);
     });
     return order;
   }
@@ -387,6 +506,7 @@ class MultiplyFeedbackStrategy : public FeedbackStrategyBase {
 
     struct Scored {
       int64_t priority;
+      size_t seq;  // insertion order: explicit tie-break, was stable_sort position
       interp::InjectionCandidate candidate;
     };
     std::vector<Scored> scored;
@@ -403,15 +523,15 @@ class MultiplyFeedbackStrategy : public FeedbackStrategyBase {
         // +1 on both factors avoids the degenerate zero product; the flat
         // combination is still what Table 2 shows to be inferior to the
         // two-level selection.
-        scored.push_back(Scored{(f_values[index] + 1) * (t + 1), armed});
+        scored.push_back(Scored{(f_values[index] + 1) * (t + 1), scored.size(), armed});
       }
     }
     if (scored.empty()) {
       exhausted_ = true;
       return {};
     }
-    std::stable_sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
-      return a.priority < b.priority;
+    std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+      return std::tie(a.priority, a.seq) < std::tie(b.priority, b.seq);
     });
     std::vector<interp::InjectionCandidate> window;
     for (const Scored& entry : scored) {

@@ -274,9 +274,18 @@ const std::vector<FailureCase>& CascadeCases() {
   return *cases;
 }
 
+const std::vector<FailureCase>& StormCases() {
+  static const std::vector<FailureCase>* cases = [] {
+    auto* all = new std::vector<FailureCase>();
+    RegisterStormCases(all);
+    return all;
+  }();
+  return *cases;
+}
+
 const FailureCase* FindCase(const std::string& id) {
   for (const std::vector<FailureCase>* registry :
-       {&AllCases(), &CrashStallCases(), &NetworkCases(), &CascadeCases()}) {
+       {&AllCases(), &CrashStallCases(), &NetworkCases(), &CascadeCases(), &StormCases()}) {
     for (const FailureCase& failure_case : *registry) {
       if (failure_case.id == id || failure_case.paper_id == id) {
         return &failure_case;

@@ -160,6 +160,14 @@ const std::vector<FailureCase>& NetworkCases();
 // (see NeedsCrashStallCandidates / NeedsNetworkCandidates).
 const std::vector<FailureCase>& CascadeCases();
 
+// Storm-scale scenarios (also kept out of AllCases): the same single-fault
+// search problem as the Table 5 set, but with candidate spaces of ~10⁵
+// dynamic fault instances, sized so blind / FATE-style / CrashTuner-style
+// baselines exhaust a 150-round budget while the feedback search still
+// reproduces (EXPERIMENTS.md Table 2; stress input for the incremental
+// priority engine).
+const std::vector<FailureCase>& StormCases();
+
 // Lookup by id ("zk-2247") or paper id ("f1") across AllCases,
 // CrashStallCases, NetworkCases, and CascadeCases. Returns nullptr if
 // unknown.
@@ -179,6 +187,8 @@ void RegisterZooKeeperNetworkCases(std::vector<FailureCase>* cases);
 void RegisterHdfsNetworkCases(std::vector<FailureCase>* cases);
 // Cascading fault-chain scenarios (defined in cascade.cc).
 void RegisterCascadeCases(std::vector<FailureCase>* cases);
+// Storm-scale scenarios (defined in storm.cc).
+void RegisterStormCases(std::vector<FailureCase>* cases);
 
 }  // namespace anduril::systems
 

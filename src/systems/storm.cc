@@ -1,0 +1,392 @@
+// Storm-scale scenarios: the same fault-induced failures as the Table 5
+// set, but with candidate spaces two to three orders of magnitude larger
+// (~10⁵ dynamic fault instances), built to exercise the incremental
+// priority engine and to reproduce the paper's Table 2 shape — blind /
+// FATE-style / CrashTuner-style baselines exhaust their round budget while
+// the feedback-driven search still reproduces the failure.
+//
+//   ca-storm-1: a Cassandra anti-entropy repair storm. Four repair workers
+//     each push thousands of ranges through a merkle-request /
+//     merkle-compare / stream / validate pipeline. Worker 0 paces the storm:
+//     between its iterations 2000 and 3200 the hot token range is under
+//     anti-entropy, and an IOException from *its* validate call during that
+//     phase is interpreted as merkle-tree divergence and aborts the whole
+//     session; the same fault on a cold range is retried harmlessly. A
+//     watchdog reports the aborted session at the end of the cycle.
+//
+//   zk-storm-1: a ZooKeeper session churn spike. Four churn workers cycle
+//     client sessions (create / ping / watch / expire) thousands of times.
+//     Worker 0's iterations 1400..2600 are a reconnect storm; a
+//     KeeperException from its session-expire call during the spike
+//     overflows the session table and degrades the quorum, which the
+//     watchdog reports once the spike has passed.
+//
+// Both cases are deliberately hostile to the blind baselines:
+//   - exhaustive: the root instance sits tens of thousands of instances into
+//     the execution-order list;
+//   - fate: one occurrence level at a time across ~10² sites never reaches
+//     occurrence ~2×10³ within any realistic budget;
+//   - crashtuner: a backlog monitor emits hundreds of state-change log lines
+//     before the critical phase opens, so the first-instance-after-each-
+//     state-change list burns the whole budget on pre-phase instances.
+// The feedback search, in contrast, lands on the divergence observable's
+// temporal neighborhood within a handful of rounds.
+
+#include "src/systems/common.h"
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace anduril::systems {
+namespace {
+
+using ir::Expr;
+using ir::LogLevel;
+using ir::MethodBuilder;
+using ir::Program;
+
+// Shape of one storm: N workers × kOpsPerIteration sites × iterations
+// dynamic instances (all on the causal graph via the workers' cancel
+// observable).
+constexpr int kStormWorkers = 4;
+constexpr int kCaIterations = 4000;   // 4 × 4 × 4000 = 64,000 instances
+constexpr int kCaPhaseStart = 2000;   // worker-0 iterations [start, end) are
+constexpr int kCaPhaseEnd = 3200;     //   the hot-range anti-entropy phase
+constexpr int kZkIterations = 3500;   // 4 × 4 × 3500 = 56,000 instances
+constexpr int kZkPhaseStart = 1400;
+constexpr int kZkPhaseEnd = 2600;
+
+// --- Cassandra anti-entropy repair storm -----------------------------------------
+
+void BuildCassandraStorm(Program* p) {
+  for (int w = 0; w < kStormWorkers; ++w) {
+    MethodBuilder b(p, StrFormat("cas.storm.worker%d", w));
+    std::string iter = StrFormat("casStormIter%d", w);
+    b.While(b.Lt(iter, kCaIterations), [&] {
+      b.Assign(iter, b.Plus(iter, 1));
+      if (w == 0) {
+        // Worker 0 paces the storm: its own iteration counter opens and
+        // closes the hot-range phase, so the critical occurrence window of
+        // its sites is exact and seed-independent.
+        b.If(b.Eq(iter, kCaPhaseStart), [&] {
+          b.Assign("casStormPhase", Expr::Const(1));
+          b.Log(LogLevel::kInfo, "cassandra.AntiEntropy",
+                "Hot-range anti-entropy phase started");
+        });
+        b.If(b.Eq(iter, kCaPhaseEnd), [&] {
+          b.Assign("casStormPhase", Expr::Const(0));
+          b.Log(LogLevel::kInfo, "cassandra.AntiEntropy",
+                "Hot-range anti-entropy phase complete");
+        });
+      }
+      b.TryCatch(
+          [&] { b.External(StrFormat("cas.storm.w%d.merkle_request", w), {"SocketException"}); },
+          {{"SocketException",
+            [&] {
+              b.Log(LogLevel::kWarn, "cassandra.AntiEntropy",
+                    "Merkle request failed, peer busy");
+            }}});
+      b.TryCatch(
+          [&] { b.External(StrFormat("cas.storm.w%d.merkle_compare", w), {"IOException"}); },
+          {{"IOException",
+            [&] {
+              b.Log(LogLevel::kWarn, "cassandra.AntiEntropy",
+                    "Merkle compare failed, range rescheduled");
+            }}});
+      b.TryCatch(
+          [&] { b.External(StrFormat("cas.storm.w%d.stream_range", w), {"IOException"}); },
+          {{"IOException",
+            [&] {
+              b.Log(LogLevel::kWarn, "cassandra.AntiEntropy",
+                    "Range stream failed, will retry");
+            }}});
+      b.TryCatch(
+          [&] { b.External(StrFormat("cas.storm.w%d.validate", w), {"IOException"}); },
+          {{"IOException",
+            [&] {
+              if (w == 0) {
+                // Worker 0 defers interpretation of the validation failure to
+                // the end of the pipeline pass (below), where the session
+                // state is consistent.
+                b.Log(LogLevel::kDebug, "cassandra.AntiEntropy",
+                      "Range validation failed, deferring interpretation");
+                b.Assign("casValidateFailed", Expr::Const(1));
+              } else {
+                b.Log(LogLevel::kWarn, "cassandra.AntiEntropy",
+                      "Validation hiccup on cold range, retrying");
+              }
+            }}});
+      if (w == 0) {
+        b.If(b.Eq("casValidateFailed", 1), [&] {
+          b.Assign("casValidateFailed", Expr::Const(0));
+          b.If(
+              b.Eq("casStormPhase", 1),
+              [&] {
+                // BUG: a validation failure on a range that is under
+                // anti-entropy is read as merkle-tree divergence and aborts
+                // the session instead of re-running the comparison for that
+                // range.
+                b.Log(LogLevel::kWarn, "cassandra.AntiEntropy",
+                      "Merkle tree divergence on hot range, aborting "
+                      "anti-entropy session");
+                b.Assign("casSessionAborted", Expr::Const(1));
+              },
+              [&] {
+                b.Log(LogLevel::kWarn, "cassandra.AntiEntropy",
+                      "Validation hiccup on cold range, retrying");
+              });
+        });
+      }
+      // The abort check sits AFTER the pipeline so every site above is a
+      // dominator of the cancel WARN — that is what puts all four workers'
+      // fault sites (and every one of their ~10³ dynamic occurrences) on
+      // the causal graph.
+      b.If(b.Eq("casSessionAborted", 1), [&] {
+        b.Log(LogLevel::kWarn, "cassandra.Repair",
+              StrFormat("Repair worker %d cancelled after session abort", w));
+        b.Return();
+      });
+      b.Sleep(1);
+    });
+    b.Log(LogLevel::kInfo, "cassandra.Repair",
+          StrFormat("Repair worker %d drained its range queue", w));
+  }
+  {
+    // Backlog monitor: a state-change line every 5ms for the whole cycle.
+    // The hundreds of pre-phase lines make every early instance a CrashTuner
+    // injection point (the meta-info baseline burns its budget before the
+    // phase opens), and — because the ticks appear identically in the normal
+    // and failure logs — they are LCS anchors that give the timeline
+    // alignment fine-grained resolution across the entire run, so the
+    // stage-2 temporal estimates of late instances do not collapse onto the
+    // log tail.
+    MethodBuilder b(p, "cas.storm.monitor");
+    b.While(b.Lt("casMonTick", 1800), [&] {
+      b.Assign("casMonTick", b.Plus("casMonTick", 1));
+      b.Log(LogLevel::kDebug, "cassandra.AntiEntropy", "repair backlog {} ranges pending",
+            {b.V("casMonTick")});
+      b.Sleep(5);
+    });
+  }
+  {
+    MethodBuilder b(p, "cas.storm.watchdog");
+    b.Sleep(8000);
+    b.If(
+        b.Eq("casSessionAborted", 1),
+        [&] {
+          b.Log(LogLevel::kError, "cassandra.Repair",
+                "Anti-entropy session aborted, repair storm unresolved on hot ranges");
+        },
+        [&] {
+          b.Log(LogLevel::kInfo, "cassandra.Repair",
+                "Anti-entropy storm cycle completed cleanly");
+        });
+  }
+
+  AddNoisyServices(p, "cas.storm.ipc", 8, 5);
+  AddColdModule(p, "cas.storm.cql", 16, 8);
+  AddColdModule(p, "cas.storm.hints", 12, 7);
+}
+
+interp::ClusterSpec CassandraStormCluster(Program* p) {
+  interp::ClusterSpec cluster;
+  for (const char* node : {"cas1", "cas2", "cas3", "client"}) {
+    cluster.AddNode(node);
+  }
+  for (int w = 0; w < kStormWorkers; ++w) {
+    cluster.AddTask("cas1", StrFormat("RepairWorker%d", w),
+                    p->FindMethod(StrFormat("cas.storm.worker%d", w)), w);
+  }
+  cluster.AddTask("cas1", "RepairMonitor", p->FindMethod("cas.storm.monitor"), 0);
+  cluster.AddTask("cas1", "RepairWatchdog", p->FindMethod("cas.storm.watchdog"), 0);
+  StartNoisyServices(&cluster, p, "cas.storm.ipc", "cas3", 8, 8);
+  return cluster;
+}
+
+void RegisterCaStorm1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "ca-storm-1";
+  c.paper_id = "s1";
+  c.system = "cassandra";
+  c.title = "Anti-entropy repair storm aborts on hot-range merkle divergence";
+  c.injected_fault = "IOException";
+  c.root_site = "cas.storm.w0.validate";
+  c.root_exception = "IOException";
+  // Any worker-0 validate occurrence inside [kCaPhaseStart, kCaPhaseEnd)
+  // reproduces; the production failure struck mid-phase.
+  c.root_occurrence = 2600;
+  c.build = BuildCassandraStorm;
+  c.workload = [](Program* p) { return CassandraStormCluster(p); };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Anti-entropy session aborted, repair storm unresolved") &&
+           run.HasLogContaining(ir::LogLevel::kWarn, "Merkle tree divergence on hot range");
+  };
+  cases->push_back(std::move(c));
+}
+
+// --- ZooKeeper session churn spike -----------------------------------------------
+
+void BuildZooKeeperStorm(Program* p) {
+  for (int w = 0; w < kStormWorkers; ++w) {
+    MethodBuilder b(p, StrFormat("zk.storm.churn%d", w));
+    std::string iter = StrFormat("zkChurnIter%d", w);
+    b.While(b.Lt(iter, kZkIterations), [&] {
+      b.Assign(iter, b.Plus(iter, 1));
+      if (w == 0) {
+        b.If(b.Eq(iter, kZkPhaseStart), [&] {
+          b.Assign("zkChurnSpike", Expr::Const(1));
+          b.Log(LogLevel::kInfo, "zookeeper.SessionTracker",
+                "Session churn spike began, reconnect storm underway");
+        });
+        b.If(b.Eq(iter, kZkPhaseEnd), [&] {
+          b.Assign("zkChurnSpike", Expr::Const(0));
+          b.Log(LogLevel::kInfo, "zookeeper.SessionTracker",
+                "Session churn spike subsided");
+        });
+      }
+      b.TryCatch(
+          [&] { b.External(StrFormat("zk.storm.w%d.session_create", w), {"ConnectException"}); },
+          {{"ConnectException",
+            [&] {
+              b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+                    "Session create refused, client will retry");
+            }}});
+      b.TryCatch(
+          [&] { b.External(StrFormat("zk.storm.w%d.session_ping", w), {"IOException"}); },
+          {{"IOException",
+            [&] {
+              b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+                    "Session ping lost, connection reset");
+            }}});
+      b.TryCatch(
+          [&] { b.External(StrFormat("zk.storm.w%d.watch_set", w), {"KeeperException"}); },
+          {{"KeeperException",
+            [&] {
+              b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+                    "Watch registration failed, client re-arming");
+            }}});
+      b.TryCatch(
+          [&] { b.External(StrFormat("zk.storm.w%d.session_expire", w), {"KeeperException"}); },
+          {{"KeeperException",
+            [&] {
+              if (w == 0) {
+                // Worker 0 defers handling of the expiry failure to the end
+                // of the churn pass (below), once the table scan is done.
+                b.Log(LogLevel::kDebug, "zookeeper.SessionTracker",
+                      "Session expiry failed, deferring cleanup");
+                b.Assign("zkExpireFailed", Expr::Const(1));
+              } else {
+                b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+                      "Session expiry race, client rejoined");
+              }
+            }}});
+      if (w == 0) {
+        b.If(b.Eq("zkExpireFailed", 1), [&] {
+          b.Assign("zkExpireFailed", Expr::Const(0));
+          b.If(
+              b.Eq("zkChurnSpike", 1),
+              [&] {
+                // BUG: an expiry failure during the reconnect storm leaves
+                // the dead session in the table; the table overflows and
+                // live client sessions get dropped.
+                b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+                      "Session table overflow during churn spike, "
+                      "dropping client sessions");
+                b.Assign("zkQuorumDegraded", Expr::Const(1));
+              },
+              [&] {
+                b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+                      "Session expiry race, client rejoined");
+              });
+        });
+      }
+      // As in the Cassandra storm: checking the degradation flag after the
+      // churn pipeline makes every site above a dominator of the cancel
+      // WARN, pulling all four workers' sites onto the causal graph.
+      b.If(b.Eq("zkQuorumDegraded", 1), [&] {
+        b.Log(LogLevel::kWarn, "zookeeper.SessionTracker",
+              StrFormat("Churn worker %d stopped, ensemble degraded", w));
+        b.Return();
+      });
+      b.Sleep(1);
+    });
+    b.Log(LogLevel::kInfo, "zookeeper.SessionTracker",
+          StrFormat("Churn worker %d finished its session cycle", w));
+  }
+  {
+    // Session-table monitor: like the Cassandra storm's backlog monitor, a
+    // CrashTuner budget sink before the spike and a full-run set of LCS
+    // anchors for the timeline alignment.
+    MethodBuilder b(p, "zk.storm.monitor");
+    b.While(b.Lt("zkMonTick", 1500), [&] {
+      b.Assign("zkMonTick", b.Plus("zkMonTick", 1));
+      b.Log(LogLevel::kDebug, "zookeeper.SessionTracker", "session table {} entries",
+            {b.V("zkMonTick")});
+      b.Sleep(5);
+    });
+  }
+  {
+    MethodBuilder b(p, "zk.storm.watchdog");
+    b.Sleep(7000);
+    b.If(
+        b.Eq("zkQuorumDegraded", 1),
+        [&] {
+          b.Log(LogLevel::kError, "zookeeper.Quorum",
+                "Quorum lost clients during churn spike, ensemble unstable");
+        },
+        [&] {
+          b.Log(LogLevel::kInfo, "zookeeper.Quorum",
+                "Churn spike absorbed, all client sessions intact");
+        });
+  }
+
+  AddNoisyServices(p, "zk.storm.req", 8, 5);
+  AddColdModule(p, "zk.storm.snap", 14, 8);
+  AddColdModule(p, "zk.storm.acl", 10, 6);
+}
+
+interp::ClusterSpec ZooKeeperStormCluster(Program* p) {
+  interp::ClusterSpec cluster;
+  for (const char* node : {"zk1", "zk2", "zk3", "client"}) {
+    cluster.AddNode(node);
+  }
+  for (int w = 0; w < kStormWorkers; ++w) {
+    cluster.AddTask("zk1", StrFormat("ChurnWorker%d", w),
+                    p->FindMethod(StrFormat("zk.storm.churn%d", w)), w);
+  }
+  cluster.AddTask("zk1", "SessionMonitor", p->FindMethod("zk.storm.monitor"), 0);
+  cluster.AddTask("zk1", "QuorumWatchdog", p->FindMethod("zk.storm.watchdog"), 0);
+  StartNoisyServices(&cluster, p, "zk.storm.req", "zk3", 8, 8);
+  return cluster;
+}
+
+void RegisterZkStorm1(std::vector<FailureCase>* cases) {
+  FailureCase c;
+  c.id = "zk-storm-1";
+  c.paper_id = "s2";
+  c.system = "zookeeper";
+  c.title = "Session table overflow during a reconnect storm drops live clients";
+  c.injected_fault = "KeeperException";
+  c.root_site = "zk.storm.w0.session_expire";
+  c.root_exception = "KeeperException";
+  c.root_occurrence = 2000;  // inside [kZkPhaseStart, kZkPhaseEnd)
+  c.build = BuildZooKeeperStorm;
+  c.workload = [](Program* p) { return ZooKeeperStormCluster(p); };
+  c.oracle = [](const ir::Program&, const interp::RunResult& run) {
+    return run.HasLogContaining(ir::LogLevel::kError,
+                                "Quorum lost clients during churn spike") &&
+           run.HasLogContaining(ir::LogLevel::kWarn,
+                                "Session table overflow during churn spike");
+  };
+  cases->push_back(std::move(c));
+}
+
+}  // namespace
+
+void RegisterStormCases(std::vector<FailureCase>* cases) {
+  RegisterCaStorm1(cases);
+  RegisterZkStorm1(cases);
+}
+
+}  // namespace anduril::systems

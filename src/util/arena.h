@@ -1,0 +1,137 @@
+// Bump-pointer arena for per-round scratch that is reused across rounds.
+//
+// The explorer's incremental priority engine allocates its round-local
+// work lists (dirty candidate sets, popped heap entries) here: blocks are
+// grabbed from the system allocator once, then Reset() rewinds the bump
+// pointer so the next round reuses the same memory with no free/malloc
+// traffic. Allocation never constructs — only trivially-copyable value
+// types may live in an arena.
+
+#ifndef ANDURIL_SRC_UTIL_ARENA_H_
+#define ANDURIL_SRC_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace anduril {
+
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_bytes = 1 << 16)
+      : min_block_bytes_(initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Raw storage for `count` Ts, aligned; uninitialized. Valid until Reset().
+  template <typename T>
+  T* Allocate(size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena storage is never constructed or destroyed");
+    return static_cast<T*>(AllocateBytes(count * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds every block; previously returned pointers become invalid but the
+  // underlying memory stays owned and is handed out again.
+  void Reset() {
+    for (Block& block : blocks_) {
+      block.used = 0;
+    }
+    current_ = 0;
+  }
+
+  // Total bytes owned (for tests / introspection).
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) {
+      total += block.size;
+    }
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void* AllocateBytes(size_t bytes, size_t align) {
+    while (true) {
+      while (current_ < blocks_.size()) {
+        Block& block = blocks_[current_];
+        uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get());
+        size_t offset =
+            ((base + block.used + align - 1) & ~static_cast<uintptr_t>(align - 1)) - base;
+        if (offset + bytes <= block.size) {
+          block.used = offset + bytes;
+          return block.data.get() + offset;
+        }
+        ++current_;
+      }
+      size_t size = min_block_bytes_;
+      while (size < bytes + align) {
+        size *= 2;
+      }
+      Block block;
+      block.data = std::make_unique<char[]>(size);
+      block.size = size;
+      blocks_.push_back(std::move(block));
+      // Loop again: the fresh block is guaranteed to fit bytes + alignment.
+    }
+  }
+
+  size_t min_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+};
+
+// Growable array of a trivially-copyable T backed by an Arena. push_back
+// amortizes by doubling into a fresh arena span (the old span is simply
+// abandoned until the next Reset — arenas never free).
+template <typename T>
+class ArenaVec {
+ public:
+  explicit ArenaVec(Arena* arena) : arena_(arena) {}
+
+  void push_back(T value) {
+    if (size_ == capacity_) {
+      Grow();
+    }
+    data_[size_++] = value;
+  }
+
+  void clear() { size_ = 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  void Grow() {
+    size_t next = capacity_ == 0 ? 64 : capacity_ * 2;
+    T* grown = arena_->Allocate<T>(next);
+    if (size_ > 0) {
+      std::memcpy(grown, data_, size_ * sizeof(T));
+    }
+    data_ = grown;
+    capacity_ = next;
+  }
+
+  Arena* arena_;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace anduril
+
+#endif  // ANDURIL_SRC_UTIL_ARENA_H_

@@ -72,6 +72,10 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
   snap.chain.stitched_sites = {7, 11};
   snap.chain.round_candidates.push_back(ChainRoundCandidate{
       interp::InjectionCandidate{9, 3, ir::kInvalidId, interp::FaultKind::kDelay}, 4, 17});
+  // v4 engine block: identity of the ranking path plus candidate-space shape.
+  snap.engine_kind = "full-rerank";
+  snap.engine_candidates = 100000;
+  snap.engine_observables = 40;
 
   std::string text = SerializeCheckpoint(snap);
   SearchCheckpoint parsed;
@@ -106,6 +110,9 @@ TEST(CheckpointTest, SerializeParseRoundTripIsLossless) {
   EXPECT_EQ(parsed.strategy.demotions[0].count, snap.strategy.demotions[0].count);
   EXPECT_EQ(parsed.chain, snap.chain);
   EXPECT_EQ(parsed.chain_signature_hash, ChainSignatureHash(snap.chain));
+  EXPECT_EQ(parsed.engine_kind, snap.engine_kind);
+  EXPECT_EQ(parsed.engine_candidates, snap.engine_candidates);
+  EXPECT_EQ(parsed.engine_observables, snap.engine_observables);
 
   // Serialization is canonical: re-serializing the parse is byte-identical.
   EXPECT_EQ(SerializeCheckpoint(parsed), text);
@@ -141,9 +148,69 @@ TEST(CheckpointTest, RejectsVersion1FileWithActionableError) {
   std::string error;
   EXPECT_FALSE(ParseCheckpoint(v1_text, &out, &error));
   EXPECT_NE(error.find("version 1"), std::string::npos) << error;
-  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 4"), std::string::npos) << error;
   EXPECT_NE(error.find("delete"), std::string::npos)
       << "error must be actionable: " << error;
+}
+
+TEST(CheckpointTest, RejectsVersion3FileWithActionableError) {
+  // A pre-engine checkpoint (schema v3: chain block but no engine block).
+  // Resuming it would skip the engine-vs-options compatibility validation, so
+  // it must be refused with an error naming both versions.
+  const char* v3_text = R"({
+    "version": 3,
+    "program_fingerprint": "12345",
+    "base_seed": "1",
+    "rounds_completed": 7,
+    "retry_rng_draws": "0",
+    "experiment": {"completed_rounds": 7},
+    "network": {"candidates": false, "partition_heal_ms": 0, "delay_ms": 0},
+    "pinned": [],
+    "strategy": {"window_size": 10, "exhausted": false,
+                 "observable_priorities": [], "tried": [], "demotions": []},
+    "chain": {"steps": [], "phase": 0, "rounds_before_phase": 0,
+              "stitched_sites": [], "round_candidates": []}
+  })";
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(v3_text, &out, &error));
+  EXPECT_NE(error.find("version 3"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 4"), std::string::npos) << error;
+  EXPECT_NE(error.find("delete"), std::string::npos)
+      << "error must be actionable: " << error;
+}
+
+TEST(CheckpointTest, RejectsVersion4FileWithoutEngineBlock) {
+  // A v4 file with the engine object stripped: refuse rather than guessing a
+  // ranking path at resume.
+  SearchCheckpoint snap;
+  std::string text = SerializeCheckpoint(snap);
+  const std::string key = "\"engine\": {";
+  size_t begin = text.find(key);
+  ASSERT_NE(begin, std::string::npos);
+  size_t end = text.find('}', begin);
+  ASSERT_NE(end, std::string::npos);
+  // Erase back through the comma after the previous member so the JSON stays
+  // well-formed (the engine object is the last member of the root).
+  size_t comma = text.rfind(',', begin);
+  ASSERT_NE(comma, std::string::npos);
+  text.erase(comma, end + 1 - comma);
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(text, &out, &error));
+  EXPECT_NE(error.find("no engine object"), std::string::npos) << error;
+}
+
+TEST(CheckpointTest, RejectsUnknownEngineKind) {
+  SearchCheckpoint snap;
+  std::string text = SerializeCheckpoint(snap);
+  size_t pos = text.find("\"incremental\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "\"telepathic\"");
+  SearchCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(ParseCheckpoint(text, &out, &error));
+  EXPECT_NE(error.find("telepathic"), std::string::npos) << error;
 }
 
 TEST(CheckpointTest, RejectsVersion2FileWithChainStateWithActionableError) {
@@ -298,6 +365,15 @@ TEST(CheckpointResumeTest, ZkNet1PartitionSerialResumeIsByteIdentical) {
 
 TEST(CheckpointResumeTest, HdNet1DropEightThreadResumeIsByteIdentical) {
   ExpectResumeMatchesUninterrupted("hd-net-1", 8);
+}
+
+// Storm-scale case: a mid-search kill/resume over a ~6×10⁴-instance
+// candidate space must land on the identical script — the incremental
+// engine's restored state (F_i / k*_i / untried budgets recomputed from the
+// checkpoint's priorities + tried set) has to agree with the uninterrupted
+// engine at full scale, not just on the Table 5 registry.
+TEST(CheckpointResumeTest, CaStorm1SerialResumeIsByteIdentical) {
+  ExpectResumeMatchesUninterrupted("ca-storm-1", 1);
 }
 
 TEST(CheckpointResumeTest, NetworkConfigIsPersistedInCheckpoint) {

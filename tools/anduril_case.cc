@@ -55,6 +55,7 @@
 #include "src/obs/trace.h"
 #include "src/systems/common.h"
 #include "src/systems/harness.h"
+#include "src/util/strings.h"
 
 namespace anduril {
 namespace {
@@ -152,8 +153,16 @@ int Info(const std::string& id) {
                   : interp::FaultKindName(built.ground_truth.kind),
               static_cast<long long>(built.ground_truth.occurrence));
   std::printf("relevant observables (%zu):\n", context.observables().size());
-  for (const explorer::ObservableInfo& observable : context.observables()) {
-    std::printf("  %s\n", observable.key.substr(0, 110).c_str());
+  for (size_t k = 0; k < context.observables().size(); ++k) {
+    const explorer::ObservableInfo& observable = context.observables()[k];
+    std::printf("  [%zu] %s  positions=%zu", k, observable.key.substr(0, 90).c_str(),
+                observable.failure_positions.size());
+    if (!observable.failure_positions.empty()) {
+      std::printf(" [%lld..%lld]",
+                  static_cast<long long>(observable.failure_positions.front()),
+                  static_cast<long long>(observable.failure_positions.back()));
+    }
+    std::printf("\n");
   }
   return 0;
 }
@@ -229,12 +238,18 @@ int RunCase(const std::string& id, const std::string& strategy_name, int max_rou
     std::printf("metrics: -> %s\n", metrics_path.c_str());
   }
   for (const explorer::RoundRecord& record : result.records) {
-    std::printf("round %4d  window=%-4d injected=%d rank=%-4d present=%d net=%-3d outcome=%s%s%s\n",
-                record.round, record.window_size, record.injected ? 1 : 0,
-                record.tracked_rank, record.present_observables,
-                record.network_candidates_tried, interp::RunOutcomeName(record.outcome),
-                record.retries > 0 ? "  (retried)" : "",
-                record.success ? "  <- reproduced" : "");
+    std::printf(
+        "round %4d  window=%-4d injected=%d rank=%-4d present=%d net=%-3d outcome=%s%s%s%s\n",
+        record.round, record.window_size, record.injected ? 1 : 0, record.tracked_rank,
+        record.present_observables, record.network_candidates_tried,
+        interp::RunOutcomeName(record.outcome),
+        record.injected
+            ? anduril::StrFormat("  %s@%lld",
+                                 built.program->fault_site(record.candidate.site).name.c_str(),
+                                 static_cast<long long>(record.candidate.occurrence))
+                  .c_str()
+            : "",
+        record.retries > 0 ? "  (retried)" : "", record.success ? "  <- reproduced" : "");
     for (const interp::PartitionTransition& transition : record.partition_events) {
       std::printf("            partition %s %s<->%s at t=%lldms\n",
                   transition.sever ? "severed" : "healed", transition.node_a.c_str(),
